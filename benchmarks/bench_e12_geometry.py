@@ -1,0 +1,99 @@
+"""E12 (extension) — are the paper's conclusions geometry-bound?
+
+The paper's case for physical contiguity rests on the seek/transfer cost
+ratio of late-1980s disks.  This ablation re-prices the E4 sequential
+scan and the E5 middle-insert under three geometries:
+
+* the 1992 disk the paper assumes (seek ≈ 12 page transfers at 4 KB);
+* a modern HDD (seek ≈ 400 page transfers — contiguity matters MORE);
+* an SSD-like device (seek ≈ 2 transfers — contiguity stops mattering,
+  but EOS's update-cost and utilization wins are I/O-volume properties
+  and survive).
+
+No code changes between rows: the same measured seek/transfer counts are
+re-priced, which is exactly the claim's structure.
+"""
+
+from repro.bench.harness import make_database, run_trace_measured
+from repro.bench.reporting import ExperimentReport
+from repro.baselines import EOSStore, StarburstStore, WissStore, Placement
+from repro.storage.geometry import DISK_1992, MODERN_HDD, MODERN_SSD
+from repro.workloads.generator import sequential_scan
+
+PAGE = 512
+OBJECT_BYTES = 150_000
+GEOMETRIES = (DISK_1992, MODERN_HDD, MODERN_SSD)
+
+
+def measure_scan():
+    db = make_database(
+        page_size=PAGE, num_pages=16384, threshold=8, space_capacity=1024
+    )
+    payload = bytes(i % 251 for i in range(OBJECT_BYTES))
+    out = {}
+    eos = EOSStore(db)
+    h = eos.create(payload, size_hint=OBJECT_BYTES)
+    out["EOS"] = run_trace_measured(
+        db, eos, h, sequential_scan(OBJECT_BYTES, 16 * PAGE), cold_cache=True
+    )
+    wiss = WissStore(db.buddy, db.segio, placement=Placement.SCATTERED,
+                     max_slices=1000)
+    hw = wiss.create(payload)
+    out["WiSS"] = run_trace_measured(
+        db, wiss, hw, sequential_scan(OBJECT_BYTES, 16 * PAGE), cold_cache=True
+    )
+    star = StarburstStore(db.buddy, db.segio)
+    hs = star.create(payload, size_hint=OBJECT_BYTES)
+    db.disk.stats.head = None
+    with db.disk.stats.delta() as ins_star:
+        star.insert(hs, OBJECT_BYTES // 2, b"x" * 100)
+    h2 = eos.create(payload, size_hint=OBJECT_BYTES)
+    db.disk.stats.head = None
+    with db.disk.stats.delta() as ins_eos:
+        eos.insert(h2, OBJECT_BYTES // 2, b"x" * 100)
+    return out, ins_eos, ins_star
+
+
+def test_e12_geometry_sensitivity(benchmark):
+    scans, ins_eos, ins_star = measure_scan()
+    report = ExperimentReport(
+        "E12",
+        "The same measured I/O, priced under three disk geometries (ms)",
+        ["workload", "1992 disk", "modern HDD", "SSD-like"],
+        page_size=PAGE,
+    )
+    ratios = {}
+    for name, delta in scans.items():
+        costs = [g.cost_ms(delta.seeks, delta.page_transfers, PAGE) for g in GEOMETRIES]
+        report.add_row([f"scan 150 KB — {name}", *(f"{c:.0f}" for c in costs)])
+        ratios[name] = costs
+    for label, delta in (("insert — EOS", ins_eos), ("insert — Starburst", ins_star)):
+        costs = [g.cost_ms(delta.seeks, delta.page_transfers, PAGE) for g in GEOMETRIES]
+        report.add_row([label, *(f"{c:.1f}" for c in costs)])
+
+    # The contiguity advantage (scan: EOS vs WiSS) grows on a modern HDD
+    # and nearly vanishes on the SSD.
+    gap_1992 = ratios["WiSS"][0] / ratios["EOS"][0]
+    gap_hdd = ratios["WiSS"][1] / ratios["EOS"][1]
+    gap_ssd = ratios["WiSS"][2] / ratios["EOS"][2]
+    assert gap_hdd > gap_1992 > gap_ssd
+    # A seek-per-page scan can cost at most ~(1 + seek-equivalent-pages)x
+    # a contiguous one; on the SSD that bound collapses toward the
+    # per-command overhead (and vanishes entirely at 4 KB pages, where
+    # transfer and command cost are comparable).
+    assert gap_ssd <= 1 + MODERN_SSD.seek_equivalent_pages(PAGE) * 1.2
+    assert MODERN_SSD.seek_equivalent_pages(4096) < 3
+    # The update-cost advantage (EOS vs Starburst) is an I/O-volume
+    # property: it survives every geometry.
+    for i in range(3):
+        eos_cost = GEOMETRIES[i].cost_ms(ins_eos.seeks, ins_eos.page_transfers, PAGE)
+        star_cost = GEOMETRIES[i].cost_ms(ins_star.seeks, ins_star.page_transfers, PAGE)
+        assert star_cost > eos_cost * 3
+    report.note(
+        f"scan gap EOS-vs-WiSS: {gap_1992:.0f}x (1992) -> {gap_hdd:.0f}x "
+        f"(modern HDD) -> {gap_ssd:.1f}x (SSD); the insert gap persists "
+        f"everywhere because it is transfer volume, not seeks"
+    )
+    report.emit()
+
+    benchmark.pedantic(measure_scan, rounds=1, iterations=1)

@@ -1,0 +1,106 @@
+"""E13 — random byte-range access: cost independent of object size.
+
+Objective stated in Section 1: "good random access implies that the cost
+of locating a given byte within the object is independent of the object
+size.  This requirement by itself rules out solutions based on chaining
+the pages ... in a linear linked list fashion."
+
+The positional tree gives O(height) index reads + one contiguous leaf
+read; height grows logarithmically (and is 1-2 for anything that fits a
+laptop).  The linked-list foil must walk the chain from the head, paying
+O(offset) page reads.  Compaction (the Section 4.4 maintenance idea,
+wholesale) restores post-edit objects to their created-with-hint shape.
+"""
+
+from repro.bench.harness import make_database
+from repro.bench.reporting import ExperimentReport
+from repro.baselines import EOSStore
+from repro.workloads.generator import random_edits
+
+PAGE = 512
+READ = 2048
+
+
+def chained_read_cost(object_bytes: int, offset: int, page_size: int) -> int:
+    """Page reads a linked-list layout needs to reach ``offset``."""
+    return offset // page_size + 1
+
+
+def run_eos(size):
+    db = make_database(page_size=PAGE, num_pages=16384, threshold=8)
+    store = EOSStore(db)
+    payload = bytes(i % 251 for i in range(size))
+    obj = store.create(payload, size_hint=size)
+    db.checkpoint()
+    db.pool.clear()
+    db.disk.stats.head = None
+    offset = size * 3 // 4
+    with db.disk.stats.delta() as delta:
+        obj.read(offset, READ)
+    return delta, obj, db
+
+
+def test_e13_random_access(benchmark):
+    report = ExperimentReport(
+        "E13",
+        f"Read {READ} B at the 75% offset (cold cache, index included)",
+        ["object", "EOS seeks", "EOS page reads", "chained-list page reads"],
+        page_size=PAGE,
+    )
+    eos_reads = []
+    for size in (100_000, 400_000, 1_600_000):
+        delta, obj, db = run_eos(size)
+        chained = chained_read_cost(size, size * 3 // 4, PAGE)
+        report.add_row([f"{size // 1024} KB", delta.seeks, delta.page_reads, chained])
+        eos_reads.append(delta.page_reads)
+    # EOS cost is ~flat (one extra index level at most); the chain is linear.
+    assert max(eos_reads) <= min(eos_reads) + 2
+    report.note(
+        "EOS pays height-of-tree index reads plus ceil(2048/512)+1 leaf "
+        "pages; a linked list pays one read per page before the offset"
+    )
+    report.emit()
+
+    benchmark.pedantic(lambda: run_eos(400_000), rounds=2, iterations=1)
+
+
+def test_e13_compaction_restores_clustering(benchmark):
+    db = make_database(page_size=PAGE, num_pages=16384, threshold=1)
+    store = EOSStore(db)
+    size = 300_000
+    obj = store.create(bytes(i % 251 for i in range(size)), size_hint=size)
+    content_before = None
+    for op_i, op in enumerate(random_edits(size, 250, edit_bytes=40, seed=13)):
+        if op.kind == "insert":
+            obj.insert(op.offset, op.data)
+        else:
+            obj.delete(op.offset, op.length)
+    obj.trim()
+    content_before = obj.read_all()
+    fragged = obj.stats()
+
+    segments_after = benchmark.pedantic(obj.compact, rounds=1, iterations=1)
+    compacted = obj.stats()
+    assert obj.read_all() == content_before
+    obj.verify()
+
+    report = ExperimentReport(
+        "E13b",
+        "Compaction after 250 edits at T=1 (fully fragmented object)",
+        ["state", "segments", "leaf pages", "mean seg pages", "leaf util"],
+        page_size=PAGE,
+    )
+    for label, stats in (("fragmented", fragged), ("compacted", compacted)):
+        report.add_row(
+            [
+                label,
+                stats.segments,
+                stats.leaf_pages,
+                f"{stats.leaf_pages / stats.segments:.1f}",
+                f"{stats.leaf_utilization(PAGE):.1%}",
+            ]
+        )
+    assert compacted.segments < fragged.segments / 10
+    assert compacted.leaf_utilization(PAGE) > 0.99
+    report.note("compaction = wholesale Section 4.4: back to hint-created shape")
+    report.emit()

@@ -1,0 +1,89 @@
+"""E15 — tuning T to the workload (the Section 4.4 guidance).
+
+"The tradeoffs in selecting the T value are simple: larger T values
+improve the storage utilization and the performance of append,
+(sequential and random) read, and replace operations; the only aspect
+that might be affected negatively by larger segments is the costs of
+inserts and deletes.  For often-updated objects, the T value should be
+somewhat larger than the size of the search operations expected to be
+applied on the object ...  Again, for more static objects where the cost
+of updates is of little or no concern, the larger the segment size the
+better the overall performance."
+
+Three workload mixes (update-heavy, balanced, read-heavy) run under a
+sweep of T; the table reports total modelled time per mix and marks each
+mix's best T.  The paper's guidance predicts the optimum shifts right as
+reads dominate — asserted below.
+"""
+
+from repro.bench.harness import apply_trace, make_database, run_trace_measured
+from repro.bench.reporting import ExperimentReport
+from repro.baselines.eos_adapter import EOSStore
+from repro.workloads.generator import random_edits, random_reads
+
+PAGE = 512
+OBJECT_BYTES = 200_000
+READ_BYTES = 8 * PAGE  # "the size of the search operations expected"
+
+# (name, reads, edits) — total op count is constant across mixes.
+MIXES = [
+    ("update-heavy", 20, 180),
+    ("balanced", 100, 100),
+    ("read-heavy", 180, 20),
+]
+THRESHOLDS = (1, 2, 4, 8, 16, 32)
+
+
+def run_mix(threshold: int, reads: int, edits: int) -> float:
+    db = make_database(page_size=PAGE, num_pages=16384, threshold=threshold)
+    store = EOSStore(db)
+    payload = bytes(i % 251 for i in range(OBJECT_BYTES))
+    obj = store.create(payload, size_hint=OBJECT_BYTES)
+    total_ms = 0.0
+    # Interleave edit and read batches so reads see the edited object.
+    edit_trace = list(random_edits(OBJECT_BYTES, edits, edit_bytes=48, seed=21))
+    read_trace = list(random_reads(OBJECT_BYTES - 20_000, READ_BYTES, reads, seed=22))
+    for i in range(4):
+        chunk_e = edit_trace[i * edits // 4 : (i + 1) * edits // 4]
+        chunk_r = read_trace[i * reads // 4 : (i + 1) * reads // 4]
+        from repro.storage.geometry import DISK_1992
+
+        delta = run_trace_measured(db, store, obj, chunk_e, cold_cache=True)
+        total_ms += DISK_1992.cost_ms(delta.seeks, delta.page_transfers, PAGE)
+        delta = run_trace_measured(db, store, obj, chunk_r, cold_cache=True)
+        total_ms += DISK_1992.cost_ms(delta.seeks, delta.page_transfers, PAGE)
+    return total_ms
+
+
+def test_e15_threshold_tuning(benchmark):
+    report = ExperimentReport(
+        "E15",
+        f"Total modelled ms for 200 ops, by mix and threshold "
+        f"(reads are {READ_BYTES // PAGE} pages)",
+        ["T", *(name for name, _, _ in MIXES)],
+        page_size=PAGE,
+    )
+    costs = {name: {} for name, _, _ in MIXES}
+    for threshold in THRESHOLDS:
+        row = [threshold]
+        for name, reads, edits in MIXES:
+            ms = run_mix(threshold, reads, edits)
+            costs[name][threshold] = ms
+            row.append(f"{ms:.0f}")
+        report.add_row(row)
+    best = {name: min(c, key=c.get) for name, c in costs.items()}
+    report.note(f"best T per mix: {best}")
+    # The optimum moves toward larger T as reads dominate...
+    assert best["read-heavy"] >= best["update-heavy"]
+    # ...and for the read-heavy ("more static") mix, "the larger the
+    # segment size the better": the biggest T beats the smallest.
+    assert costs["read-heavy"][32] < costs["read-heavy"][1]
+    # For every mix, T somewhat above the read size (8 pages) is never
+    # worse than no threshold at all.
+    for name, _, _ in MIXES:
+        assert costs[name][16] <= costs[name][1] * 1.15
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: run_mix(8, 25, 25), rounds=1, iterations=1
+    )

@@ -1,0 +1,73 @@
+"""E2 — storage utilization vs the segment-size threshold T.
+
+Section 4.4: "for segments of size T, the utilization per segment will
+be on the average 1 - 1/2T.  For T = 4, 16 and 64, this evaluates to
+utilization of 87%, 97%, and 99%, respectively."
+
+We build an object, batter it with evenly distributed small inserts and
+deletes (the workload that fragments segments), and report the measured
+leaf utilization against the paper's formula.  The formula is a
+steady-state prediction for segments *at* the threshold size; measured
+values run slightly above it because many segments sit above T.
+"""
+
+from repro.bench.harness import apply_trace, make_database
+from repro.bench.reporting import ExperimentReport
+from repro.baselines.eos_adapter import EOSStore
+from repro.workloads.generator import random_edits
+
+PAGE = 512
+OBJECT_BYTES = 400_000
+EDITS = 600
+
+
+def run_for_threshold(threshold: int):
+    db = make_database(
+        page_size=PAGE, num_pages=8192, threshold=threshold
+    )
+    store = EOSStore(db)
+    payload = bytes(i % 251 for i in range(OBJECT_BYTES))
+    obj = store.create(payload, size_hint=OBJECT_BYTES)
+    trace = random_edits(OBJECT_BYTES, EDITS, edit_bytes=48, seed=threshold)
+    apply_trace(store, obj, trace)
+    obj.trim()
+    stats = obj.stats()
+    return obj, stats
+
+
+def test_e2_utilization_vs_threshold(benchmark):
+    report = ExperimentReport(
+        "E2",
+        f"Leaf utilization after {EDITS} random edits (object ~400 KB, {PAGE}-byte pages)",
+        ["T", "paper 1-1/2T", "measured leaf util", "segments", "mean seg pages"],
+        page_size=PAGE,
+    )
+    measured = {}
+    for threshold in (1, 2, 4, 8, 16, 64):
+        obj, stats = run_for_threshold(threshold)
+        util = stats.leaf_utilization(PAGE)
+        measured[threshold] = util
+        formula = 1 - 1 / (2 * threshold)
+        report.add_row(
+            [
+                threshold,
+                f"{formula:.0%}",
+                f"{util:.1%}",
+                stats.segments,
+                f"{obj.mean_segment_pages():.1f}",
+            ]
+        )
+    # Shape assertions: utilization improves monotonically-ish with T and
+    # clears the paper's floor for the quoted values.
+    assert measured[4] >= 1 - 1 / (2 * 4) - 0.03
+    assert measured[16] >= 1 - 1 / (2 * 16) - 0.02
+    assert measured[64] >= 1 - 1 / (2 * 64) - 0.02
+    assert measured[64] > measured[1]
+    report.note(
+        "the paper's formula is the per-segment floor at size exactly T; "
+        "measured objects also contain larger segments, so they sit at or "
+        "above it"
+    )
+    report.emit()
+
+    benchmark.pedantic(lambda: run_for_threshold(16), rounds=1, iterations=1)

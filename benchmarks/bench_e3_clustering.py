@@ -1,0 +1,80 @@
+"""E3 — preserving clustering: what T=1 does to a busy object.
+
+Section 4.4: without the threshold, "it is certain that a reasonable
+number of such operations evenly distributed over the object will
+deteriorate the physical continuity of all pages in which the large
+object is stored, and leaf segments will be just 1-page long", with two
+consequences: multi-page reads seek per page, and the tree grows.
+
+The experiment edits one object under T in {1, 4, 16} and tracks mean
+segment size, scan seeks, and tree height as edits accumulate.
+"""
+
+from repro.bench.harness import apply_trace, make_database
+from repro.bench.reporting import ExperimentReport
+from repro.baselines.eos_adapter import EOSStore
+from repro.workloads.generator import random_edits, sequential_scan
+
+PAGE = 512
+OBJECT_BYTES = 300_000
+CHUNK = 16 * PAGE
+
+
+def scan_seeks(db, store, obj):
+    db.pool.clear()
+    db.disk.stats.head = None
+    with db.disk.stats.delta() as d:
+        apply_trace(store, obj, sequential_scan(store.size(obj), CHUNK))
+    return d.seeks
+
+
+def run(threshold: int, batches: int, edits_per_batch: int):
+    db = make_database(page_size=PAGE, num_pages=8192, threshold=threshold)
+    store = EOSStore(db)
+    payload = bytes(i % 251 for i in range(OBJECT_BYTES))
+    obj = store.create(payload, size_hint=OBJECT_BYTES)
+    rows = []
+    for batch in range(batches):
+        trace = random_edits(
+            store.size(obj), edits_per_batch, edit_bytes=40, seed=batch * 7 + threshold
+        )
+        apply_trace(store, obj, trace)
+        obj.trim()
+        rows.append(
+            (
+                (batch + 1) * edits_per_batch,
+                obj.mean_segment_pages(),
+                scan_seeks(db, store, obj),
+                obj.stats().height,
+            )
+        )
+    return rows
+
+
+def test_e3_clustering_degradation(benchmark):
+    report = ExperimentReport(
+        "E3",
+        "Mean segment size / scan seeks / height vs accumulated edits",
+        ["T", "edits", "mean seg pages", "scan seeks", "height"],
+        page_size=PAGE,
+    )
+    finals = {}
+    for threshold in (1, 4, 16):
+        rows = run(threshold, batches=4, edits_per_batch=30)
+        for edits, mean_pages, seeks, height in rows:
+            report.add_row([threshold, edits, f"{mean_pages:.1f}", seeks, height])
+        finals[threshold] = rows[-1]
+    # Shape: T=1 fragments hardest; higher T keeps segments big and
+    # scans cheap.
+    assert finals[1][1] < finals[4][1] < finals[16][1]
+    assert finals[1][2] > finals[16][2]
+    report.note(
+        "T=1 reproduces the paper's warning: segments shrink toward a page "
+        "and every page touch becomes a seek; T>=4 repairs damage as it "
+        "happens"
+    )
+    report.emit()
+
+    benchmark.pedantic(
+        lambda: run(4, batches=1, edits_per_batch=30), rounds=1, iterations=1
+    )

@@ -1,0 +1,80 @@
+"""E5 — update cost vs object size: bytes involved, not object size.
+
+Objective 3 (Section 1): "the cost of the above piece-wise operations
+must depend on the number of bytes involved in the operation, rather
+than the size of the entire object."  Section 2 on Starburst: "byte
+inserts and deletes ... require all segments to the right of and
+including the segment on which the update is performed to be copied into
+new segments."
+
+A 100-byte insert lands in the middle of objects of growing size; EOS's
+cost stays flat while Starburst's grows linearly with the tail it must
+copy.
+"""
+
+from repro.bench.harness import make_database
+from repro.bench.reporting import ExperimentReport
+from repro.baselines import EOSStore, StarburstStore
+
+PAGE = 512
+SIZES = (50_000, 100_000, 200_000, 400_000, 800_000)
+
+
+def insert_cost(db, store, size):
+    payload = bytes(i % 251 for i in range(size))
+    handle = store.create(payload, size_hint=size)
+    db.pool.clear()
+    db.disk.stats.head = None
+    with db.disk.stats.delta() as delta:
+        store.insert(handle, size // 2, b"x" * 100)
+    assert store.read(handle, size // 2, 100) == b"x" * 100
+    store.delete_object(handle)
+    return delta
+
+
+def run_all():
+    rows = []
+    for size in SIZES:
+        db = make_database(page_size=PAGE, num_pages=16384, threshold=8)
+        rows.append(
+            (size, insert_cost(db, EOSStore(db), size),
+             insert_cost(db, StarburstStore(db.buddy, db.segio), size))
+        )
+    return rows
+
+
+def test_e5_insert_cost_scaling(benchmark):
+    rows = run_all()
+    report = ExperimentReport(
+        "E5",
+        "100-byte insert at the middle: page transfers vs object size",
+        ["object", "EOS transfers", "EOS ms", "Starburst transfers", "Starburst ms"],
+        page_size=PAGE,
+    )
+    eos_costs, star_costs = [], []
+    for size, eos, star in rows:
+        report.add_row(
+            [
+                f"{size // 1024} KB",
+                eos.page_transfers,
+                f"{report.cost_ms(eos):.0f}",
+                star.page_transfers,
+                f"{report.cost_ms(star):.0f}",
+            ]
+        )
+        eos_costs.append(eos.page_transfers)
+        star_costs.append(star.page_transfers)
+    # Shape: EOS flat, Starburst linear in object size.
+    assert max(eos_costs) <= min(eos_costs) + 2 * (PAGE and 32)
+    assert star_costs[-1] > star_costs[0] * 8
+    assert star_costs[-1] > eos_costs[-1] * 20
+    report.note(
+        "EOS touches O(threshold) pages regardless of size; Starburst "
+        "re-copies the whole right half of the object"
+    )
+    report.emit()
+
+    db = make_database(page_size=PAGE, num_pages=16384, threshold=8)
+    benchmark.pedantic(
+        lambda: insert_cost(db, EOSStore(db), 200_000), rounds=3, iterations=1
+    )

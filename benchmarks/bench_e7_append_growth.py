@@ -1,0 +1,69 @@
+"""E7 — append/create: known vs unknown eventual size (Section 4.1).
+
+Known size: "allocates a segment just large enough to hold the entire
+object"; larger objects get "a sequence of maximum size segments".
+Unknown size: "successive segments allocated for storage double in size
+until the maximum segment size is reached ... the last allocated segment
+is always trimmed."
+
+The table reports segment counts, the doubling pattern, allocation calls
+and the post-trim waste (always under one page).
+"""
+
+from repro.bench.harness import make_database
+from repro.bench.reporting import ExperimentReport
+from repro.util.bitops import ceil_div
+
+PAGE = 512
+TOTAL = 300_000
+CHUNK = 3000
+
+
+def build(known_size: bool):
+    db = make_database(page_size=PAGE, num_pages=4096, threshold=8)
+    hint = TOTAL if known_size else None
+    obj = db.create_object(size_hint=hint)
+    payload = bytes(i % 251 for i in range(TOTAL))
+    allocs_before = db.buddy.stats.allocations
+    for start in range(0, TOTAL, CHUNK):
+        obj.append(payload[start : start + CHUNK])
+    obj.trim()
+    allocs = db.buddy.stats.allocations - allocs_before
+    assert obj.read_all() == payload
+    return db, obj, allocs
+
+
+def test_e7_append_growth(benchmark):
+    report = ExperimentReport(
+        "E7",
+        f"Create 300 KB by {CHUNK}-byte appends ({PAGE}-byte pages)",
+        ["size hint", "segments", "segment pages", "allocations", "waste bytes"],
+        page_size=PAGE,
+    )
+    results = {}
+    for known in (True, False):
+        db, obj, allocs = build(known)
+        sizes = [e.pages for _, e in obj.segments()]
+        stats = obj.stats()
+        waste = stats.leaf_pages * PAGE - stats.size_bytes
+        label = "known (exact)" if known else "unknown (doubling)"
+        shown = str(sizes) if len(sizes) <= 12 else f"{sizes[:10]} ... x{len(sizes)}"
+        report.add_row([label, stats.segments, shown, allocs, waste])
+        results[known] = (sizes, waste)
+        # Objective 5: waste after trimming is always less than one page.
+        assert waste < PAGE
+        obj.verify()
+    known_sizes, _ = results[True]
+    unknown_sizes, _ = results[False]
+    # Known size: maximum-size segments plus an exact remainder.
+    max_seg = 1024  # 2**10 for 512-byte pages
+    assert all(s == max_seg for s in known_sizes[:-1])
+    assert known_sizes[-1] == ceil_div(TOTAL, PAGE) - max_seg * (len(known_sizes) - 1)
+    # Unknown size: doubling prefix 1, 2, 4, ... (trimmed tail may break
+    # the pattern at the very end).
+    expected = [min(2 ** i, max_seg) for i in range(len(unknown_sizes))]
+    assert unknown_sizes[:-1] == expected[: len(unknown_sizes) - 1]
+    report.note("doubling reaches the maximum segment size, then repeats it")
+    report.emit()
+
+    benchmark.pedantic(lambda: build(False), rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""F1 — Figure 1: buddy-space directory layout and its derived limits.
+
+The paper derives, for 4 KB pages: a maximum segment type of
+``log2(2*4096) = 13`` (2^13 pages = 32 MB segments) and an allocation
+map of "at most 4096 - 2*14 = 4068 bytes ... buddy spaces of at most
+4068*4 = 16,272 pages (approximately, 63.5 megabytes)".  This benchmark
+regenerates that arithmetic for a range of page sizes and times the
+directory's serialise/deserialise round trip (the unit of work behind
+"the entire process of allocating and deallocating segments is performed
+on the directory page only").
+"""
+
+from repro.bench.reporting import ExperimentReport
+from repro.buddy.directory import max_capacity, max_segment_type
+from repro.buddy.space import BuddySpace
+from repro.util.fmt import human_bytes
+
+
+def test_fig1_directory_limits(benchmark):
+    report = ExperimentReport(
+        "F1",
+        "Directory-page limits by page size (paper: 4 KB row)",
+        ["page size", "max seg type", "max seg size", "max space pages", "max space size"],
+    )
+    for page_size in (1024, 2048, 4096, 8192, 16384):
+        k = max_segment_type(page_size)
+        cap = max_capacity(page_size)
+        report.add_row(
+            [
+                human_bytes(page_size),
+                k,
+                human_bytes((1 << k) * page_size),
+                cap,
+                human_bytes(cap * page_size),
+            ]
+        )
+    report.note(
+        "paper derives 16,272 pages for 4 KB with a bare count array; the "
+        "6-byte directory header here costs 24 pages of capacity"
+    )
+    assert max_segment_type(4096) == 13
+    assert max_capacity(4096) == 16272 - 24
+
+    space = BuddySpace.create(page_size=4096, capacity=max_capacity(4096))
+    for size in (11, 100, 1000):
+        space.allocate(size)
+
+    def round_trip():
+        image = space.to_page()
+        return BuddySpace.from_page(4096, image)
+
+    restored = benchmark(round_trip)
+    assert restored.counts == space.counts
+    report.note(
+        "directory (counts + amap for 16k pages) serialise+parse timed by "
+        "pytest-benchmark below"
+    )
+    report.emit()

@@ -1,0 +1,46 @@
+"""F4 — Figure 4: any-size allocation and any-portion frees.
+
+Replays the paper's full walkthrough — allocate 11 pages inside a
+16-page segment (8+2+1 allocated, 1+4 freed in reverse order), free 7
+pages starting at page 3, then free page 10 and watch the iterative
+coalescing chain 10+11 -> 8..11 -> 8..15 — and times the sequence.
+"""
+
+from repro.bench.reporting import ExperimentReport
+from repro.buddy.amap import SegmentView
+from repro.buddy.space import BuddySpace
+
+
+def run_walkthrough() -> BuddySpace:
+    space = BuddySpace.create(page_size=128, capacity=16)
+    assert space.allocate(11) == 0   # Figure 4.a/4.b
+    space.free(3, 7)                 # Figure 4.c
+    space.free(10, 1)                # Figure 4.d
+    return space
+
+
+def test_fig4_any_size_walkthrough(benchmark):
+    space = benchmark(run_walkthrough)
+    segments = space.verify()
+    assert segments == [
+        SegmentView(0, 1, True),
+        SegmentView(1, 1, True),
+        SegmentView(2, 1, True),
+        SegmentView(3, 1, False),
+        SegmentView(4, 4, False),
+        SegmentView(8, 8, False),
+    ]
+    # "Segment 8 of size 8 and its buddy 0 can not be merged because the
+    # latter is not a free segment of size 8."
+    assert space.counts[3] == 1
+
+    report = ExperimentReport(
+        "F4",
+        "Figure 4 walkthrough (16-page space)",
+        ["step", "operation", "resulting free segments"],
+    )
+    report.add_row(["4.a/4.b", "allocate 11 = 8+2+1", "[11:1], [12:4]"])
+    report.add_row(["4.c", "free 7 pages from page 3", "[3:1], [4:4], [8:2], [11:1], [12:4]"])
+    report.add_row(["4.d", "free page 10 (coalesces x3)", "[3:1], [4:4], [8:8]"])
+    report.note("allocation rounds 11 up to 16, then frees the 5-page remainder as 1+4")
+    report.emit()

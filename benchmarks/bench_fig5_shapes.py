@@ -1,0 +1,69 @@
+"""F5 — Figure 5: the three 1820-byte object shapes.
+
+(a) created with a size hint -> a root with "a single pair pointing to a
+    leaf segment consisting of ceil(1820/100) = 19 pages";
+(b) created by chunk-wise appends -> doubling segments 1, 2, 4, 8, then
+    a trimmed 4;
+(c) after edits -> a two-level tree (reproduced structurally in
+    tests/test_paper_examples.py; here we produce an edited object
+    organically and report its shape).
+
+Pages are 100 bytes, as in the paper's examples.
+"""
+
+from repro import EOSConfig, EOSDatabase
+from repro.bench.reporting import ExperimentReport
+
+
+def make_db():
+    config = EOSConfig(page_size=100, threshold=1)
+    return EOSDatabase.create(num_pages=3000, page_size=100, config=config)
+
+
+def data(n: int) -> bytes:
+    return bytes(i % 251 for i in range(n))
+
+
+def build_all():
+    db = make_db()
+    # (a) size hint
+    a = db.create_object(size_hint=1820)
+    a.append(data(1820))
+    a.trim()
+    # (b) unknown size, 90-byte chunks
+    b = db.create_object()
+    payload = data(1820)
+    for start in range(0, 1820, 90):
+        b.append(payload[start : start + 90])
+    b.trim()
+    # (c) edited: inserts and deletes reshape the tree
+    c = db.create_object(data(1820), size_hint=1820)
+    c.insert(1020, data(300))
+    c.delete(1020, 300)
+    c.insert(280, data(90))
+    c.delete(280, 90)
+    return db, a, b, c
+
+
+def test_fig5_object_shapes(benchmark):
+    db, a, b, c = benchmark.pedantic(build_all, rounds=3, iterations=1)
+    report = ExperimentReport(
+        "F5",
+        "Figure 5 object shapes (1820 bytes, 100-byte pages)",
+        ["object", "height", "segments", "segment pages", "leaf pages", "size from root"],
+        page_size=100,
+    )
+    for label, obj in (("5.a hint", a), ("5.b appends", b), ("5.c edited", c)):
+        stats = obj.stats()
+        pages = [e.pages for _, e in obj.segments()]
+        report.add_row(
+            [label, stats.height, stats.segments, str(pages), stats.leaf_pages,
+             obj.size()]
+        )
+        assert obj.size() == 1820
+        obj.verify()
+    assert [e.pages for _, e in a.segments()] == [19]
+    assert [e.pages for _, e in b.segments()] == [1, 2, 4, 8, 4]
+    assert len(c.segments()) > 1  # edits split the single segment
+    report.note("the size of all three objects is read off the root's rightmost count")
+    report.emit()

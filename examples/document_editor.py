@@ -1,0 +1,110 @@
+"""A document editor over one large object, with transactional undo.
+
+Section 1: office automation needs documents where "elements may be
+removed from or new ones inserted at any place"; Section 4.5 sketches
+how EOS protects such objects from failures.  This example:
+
+1. loads a "manuscript" into a large object;
+2. performs an editing session — inserts, cuts, and find-replace —
+   entirely through piece-wise operations (the document is never
+   rewritten wholesale);
+3. runs one edit batch inside a transaction and aborts it, showing
+   operation-level undo from the log;
+4. simulates a crash in the middle of an update and recovers, showing
+   the shadow-paged index switch kept the document consistent.
+
+Run with::
+
+    python examples/document_editor.py
+"""
+
+from repro import EOSConfig, EOSDatabase
+from repro.recovery import RecoveryManager, SimulatedCrash
+
+PAGE = 4096
+
+LOREM = (
+    b"Large objects are becoming an increasingly important issue of many "
+    b"so called unconventional database applications. "
+)
+
+
+def build_manuscript(db):
+    manuscript = db.create_object()
+    for chapter in range(40):
+        header = f"\n\n== Chapter {chapter} ==\n".encode()
+        manuscript.append(header + LOREM * 50)
+    manuscript.trim()
+    return manuscript
+
+
+def find(obj, needle: bytes, start: int = 0) -> int:
+    """Naive search by chunked reads (the object may exceed memory)."""
+    chunk = 64 * 1024
+    overlap = len(needle) - 1
+    position = start
+    size = obj.size()
+    while position < size:
+        window = obj.read(position, min(chunk + overlap, size - position))
+        hit = window.find(needle)
+        if hit >= 0:
+            return position + hit
+        position += chunk
+    return -1
+
+
+def main() -> None:
+    db = EOSDatabase.create(
+        num_pages=8192, page_size=PAGE,
+        config=EOSConfig(page_size=PAGE, threshold=8),
+    )
+    manuscript = build_manuscript(db)
+    print(f"manuscript: {manuscript.size():,} bytes, "
+          f"{manuscript.stats().segments} segments")
+
+    # --- ordinary editing -------------------------------------------------
+    at = find(manuscript, b"== Chapter 7 ==")
+    manuscript.insert(at, b"\n[EDITOR'S NOTE: chapter under revision]\n")
+    cut_from = find(manuscript, b"== Chapter 20 ==")
+    cut_to = find(manuscript, b"== Chapter 21 ==")
+    manuscript.delete(cut_from, cut_to - cut_from)
+    print(f"inserted a note, cut chapter 20: {manuscript.size():,} bytes")
+    assert find(manuscript, b"== Chapter 20 ==") == -1
+    assert find(manuscript, b"EDITOR'S NOTE") >= 0
+    manuscript.verify()
+
+    # --- a transactional edit batch, aborted ------------------------------
+    recovery = RecoveryManager(db)
+    before = manuscript.read_all()
+    txn = recovery.begin()
+    draft = txn.open(manuscript)
+    draft.insert(0, b"DRAFT DRAFT DRAFT\n")
+    draft.delete(draft.size() // 2, 10_000)
+    draft.replace(100, b"<working title>")
+    print(f"in transaction: {draft.size():,} bytes "
+          f"({len(recovery.log)} log records)")
+    txn.abort()
+    assert manuscript.read_all() == before
+    print("aborted: every operation undone from the log "
+          f"({len(recovery.log)} log records incl. compensation)")
+
+    # --- crash in the middle of an update ---------------------------------
+    txn = recovery.begin()
+    draft = txn.open(manuscript)
+    draft.insert(500, b"half-done edit #1 ")
+    recovery.crash_before_root_write = True
+    try:
+        draft.insert(900, b"half-done edit #2 ")
+    except SimulatedCrash as crash:
+        print(f"simulated crash: {crash}")
+    recovery.crash_before_root_write = False
+    undone = recovery.recover()
+    print(f"recovery undid {undone[txn.txn_id]} committed update(s) of the "
+          f"loser transaction; second insert needed no undo (never switched)")
+    assert manuscript.read_all() == before
+    manuscript.verify()
+    print("document byte-identical to the pre-transaction state")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Tuning the segment-size threshold T to a workload (Section 4.4).
+
+The paper's guidance: "For often-updated objects, the T value should be
+somewhat larger than the size of the search operations expected to be
+applied on the object ... for more static objects where the cost of
+updates is of little or no concern, the larger the segment size the
+better the overall performance."
+
+This example shows the workflow a real deployment would use:
+
+1. group objects into *files* carrying per-file threshold hints
+   ("per-object or per-file basis");
+2. measure a candidate workload under a few T values;
+3. apply the winner to the file — existing objects pick it up, since
+   "the threshold value does not have to be constant during the lifetime
+   of a large object".
+
+Run with::
+
+    python examples/threshold_tuning.py
+"""
+
+from repro import EOSConfig, EOSDatabase
+from repro.storage.geometry import DISK_1992
+from repro.workloads.generator import random_edits, random_reads
+
+PAGE = 512
+OBJECT_BYTES = 150_000
+READ_BYTES = 8 * PAGE
+
+
+def measure(threshold: int, reads: int, edits: int) -> float:
+    """Total modelled ms for one read/edit mix at one threshold."""
+    db = EOSDatabase.create(
+        num_pages=8192, page_size=PAGE,
+        config=EOSConfig(page_size=PAGE, threshold=threshold),
+    )
+    obj = db.create_object(
+        bytes(i % 251 for i in range(OBJECT_BYTES)), size_hint=OBJECT_BYTES
+    )
+    total = 0.0
+    ops = list(random_edits(OBJECT_BYTES, edits, edit_bytes=48, seed=1))
+    ops += list(random_reads(OBJECT_BYTES - 10_000, READ_BYTES, reads, seed=2))
+    db.pool.clear()
+    db.disk.stats.head = None
+    with db.disk.stats.delta() as delta:
+        for op in ops:
+            if op.kind == "insert":
+                obj.insert(op.offset, op.data)
+            elif op.kind == "delete":
+                obj.delete(op.offset, op.length)
+            else:
+                obj.read(op.offset, op.length)
+    return DISK_1992.cost_ms(delta.seeks, delta.page_transfers, PAGE)
+
+
+def main() -> None:
+    mixes = {"archive (read-heavy)": (90, 10), "workspace (edit-heavy)": (10, 90)}
+    candidates = (1, 4, 16, 32)
+
+    print(f"profiling {len(mixes)} workload mixes x T in {candidates} "
+          f"(reads are {READ_BYTES // PAGE} pages)\n")
+    winners = {}
+    for name, (reads, edits) in mixes.items():
+        costs = {t: measure(t, reads, edits) for t in candidates}
+        best = min(costs, key=costs.get)
+        winners[name] = best
+        row = "  ".join(f"T={t}: {ms:6.0f}ms" for t, ms in costs.items())
+        print(f"{name:<24} {row}   -> best T={best}")
+
+    # Apply the findings through per-file hints.
+    db = EOSDatabase.create(
+        num_pages=8192, page_size=PAGE, config=EOSConfig(page_size=PAGE)
+    )
+    archive = db.create_file("archive", threshold=winners["archive (read-heavy)"])
+    workspace = db.create_file(
+        "workspace", threshold=winners["workspace (edit-heavy)"]
+    )
+    a = archive.create_object(bytes(50_000))
+    w = workspace.create_object(bytes(50_000))
+    print(f"\nfiles configured: archive T={a.policy.base}, "
+          f"workspace T={w.policy.base}")
+
+    # Access patterns changed? Retune the whole file at once.
+    workspace.set_threshold(max(4, winners["archive (read-heavy)"] // 2))
+    print(f"workspace retuned to T={w.policy.base} "
+          f"(objects pick the new hint up immediately)")
+    assert w.policy.base == workspace.threshold
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships a setuptools without the ``wheel`` package,
+so PEP 660 editable installs (which build a wheel) fail.  This file lets
+``pip install -e . --no-use-pep517`` fall back to the legacy editable
+path.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

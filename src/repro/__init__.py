@@ -1,0 +1,43 @@
+"""Reproduction of Biliris, "An Efficient Database Storage Structure for
+Large Dynamic Objects" (ICDE 1992) — the EOS large object manager.
+
+The package is layered exactly as the paper's system is:
+
+* :mod:`repro.storage` — a simulated disk with seek-accurate I/O
+  accounting, a buffer pool and volume layout;
+* :mod:`repro.buddy` — the binary buddy system (Section 3): byte-encoded
+  allocation maps, one-page directories, the superdirectory;
+* :mod:`repro.core` — the large object manager (Section 4): variable-size
+  segments indexed by a positional B-tree, with append, read, replace,
+  insert and delete plus byte/page reshuffling under a segment-size
+  threshold;
+* :mod:`repro.baselines` — the related systems of Section 2 (Exodus,
+  Starburst, WiSS, System R) behind a common interface;
+* :mod:`repro.concurrency` / :mod:`repro.recovery` — Section 4.5;
+* :mod:`repro.workloads` / :mod:`repro.bench` — experiment support.
+
+Quickstart::
+
+    from repro import EOSDatabase
+
+    db = EOSDatabase.create(num_pages=20_000, page_size=4096)
+    obj = db.create_object(size_hint=1_000_000)
+    obj.append(b"x" * 1_000_000)
+    obj.insert(500_000, b"hello")
+    data = obj.read(499_995, 15)
+"""
+
+from repro.api import EOSDatabase
+from repro.core import EOSConfig, LargeObject, ObjectStream
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EOSDatabase",
+    "EOSConfig",
+    "LargeObject",
+    "ObjectStream",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,324 @@
+"""The top-level database facade.
+
+Persistence: :meth:`EOSDatabase.save` flushes all buffered state, writes
+the object catalog into the spare area of the volume-header page, and
+dumps the disk image to a file; :meth:`EOSDatabase.open_file` (or
+:meth:`EOSDatabase.attach` for an in-memory disk) restores everything —
+the buddy directories and object trees live on the "disk" already, so
+only the catalog needs reading.
+
+
+:class:`EOSDatabase` wires the whole stack together — disk, volume
+layout, buddy manager, buffer pool, pager — and manufactures
+:class:`~repro.core.object.LargeObject` handles.  This is the API the
+examples and benchmarks use::
+
+    db = EOSDatabase.create(num_pages=20_000, page_size=4096)
+    obj = db.create_object(size_hint=1_000_000)
+    obj.append(payload)
+    obj.insert(500, b"hello")
+    db.checkpoint()
+
+Object roots live on buddy-allocated pages; the database keeps an
+oid -> root-page catalog.  (The paper leaves root placement "to the
+client"; the catalog here plays that client role and can also hand the
+root page to callers who want to embed it elsewhere.)
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.buddy.directory import max_capacity
+from repro.buddy.manager import BuddyManager
+from repro.core.config import EOSConfig
+from repro.core.object import LargeObject
+from repro.core.pager import InPlacePager
+from repro.core.segio import SegmentIO
+from repro.core.tree import LargeObjectTree
+from repro.errors import ObjectNotFound, VolumeLayoutError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskVolume
+from repro.storage.volume import Volume
+
+
+class EOSDatabase:
+    """A formatted volume plus the managers needed to use it."""
+
+    def __init__(
+        self,
+        disk: DiskVolume,
+        volume: Volume,
+        config: EOSConfig,
+        *,
+        pool_capacity: int = 128,
+    ) -> None:
+        if config.page_size != disk.page_size:
+            raise VolumeLayoutError(
+                f"config page size {config.page_size} != disk {disk.page_size}"
+            )
+        self.disk = disk
+        self.volume = volume
+        self.config = config
+        self.pool = BufferPool(disk, capacity=pool_capacity)
+        self.buddy = BuddyManager(volume, self.pool)
+        self.pager = InPlacePager(self.pool, self.buddy, config.page_size)
+        self.segio = SegmentIO(disk, config.page_size)
+        self._objects: dict[int, LargeObject] = {}
+        self._files: dict[str, "ObjectFile"] = {}
+        self._next_oid = 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        num_pages: int,
+        page_size: int = 4096,
+        *,
+        config: EOSConfig | None = None,
+        space_capacity: int | None = None,
+        pool_capacity: int = 128,
+    ) -> "EOSDatabase":
+        """Format a fresh in-memory database of ``num_pages`` pages.
+
+        The volume is carved into as many buddy spaces as fit; each
+        space's capacity defaults to the largest a one-page directory
+        supports (or the usable disk size, if smaller).
+        """
+        config = config or EOSConfig(page_size=page_size)
+        if config.page_size != page_size:
+            raise VolumeLayoutError("config/page_size mismatch")
+        disk = DiskVolume(num_pages=num_pages, page_size=page_size)
+        if space_capacity is None:
+            usable = num_pages - 2  # volume header + 1 directory minimum
+            space_capacity = min(max_capacity(page_size), usable - usable % 4)
+        n_spaces = max(1, (num_pages - 1) // (1 + space_capacity))
+        volume = Volume.format(disk, n_spaces=n_spaces, space_capacity=space_capacity)
+        db = cls(disk, volume, config, pool_capacity=pool_capacity)
+        BuddyManager.format(volume)
+        # Rebuild the manager so its superdirectory starts fresh.
+        db.buddy = BuddyManager(volume, db.pool)
+        db.pager = InPlacePager(db.pool, db.buddy, config.page_size)
+        return db
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+
+    def create_object(
+        self, data: bytes = b"", *, size_hint: int | None = None
+    ) -> LargeObject:
+        """Create a large object (optionally with initial content).
+
+        ``size_hint`` is the paper's known-eventual-size hint: segments
+        for the object are allocated "just large enough to hold the
+        entire object."
+        """
+        tree = LargeObjectTree.create(self.pager, self.config)
+        obj = LargeObject(tree, self.segio, self.buddy, size_hint=size_hint)
+        oid = self._next_oid
+        self._next_oid += 1
+        obj.oid = oid  # type: ignore[attr-defined]
+        self._objects[oid] = obj
+        if data:
+            obj.append(data)
+        return obj
+
+    def get_object(self, oid: int) -> LargeObject:
+        """Look up a catalogued object by its oid."""
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise ObjectNotFound(f"no object with oid {oid}") from None
+
+    def open_root(self, root_page: int) -> LargeObject:
+        """Open an object by its root page (client-placed roots)."""
+        tree = LargeObjectTree(self.pager, self.config, root_page)
+        return LargeObject(tree, self.segio, self.buddy)
+
+    def delete_object(self, obj: LargeObject) -> None:
+        """Destroy the object and drop it from the catalog."""
+        obj.destroy()
+        oid = getattr(obj, "oid", None)
+        if oid is not None:
+            self._objects.pop(oid, None)
+
+    def objects(self) -> list[LargeObject]:
+        """All catalogued objects, in creation order."""
+        return list(self._objects.values())
+
+    # ------------------------------------------------------------------
+    # Files (per-file threshold hints)
+    # ------------------------------------------------------------------
+
+    def create_file(
+        self, name: str, *, threshold: int | None = None,
+        adaptive: bool | None = None,
+    ) -> "ObjectFile":
+        """Create a named object group with its own threshold default.
+
+        "Threshold values can be specified as a hint to the storage
+        manager on a per-object or per-file (for all objects in the
+        file) basis" (Section 4.4).  Objects created through the file
+        inherit its threshold; individual objects may still override via
+        :meth:`~repro.core.object.LargeObject.set_threshold`.
+        """
+        if name in self._files:
+            raise VolumeLayoutError(f"file {name!r} already exists")
+        handle = ObjectFile(
+            self,
+            name,
+            threshold if threshold is not None else self.config.threshold,
+            adaptive if adaptive is not None else self.config.adaptive_threshold,
+        )
+        self._files[name] = handle
+        return handle
+
+    def get_file(self, name: str) -> "ObjectFile":
+        """Look up a previously created file by name."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise ObjectNotFound(f"no file named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    # The catalog lives in the volume-header page's spare area, after the
+    # 20-byte volume header: u16 count, then (u64 oid, u32 root) each.
+    _CATALOG_OFFSET = 64
+    _CATALOG_ENTRY = struct.Struct("<QI")
+
+    @property
+    def _catalog_capacity(self) -> int:
+        return (self.config.page_size - self._CATALOG_OFFSET - 2) // self._CATALOG_ENTRY.size
+
+    def _write_catalog(self) -> None:
+        entries = [(oid, obj.root_page) for oid, obj in sorted(self._objects.items())]
+        if len(entries) > self._catalog_capacity:
+            raise VolumeLayoutError(
+                f"catalog holds at most {self._catalog_capacity} objects; "
+                f"{len(entries)} are live (store roots client-side instead)"
+            )
+        header = bytearray(self.disk.read_page(0))
+        offset = self._CATALOG_OFFSET
+        struct.pack_into("<H", header, offset, len(entries))
+        offset += 2
+        for oid, root in entries:
+            self._CATALOG_ENTRY.pack_into(header, offset, oid, root)
+            offset += self._CATALOG_ENTRY.size
+        self.disk.write_page(0, header)
+
+    def _read_catalog(self) -> None:
+        header = self.disk.read_page(0)
+        offset = self._CATALOG_OFFSET
+        (count,) = struct.unpack_from("<H", header, offset)
+        offset += 2
+        self._objects = {}
+        self._next_oid = 1
+        for _ in range(count):
+            oid, root = self._CATALOG_ENTRY.unpack_from(header, offset)
+            offset += self._CATALOG_ENTRY.size
+            obj = self.open_root(root)
+            obj.oid = oid  # type: ignore[attr-defined]
+            self._objects[oid] = obj
+            self._next_oid = max(self._next_oid, oid + 1)
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Flush everything and persist the volume image to ``path``."""
+        self.checkpoint()
+        self._write_catalog()
+        self.disk.save(path)
+
+    @classmethod
+    def open_file(
+        cls, path: str | os.PathLike, *, config: EOSConfig | None = None
+    ) -> "EOSDatabase":
+        """Re-open a database previously written by :meth:`save`."""
+        disk = DiskVolume.load(path)
+        return cls.attach(disk, config=config)
+
+    @classmethod
+    def attach(
+        cls, disk: DiskVolume, *, config: EOSConfig | None = None
+    ) -> "EOSDatabase":
+        """Bind a database to an already formatted disk image."""
+        volume = Volume.open(disk)
+        config = config or EOSConfig(page_size=disk.page_size)
+        db = cls(disk, volume, config)
+        db._read_catalog()
+        return db
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush every dirty buffered page to the disk image."""
+        self.pool.flush_all()
+
+    def free_pages(self) -> int:
+        """Free pages across all buddy spaces."""
+        return self.buddy.free_pages()
+
+    def verify(self) -> None:
+        """Verify the allocator and every catalogued object."""
+        self.buddy.verify()
+        for obj in self._objects.values():
+            obj.verify()
+
+
+class ObjectFile:
+    """A named group of objects sharing a threshold default (Section 4.4).
+
+    The file is an organisational unit only — all objects live on the
+    same volume and allocator; what the file provides is the per-file
+    threshold hint the paper describes, applied to every object created
+    through it.
+    """
+
+    def __init__(
+        self, db: EOSDatabase, name: str, threshold: int, adaptive: bool
+    ) -> None:
+        self.db = db
+        self.name = name
+        self.threshold = threshold
+        self.adaptive = adaptive
+        self._oids: list[int] = []
+
+    def create_object(
+        self, data: bytes = b"", *, size_hint: int | None = None
+    ) -> LargeObject:
+        """Create an object inheriting the file's threshold hint."""
+        obj = self.db.create_object(data, size_hint=size_hint)
+        obj.set_threshold(self.threshold, adaptive=self.adaptive)
+        self._oids.append(obj.oid)  # type: ignore[attr-defined]
+        return obj
+
+    def set_threshold(self, threshold: int, *, adaptive: bool | None = None) -> None:
+        """Change the file's threshold; applies to all its live objects.
+
+        "Applications that could not possibly determine access patterns
+        at creation time are allowed to change the T value every time
+        the object is opened for updates."
+        """
+        self.threshold = threshold
+        if adaptive is not None:
+            self.adaptive = adaptive
+        for obj in self.objects():
+            obj.set_threshold(self.threshold, adaptive=self.adaptive)
+
+    def objects(self) -> list[LargeObject]:
+        """The file's live objects (destroyed ones drop out)."""
+        out = []
+        for oid in list(self._oids):
+            try:
+                out.append(self.db.get_object(oid))
+            except ObjectNotFound:
+                self._oids.remove(oid)
+        return out

@@ -1,0 +1,37 @@
+"""The Section 2 comparator systems, behind one interface.
+
+* :class:`~repro.baselines.systemr.SystemRStore` — linked 255-byte
+  segments, whole-object access only, 32 KB cap [Astr76];
+* :class:`~repro.baselines.wiss.WissStore` — one-page slices behind a
+  one-page directory, ~1.6 MB cap [Chou85];
+* :class:`~repro.baselines.starburst.StarburstStore` — buddy-allocated
+  doubling extents, copy-right inserts/deletes [Lehm89];
+* :class:`~repro.baselines.exodus.ExodusStore` — fixed-size leaf blocks
+  under a positional B-tree [Care86];
+* :class:`~repro.baselines.eos_adapter.EOSStore` — the paper's system,
+  adapted so the benchmark harness can sweep everything uniformly.
+"""
+
+from repro.baselines.base import (
+    LargeObjectStore,
+    Placement,
+    PlacementAllocator,
+    StoreStats,
+)
+from repro.baselines.eos_adapter import EOSStore
+from repro.baselines.exodus import ExodusStore
+from repro.baselines.starburst import StarburstStore
+from repro.baselines.systemr import SystemRStore
+from repro.baselines.wiss import WissStore
+
+__all__ = [
+    "LargeObjectStore",
+    "Placement",
+    "PlacementAllocator",
+    "StoreStats",
+    "EOSStore",
+    "ExodusStore",
+    "StarburstStore",
+    "SystemRStore",
+    "WissStore",
+]

@@ -1,0 +1,53 @@
+"""EOS itself behind the common baseline interface.
+
+The comparative experiments (E4-E6) sweep a list of
+:class:`~repro.baselines.base.LargeObjectStore` instances; this adapter
+lets EOS take part without special-casing.
+"""
+
+from __future__ import annotations
+
+from repro.api import EOSDatabase
+from repro.baselines.base import LargeObjectStore, StoreStats
+from repro.core.object import LargeObject
+
+
+class EOSStore(LargeObjectStore):
+    """The paper's system, adapted to the baseline interface."""
+
+    name = "EOS"
+
+    def __init__(self, db: EOSDatabase) -> None:
+        self.db = db
+
+    def create(self, data: bytes = b"", size_hint: int | None = None) -> LargeObject:
+        return self.db.create_object(data, size_hint=size_hint)
+
+    def size(self, handle: LargeObject) -> int:
+        return handle.size()
+
+    def read(self, handle: LargeObject, offset: int, length: int) -> bytes:
+        return handle.read(offset, length)
+
+    def append(self, handle: LargeObject, data: bytes) -> None:
+        handle.append(data)
+
+    def replace(self, handle: LargeObject, offset: int, data: bytes) -> None:
+        handle.replace(offset, data)
+
+    def insert(self, handle: LargeObject, offset: int, data: bytes) -> None:
+        handle.insert(offset, data)
+
+    def delete(self, handle: LargeObject, offset: int, length: int) -> None:
+        handle.delete(offset, length)
+
+    def delete_object(self, handle: LargeObject) -> None:
+        self.db.delete_object(handle)
+
+    def stats(self, handle: LargeObject) -> StoreStats:
+        s = handle.stats()
+        return StoreStats(
+            size_bytes=s.size_bytes,
+            data_pages=s.leaf_pages,
+            meta_pages=s.index_pages,
+        )

@@ -1,0 +1,273 @@
+"""The Starburst long field manager [Lehm89], as characterized in Section 2.
+
+Key properties reproduced:
+
+* **Extent-based allocation from a binary buddy system** — Starburst is
+  the one prior database system the paper credits with buddy allocation.
+* **The doubling growth pattern** — "when the eventual size of a long
+  field is not known in advance, successive segments allocated for
+  storage double in size until the maximum segment size is reached";
+  with a known size, maximum-size segments are used.  "In either case,
+  the last segment is trimmed."
+* **A flat descriptor** — "the long field descriptor contains the size
+  of the first and last segment and an array of pointers to all segments
+  allocated to the long field."  The descriptor must fit in a small
+  record, which caps the object size (the real system topped out around
+  1.5 GB [Lohm91]); we model the descriptor as one page of 4-byte
+  segment pointers.
+* **No graceful length-changing updates** — "these operations require
+  all segments to the right of and including the segment on which the
+  update is performed to be copied into new segments."  That is exactly
+  what :meth:`insert` and :meth:`delete` do, and experiment E5 measures
+  the consequence: update cost grows with the object size.
+
+Deviation noted: the real descriptor encodes intermediate segment sizes
+implicitly via the growth pattern; we store (page, pages, bytes) per
+segment explicitly, which only affects descriptor arithmetic, not I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import LargeObjectStore, Placement, PlacementAllocator, StoreStats
+from repro.buddy.manager import BuddyManager
+from repro.core.segio import SegmentIO
+from repro.errors import ByteRangeError, ObjectTooLarge
+from repro.util.bitops import ceil_div
+
+_POINTER_BYTES = 4
+_DESCRIPTOR_HEADER = 16
+
+
+@dataclass
+class _Segment:
+    first_page: int
+    pages: int
+    bytes: int
+
+
+@dataclass
+class StarburstField:
+    """A long field: its descriptor's in-memory form."""
+
+    segments: list[_Segment] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return sum(s.bytes for s in self.segments)
+
+
+class StarburstStore(LargeObjectStore):
+    """Long fields with doubling extents and copy-right updates."""
+
+    name = "Starburst"
+
+    def __init__(
+        self,
+        buddy: BuddyManager,
+        segio: SegmentIO,
+        *,
+        placement: Placement = Placement.CLUSTERED,
+        initial_growth_pages: int = 1,
+    ) -> None:
+        self.buddy = buddy
+        self.segio = segio
+        self.allocator = PlacementAllocator(buddy, placement)
+        self.page_size = segio.page_size
+        self.initial_growth_pages = initial_growth_pages
+        self.max_descriptor_segments = (
+            self.page_size - _DESCRIPTOR_HEADER
+        ) // _POINTER_BYTES
+
+    # ------------------------------------------------------------------
+    # Allocation pattern
+    # ------------------------------------------------------------------
+
+    def _next_segment_pages(
+        self, handle: StarburstField, hint_remaining: int | None
+    ) -> int:
+        max_seg = self.buddy.max_segment_pages
+        if hint_remaining is not None and hint_remaining > 0:
+            # Known size: "maximum size segments are used to hold the field."
+            return min(max_seg, ceil_div(hint_remaining, self.page_size))
+        if not handle.segments:
+            return min(max_seg, self.initial_growth_pages)
+        return min(max_seg, handle.segments[-1].pages * 2)
+
+    def _check_descriptor(self, n_segments: int) -> None:
+        if n_segments > self.max_descriptor_segments:
+            raise ObjectTooLarge(
+                n_segments * self.buddy.max_segment_pages * self.page_size,
+                self.max_descriptor_segments
+                * self.buddy.max_segment_pages
+                * self.page_size,
+                self.name,
+            )
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+
+    def create(self, data: bytes = b"", size_hint: int | None = None) -> StarburstField:
+        handle = StarburstField()
+        if data:
+            self._append(handle, data, size_hint)
+            self._trim(handle)
+        return handle
+
+    def size(self, handle: StarburstField) -> int:
+        return handle.size
+
+    def read(self, handle: StarburstField, offset: int, length: int) -> bytes:
+        if length < 0 or offset < 0 or offset + length > handle.size:
+            raise ByteRangeError(offset, length, handle.size)
+        chunks = []
+        position = 0
+        for seg in handle.segments:
+            lo = max(offset, position)
+            hi = min(offset + length, position + seg.bytes)
+            if lo < hi:
+                chunks.append(
+                    self.segio.read_bytes(seg.first_page, lo - position, hi - position)
+                )
+            position += seg.bytes
+            if position >= offset + length:
+                break
+        return b"".join(chunks)
+
+    def append(self, handle: StarburstField, data: bytes) -> None:
+        self._append(handle, data, None)
+        self._trim(handle)
+
+    def _append(self, handle: StarburstField, data: bytes, size_hint: int | None) -> None:
+        ps = self.page_size
+        position = 0
+        # Fill the last segment's spare space (partial page, spare pages).
+        if handle.segments:
+            last = handle.segments[-1]
+            partial = last.bytes % ps
+            if partial and position < len(data):
+                take = min(ps - partial, len(data))
+                self.segio.patch_page(
+                    last.first_page + last.bytes // ps, partial, data[:take]
+                )
+                last.bytes += take
+                position += take
+            live_pages = ceil_div(last.bytes, ps)
+            if position < len(data) and live_pages < last.pages:
+                take = min((last.pages - live_pages) * ps, len(data) - position)
+                self.segio.write_segment(
+                    last.first_page, data[position : position + take], at_page=live_pages
+                )
+                last.bytes += take
+                position += take
+        while position < len(data):
+            remaining = len(data) - position
+            hint_rem = None
+            if size_hint is not None and size_hint > handle.size:
+                hint_rem = max(size_hint - handle.size, remaining)
+            want = self._next_segment_pages(handle, hint_rem)
+            self._check_descriptor(len(handle.segments) + 1)
+            ref = self.buddy.allocate_up_to(want)
+            take = min(remaining, ref.n_pages * ps)
+            self.segio.write_segment(ref.first_page, data[position : position + take])
+            handle.segments.append(_Segment(ref.first_page, ref.n_pages, take))
+            position += take
+
+    def _trim(self, handle: StarburstField) -> None:
+        # "In either case, the last segment is trimmed."
+        if not handle.segments:
+            return
+        last = handle.segments[-1]
+        needed = ceil_div(last.bytes, self.page_size)
+        if last.pages > needed:
+            self.buddy.free(last.first_page + needed, last.pages - needed)
+            last.pages = needed
+
+    def replace(self, handle: StarburstField, offset: int, data: bytes) -> None:
+        if offset < 0 or offset + len(data) > handle.size:
+            raise ByteRangeError(offset, len(data), handle.size)
+        ps = self.page_size
+        position = 0
+        for seg in handle.segments:
+            lo = max(offset, position)
+            hi = min(offset + len(data), position + seg.bytes)
+            if lo < hi:
+                local_lo = lo - position
+                local_hi = hi - position
+                page_lo = local_lo // ps
+                page_hi = (local_hi - 1) // ps
+                span, base = self.segio.read_span(seg.first_page, page_lo, page_hi)
+                patched = bytearray(span)
+                patched[local_lo - base : local_hi - base] = data[
+                    lo - offset : hi - offset
+                ]
+                self.segio.disk.write_pages(seg.first_page + page_lo, bytes(patched))
+            position += seg.bytes
+            if position >= offset + len(data):
+                break
+
+    def insert(self, handle: StarburstField, offset: int, data: bytes) -> None:
+        """Copy-right: rebuild every segment from the affected one on."""
+        if offset < 0 or offset > handle.size:
+            raise ByteRangeError(offset, len(data), handle.size)
+        index, local = self._segment_at(handle, offset)
+        tail_old = self._read_tail(handle, index)
+        new_tail = tail_old[:local] + data + tail_old[local:]
+        self._rebuild_tail(handle, index, new_tail)
+
+    def delete(self, handle: StarburstField, offset: int, length: int) -> None:
+        if length < 0 or offset < 0 or offset + length > handle.size:
+            raise ByteRangeError(offset, length, handle.size)
+        if length == 0:
+            return
+        index, local = self._segment_at(handle, offset)
+        tail_old = self._read_tail(handle, index)
+        new_tail = tail_old[:local] + tail_old[local + length :]
+        self._rebuild_tail(handle, index, new_tail)
+
+    def delete_object(self, handle: StarburstField) -> None:
+        for seg in handle.segments:
+            self.buddy.free(seg.first_page, seg.pages)
+        handle.segments.clear()
+
+    def stats(self, handle: StarburstField) -> StoreStats:
+        return StoreStats(
+            size_bytes=handle.size,
+            data_pages=sum(s.pages for s in handle.segments),
+            meta_pages=1,  # the descriptor record's page
+        )
+
+    # ------------------------------------------------------------------
+    # Copy-right machinery
+    # ------------------------------------------------------------------
+
+    def _segment_at(self, handle: StarburstField, offset: int) -> tuple[int, int]:
+        """Segment index and local offset for a byte (end maps to last)."""
+        position = 0
+        for i, seg in enumerate(handle.segments):
+            if offset < position + seg.bytes:
+                return i, offset - position
+            position += seg.bytes
+        # Offset == size: extend from the last segment (or none).
+        if handle.segments:
+            return len(handle.segments) - 1, handle.segments[-1].bytes
+        return 0, 0
+
+    def _read_tail(self, handle: StarburstField, index: int) -> bytes:
+        """Read every byte from segment ``index`` to the end — the cost
+        the paper criticizes."""
+        chunks = [
+            self.segio.read_bytes(seg.first_page, 0, seg.bytes)
+            for seg in handle.segments[index:]
+        ]
+        return b"".join(chunks)
+
+    def _rebuild_tail(self, handle: StarburstField, index: int, data: bytes) -> None:
+        for seg in handle.segments[index:]:
+            self.buddy.free(seg.first_page, seg.pages)
+        del handle.segments[index:]
+        if data:
+            self._append(handle, data, None)
+        self._trim(handle)

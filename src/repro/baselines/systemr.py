@@ -1,0 +1,176 @@
+"""System R long fields [Astr76], as characterized in Section 2.
+
+"System R supported long fields with lengths up to 32 Kilobytes.  The
+long field was implemented as a linear linked list of small segments,
+each 255 bytes in length, with the long field descriptor pointing to the
+head of the list.  Partial reads or updates were not supported."
+
+The model packs 255-byte mini-segments into a chain of pages (each page
+carries a next-page pointer and as many mini-segments as fit), which is
+how record-oriented storage of the era laid such lists out.  Reading the
+field walks the chain page by page — under scattered placement, a seek
+per page, which is why "good random access ... rules out solutions based
+on chaining the pages in a linear linked list fashion" (Section 1).
+
+Unsupported operations raise :class:`~repro.errors.UnsupportedOperation`
+(partial read, replace, insert, delete); appends are allowed only at
+creation time, matching the write-whole-field usage of the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import LargeObjectStore, Placement, PlacementAllocator, StoreStats
+from repro.buddy.manager import BuddyManager
+from repro.core.segio import SegmentIO
+from repro.errors import ObjectTooLarge, UnsupportedOperation
+
+MINISEGMENT_BYTES = 255
+MAX_FIELD_BYTES = 32 * 1024
+_PAGE_HEADER = 4  # next-page pointer
+_RECORD_HEADER = 2  # mini-segment length prefix
+
+
+@dataclass
+class SystemRField:
+    pages: list[int] = field(default_factory=list)
+    size: int = 0
+    sealed: bool = False  # fields are written once
+
+
+class SystemRStore(LargeObjectStore):
+    """Linked-list long fields: whole-object access only, 32 KB cap."""
+
+    name = "SystemR"
+
+    def __init__(
+        self,
+        buddy: BuddyManager,
+        segio: SegmentIO,
+        *,
+        placement: Placement = Placement.SCATTERED,
+        max_field_bytes: int = MAX_FIELD_BYTES,
+    ) -> None:
+        self.buddy = buddy
+        self.segio = segio
+        self.allocator = PlacementAllocator(buddy, placement)
+        self.page_size = segio.page_size
+        self.max_field_bytes = max_field_bytes
+        # Mini-segments are 255 bytes, capped so one fits in a page even
+        # with toy page sizes (the paper's examples use 100-byte pages).
+        self.miniseg_bytes = min(
+            MINISEGMENT_BYTES, self.page_size - _PAGE_HEADER - _RECORD_HEADER
+        )
+        self.minisegs_per_page = max(
+            1,
+            (self.page_size - _PAGE_HEADER) // (self.miniseg_bytes + _RECORD_HEADER),
+        )
+
+    # ------------------------------------------------------------------
+
+    def create(self, data: bytes = b"", size_hint: int | None = None) -> SystemRField:
+        handle = SystemRField()
+        if data:
+            self._write_field(handle, data)
+        handle.sealed = bool(data)
+        return handle
+
+    def size(self, handle: SystemRField) -> int:
+        return handle.size
+
+    def read(self, handle: SystemRField, offset: int, length: int) -> bytes:
+        if offset != 0 or length != handle.size:
+            raise UnsupportedOperation(
+                "System R long fields do not support partial reads"
+            )
+        return self._read_field(handle)
+
+    def append(self, handle: SystemRField, data: bytes) -> None:
+        if handle.sealed:
+            raise UnsupportedOperation(
+                "System R long fields are written whole at creation"
+            )
+        self._write_field(handle, data)
+        handle.sealed = True
+
+    def replace(self, handle: SystemRField, offset: int, data: bytes) -> None:
+        raise UnsupportedOperation("System R long fields do not support updates")
+
+    def insert(self, handle: SystemRField, offset: int, data: bytes) -> None:
+        raise UnsupportedOperation("System R long fields do not support inserts")
+
+    def delete(self, handle: SystemRField, offset: int, length: int) -> None:
+        raise UnsupportedOperation("System R long fields do not support deletes")
+
+    def delete_object(self, handle: SystemRField) -> None:
+        for page in handle.pages:
+            self.allocator.free(page, 1)
+        handle.pages.clear()
+        handle.size = 0
+
+    def stats(self, handle: SystemRField) -> StoreStats:
+        return StoreStats(
+            size_bytes=handle.size,
+            data_pages=len(handle.pages),
+            meta_pages=1,  # the long field descriptor
+        )
+
+    def supports(self, operation: str) -> bool:
+        return operation in {"create", "read_all", "size", "delete_object"}
+
+    # ------------------------------------------------------------------
+    # Chain layout
+    # ------------------------------------------------------------------
+
+    def _write_field(self, handle: SystemRField, data: bytes) -> None:
+        if len(data) > self.max_field_bytes:
+            raise ObjectTooLarge(len(data), self.max_field_bytes, self.name)
+        minisegs = [
+            data[i : i + self.miniseg_bytes]
+            for i in range(0, len(data), self.miniseg_bytes)
+        ]
+        pages: list[int] = []
+        images: list[bytearray] = []
+        for i in range(0, len(minisegs), self.minisegs_per_page):
+            batch = minisegs[i : i + self.minisegs_per_page]
+            image = bytearray(self.page_size)
+            cursor = _PAGE_HEADER
+            for seg in batch:
+                image[cursor : cursor + 2] = len(seg).to_bytes(2, "little")
+                image[cursor + 2 : cursor + 2 + len(seg)] = seg
+                cursor += _RECORD_HEADER + self.miniseg_bytes
+            ref = self.allocator.allocate(1)
+            pages.append(ref.first_page)
+            images.append(image)
+        # Thread the chain, then write each page (a separate transfer —
+        # the chain is what forces page-at-a-time I/O).  Page 0 is the
+        # volume header, never allocatable, so it serves as "end of list".
+        for i, image in enumerate(images):
+            next_page = pages[i + 1] if i + 1 < len(pages) else 0
+            image[0:4] = next_page.to_bytes(4, "little")
+            self.segio.disk.write_page(pages[i], image)
+        handle.pages = pages
+        handle.size = len(data)
+
+    def _read_field(self, handle: SystemRField) -> bytes:
+        """Follow the chain from the head, as the descriptor only points
+        to the first segment."""
+        chunks: list[bytes] = []
+        remaining = handle.size
+        page_id = handle.pages[0] if handle.pages else 0
+        while page_id and remaining > 0:
+            image = self.segio.disk.read_page(page_id)
+            cursor = _PAGE_HEADER
+            for _ in range(self.minisegs_per_page):
+                if remaining <= 0:
+                    break
+                length = int.from_bytes(image[cursor : cursor + 2], "little")
+                if length == 0:
+                    break
+                take = min(length, remaining)
+                chunks.append(image[cursor + 2 : cursor + 2 + take])
+                remaining -= take
+                cursor += _RECORD_HEADER + self.miniseg_bytes
+            page_id = int.from_bytes(image[0:4], "little")
+        return b"".join(chunks)

@@ -1,0 +1,221 @@
+"""WiSS long objects [Chou85], as characterized in Section 2.
+
+"The Wisconsin Storage System stores large objects in data segments
+called *slices* ... Each slice can be at most one page in length.  A
+directory to these slices is stored as a regular (small) record, and it
+may grow approximately to the size of a page.  It contains the address
+and size of each slice.  Thus, with 4K-byte pages, the directory can
+accommodate approximately 400 slices, which gives an upper limit of 1.6
+Megabytes to the object size."
+
+Consequences this model reproduces:
+
+* the **object size cap** — the one-page directory bounds the number of
+  slices; exceeding it raises :class:`~repro.errors.ObjectTooLarge`;
+* the **loss of sequentiality** — slices are allocated one page at a
+  time; under the SCATTERED placement policy, a sequential scan pays a
+  seek per page (the E4 measurement);
+* **cheap local edits** — an insert only splits one slice (partial
+  slices are legal), so WiSS actually beats Starburst on updates while
+  losing badly on scans and maximum size, matching the paper's
+  each-design-satisfies-some-objectives framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import LargeObjectStore, Placement, PlacementAllocator, StoreStats
+from repro.buddy.manager import BuddyManager
+from repro.core.segio import SegmentIO
+from repro.errors import ByteRangeError, ObjectTooLarge
+
+_DIRECTORY_HEADER = 8
+_SLICE_ENTRY_BYTES = 10  # 4-byte page id + 2-byte length, padded
+
+
+@dataclass
+class _Slice:
+    page: int
+    bytes: int  # 1 .. page_size
+
+
+@dataclass
+class WissObject:
+    slices: list[_Slice] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return sum(s.bytes for s in self.slices)
+
+
+class WissStore(LargeObjectStore):
+    """Slice-directory storage with a one-page directory cap."""
+
+    name = "WiSS"
+
+    def __init__(
+        self,
+        buddy: BuddyManager,
+        segio: SegmentIO,
+        *,
+        placement: Placement = Placement.SCATTERED,
+        max_slices: int | None = None,
+    ) -> None:
+        self.buddy = buddy
+        self.segio = segio
+        self.allocator = PlacementAllocator(buddy, placement)
+        self.page_size = segio.page_size
+        # The real cap follows from a one-page directory; tests with toy
+        # page sizes may override it (the cap scales with page size
+        # squared, which toy pages understate badly).
+        self.max_slices = (
+            max_slices
+            if max_slices is not None
+            else (self.page_size - _DIRECTORY_HEADER) // _SLICE_ENTRY_BYTES
+        )
+
+    @property
+    def max_object_bytes(self) -> int:
+        """The WiSS ceiling: slice count times page size (~1.6 MB at 4 KB)."""
+        return self.max_slices * self.page_size
+
+    def _check_directory(self, handle: WissObject, extra: int = 0) -> None:
+        if len(handle.slices) + extra > self.max_slices:
+            raise ObjectTooLarge(handle.size, self.max_object_bytes, self.name)
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+
+    def create(self, data: bytes = b"", size_hint: int | None = None) -> WissObject:
+        handle = WissObject()
+        if data:
+            self.append(handle, data)
+        return handle
+
+    def size(self, handle: WissObject) -> int:
+        return handle.size
+
+    def read(self, handle: WissObject, offset: int, length: int) -> bytes:
+        if length < 0 or offset < 0 or offset + length > handle.size:
+            raise ByteRangeError(offset, length, handle.size)
+        chunks = []
+        position = 0
+        for s in handle.slices:
+            lo = max(offset, position)
+            hi = min(offset + length, position + s.bytes)
+            if lo < hi:
+                page = self.segio.disk.read_page(s.page)
+                chunks.append(page[lo - position : hi - position])
+            position += s.bytes
+            if position >= offset + length:
+                break
+        return b"".join(chunks)
+
+    def append(self, handle: WissObject, data: bytes) -> None:
+        position = 0
+        if handle.slices and handle.slices[-1].bytes < self.page_size:
+            last = handle.slices[-1]
+            take = min(self.page_size - last.bytes, len(data))
+            self.segio.patch_page(last.page, last.bytes, data[:take])
+            last.bytes += take
+            position = take
+        while position < len(data):
+            take = min(self.page_size, len(data) - position)
+            self._check_directory(handle, extra=1)
+            ref = self.allocator.allocate(1)
+            self.segio.write_segment(ref.first_page, data[position : position + take])
+            handle.slices.append(_Slice(ref.first_page, take))
+            position += take
+
+    def replace(self, handle: WissObject, offset: int, data: bytes) -> None:
+        if offset < 0 or offset + len(data) > handle.size:
+            raise ByteRangeError(offset, len(data), handle.size)
+        position = 0
+        for s in handle.slices:
+            lo = max(offset, position)
+            hi = min(offset + len(data), position + s.bytes)
+            if lo < hi:
+                self.segio.patch_page(s.page, lo - position, data[lo - offset : hi - offset])
+            position += s.bytes
+            if position >= offset + len(data):
+                break
+
+    def insert(self, handle: WissObject, offset: int, data: bytes) -> None:
+        """Split the slice at ``offset`` and thread new slices in."""
+        if offset < 0 or offset > handle.size:
+            raise ByteRangeError(offset, len(data), handle.size)
+        if not data:
+            return
+        index, local = self._slice_at(handle, offset)
+        if index < len(handle.slices) and local > 0:
+            # Split the slice: keep its prefix, move the suffix into the
+            # inserted-byte stream.
+            s = handle.slices[index]
+            page = self.segio.disk.read_page(s.page)
+            suffix = page[local : s.bytes]
+            s.bytes = local
+            data = data + suffix
+            index += 1
+        # Write the inserted bytes (plus any displaced suffix) as new slices.
+        new_slices = []
+        position = 0
+        while position < len(data):
+            take = min(self.page_size, len(data) - position)
+            self._check_directory(handle, extra=len(new_slices) + 1)
+            ref = self.allocator.allocate(1)
+            self.segio.write_segment(ref.first_page, data[position : position + take])
+            new_slices.append(_Slice(ref.first_page, take))
+            position += take
+        handle.slices[index:index] = new_slices
+
+    def delete(self, handle: WissObject, offset: int, length: int) -> None:
+        if length < 0 or offset < 0 or offset + length > handle.size:
+            raise ByteRangeError(offset, length, handle.size)
+        if length == 0:
+            return
+        lo, hi = offset, offset + length
+        out: list[_Slice] = []
+        position = 0
+        for s in handle.slices:
+            s_lo, s_hi = position, position + s.bytes
+            position = s_hi
+            if s_hi <= lo or s_lo >= hi:
+                out.append(s)
+                continue
+            keep_head = max(0, lo - s_lo)
+            keep_tail = max(0, s_hi - hi)
+            if keep_head == 0 and keep_tail == 0:
+                self.allocator.free(s.page, 1)
+                continue
+            # Compact the survivors within the slice's page.
+            page = self.segio.disk.read_page(s.page)
+            survivors = page[:keep_head] + page[s.bytes - keep_tail : s.bytes]
+            padded = survivors + bytes(self.page_size - len(survivors))
+            self.segio.disk.write_page(s.page, padded)
+            s.bytes = len(survivors)
+            out.append(s)
+        handle.slices = out
+
+    def delete_object(self, handle: WissObject) -> None:
+        for s in handle.slices:
+            self.allocator.free(s.page, 1)
+        handle.slices.clear()
+
+    def stats(self, handle: WissObject) -> StoreStats:
+        return StoreStats(
+            size_bytes=handle.size,
+            data_pages=len(handle.slices),
+            meta_pages=1,  # the slice directory
+        )
+
+    # ------------------------------------------------------------------
+
+    def _slice_at(self, handle: WissObject, offset: int) -> tuple[int, int]:
+        position = 0
+        for i, s in enumerate(handle.slices):
+            if offset < position + s.bytes:
+                return i, offset - position
+            position += s.bytes
+        return len(handle.slices), 0

@@ -1,0 +1,11 @@
+"""Benchmark harness: running traces against stores, reporting tables."""
+
+from repro.bench.harness import apply_trace, make_database, run_trace_measured
+from repro.bench.reporting import ExperimentReport
+
+__all__ = [
+    "apply_trace",
+    "make_database",
+    "run_trace_measured",
+    "ExperimentReport",
+]

@@ -1,0 +1,75 @@
+"""Experiment reports: paper-style tables, printed and persisted.
+
+Each benchmark builds an :class:`ExperimentReport`, fills rows, then
+calls :meth:`emit` — which prints the table (visible with ``pytest -s``)
+and writes it to ``benchmarks/results/<experiment>.txt`` so
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.storage.geometry import DISK_1992, DiskGeometry
+from repro.storage.iostats import IODelta
+from repro.util.fmt import TextTable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+
+
+class ExperimentReport:
+    """One experiment's table plus free-form notes."""
+
+    def __init__(
+        self,
+        experiment_id: str,
+        title: str,
+        columns: Sequence[str],
+        *,
+        geometry: DiskGeometry = DISK_1992,
+        page_size: int = 4096,
+    ) -> None:
+        self.experiment_id = experiment_id
+        self.table = TextTable(f"[{experiment_id}] {title}", columns)
+        self.notes: list[str] = []
+        self.geometry = geometry
+        self.page_size = page_size
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one table row (cells in column order)."""
+        self.table.add_row(values)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form footnote to the report."""
+        self.notes.append(text)
+
+    def cost_ms(self, delta: IODelta) -> float:
+        """Model time for an I/O delta under the configured geometry."""
+        return self.geometry.cost_ms(
+            delta.seeks, delta.page_transfers, self.page_size
+        )
+
+    def render(self) -> str:
+        """Render the table, notes and geometry line as text."""
+        parts = [self.table.render()]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"  note: {n}" for n in self.notes)
+        parts.append(
+            f"  (geometry: {self.geometry.name}, seek {self.geometry.seek_ms} ms, "
+            f"{self.geometry.transfer_ms(self.page_size):.2f} ms per "
+            f"{self.page_size}-byte page)"
+        )
+        return "\n".join(parts)
+
+    def emit(self, directory: str | None = None) -> str:
+        """Print the report and persist it; returns the rendered text."""
+        text = self.render()
+        print("\n" + text)
+        target_dir = directory or RESULTS_DIR
+        os.makedirs(target_dir, exist_ok=True)
+        path = os.path.join(target_dir, f"{self.experiment_id.lower()}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        return text

@@ -1,0 +1,106 @@
+"""Run the whole experiment suite and collate one report.
+
+``python -m repro.bench.suite`` invokes pytest on the benchmarks
+directory (``--benchmark-only``), then concatenates every per-experiment
+table from ``benchmarks/results/`` into ``benchmarks/results/REPORT.txt``
+— the single artifact EXPERIMENTS.md's numbers come from.
+
+Options::
+
+    python -m repro.bench.suite              # run everything
+    python -m repro.bench.suite --only e4 e5 # a subset, by experiment id
+    python -m repro.bench.suite --collate    # just rebuild REPORT.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+
+_HERE = os.path.dirname(__file__)
+BENCH_DIR = os.path.abspath(os.path.join(_HERE, "..", "..", "..", "benchmarks"))
+RESULTS_DIR = os.path.join(BENCH_DIR, "results")
+
+# Collation order: figures first, then experiments numerically.
+_ORDER = [
+    "f1", "f2", "f3", "f4", "f5", "f6",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+    "e11a", "e11b", "e12", "e13", "e13b",
+]
+
+
+def run_benchmarks(only: list[str] | None = None) -> int:
+    """Invoke pytest on the benchmark modules; returns its exit code."""
+    if only:
+        targets = []
+        for experiment in only:
+            stem = experiment.lower().rstrip("ab")
+            pattern = os.path.join(BENCH_DIR, f"bench_{stem}_*.py")
+            matches = glob.glob(pattern)
+            if not matches:
+                print(f"no benchmark module matches experiment {experiment!r}")
+                return 2
+            targets.extend(matches)
+    else:
+        targets = [BENCH_DIR]
+    command = [
+        sys.executable, "-m", "pytest", *sorted(set(targets)),
+        "--benchmark-only", "-p", "no:randomly", "-q",
+    ]
+    return subprocess.call(command)
+
+
+def collate() -> str:
+    """Concatenate the per-experiment tables into REPORT.txt."""
+    sections = []
+    seen = set()
+    for experiment in _ORDER:
+        path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+        if os.path.exists(path):
+            with open(path) as f:
+                sections.append(f.read().rstrip())
+            seen.add(path)
+    # Anything new that is not in the canonical order yet.
+    for path in sorted(glob.glob(os.path.join(RESULTS_DIR, "*.txt"))):
+        if path not in seen and not path.endswith("REPORT.txt"):
+            with open(path) as f:
+                sections.append(f.read().rstrip())
+    report = (
+        "EOS reproduction — collated experiment report\n"
+        "(regenerate with: python -m repro.bench.suite)\n\n"
+        + "\n\n".join(sections)
+        + "\n"
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = os.path.join(RESULTS_DIR, "REPORT.txt")
+    with open(out_path, "w") as f:
+        f.write(report)
+    return out_path
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run (a subset of) the suite, then collate."""
+    parser = argparse.ArgumentParser(description="Run the EOS experiment suite")
+    parser.add_argument(
+        "--only", nargs="+", metavar="ID",
+        help="run a subset of experiments by id (e.g. f3 e4 e11)",
+    )
+    parser.add_argument(
+        "--collate", action="store_true",
+        help="skip running; just rebuild REPORT.txt from existing results",
+    )
+    args = parser.parse_args(argv)
+    if not args.collate:
+        code = run_benchmarks(args.only)
+        if code:
+            return code
+    out_path = collate()
+    print(f"collated report: {out_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

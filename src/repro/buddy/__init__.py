@@ -1,0 +1,43 @@
+"""The binary buddy system of EOS (paper Section 3).
+
+Public surface:
+
+* :class:`~repro.buddy.space.BuddySpace` — one buddy segment space, its
+  count array and byte-encoded allocation map, with any-size allocation
+  and any-portion frees;
+* :class:`~repro.buddy.manager.BuddyManager` — multi-space allocation
+  with the self-correcting in-memory superdirectory;
+* :class:`~repro.buddy.manager.SegmentRef` — a physically contiguous
+  page run, the currency between the allocator and the large object
+  manager;
+* :class:`~repro.buddy.amap.AllocationMap` — the Figure 2 byte encoding;
+* :class:`~repro.buddy.bitmap.BitmapAllocator` — the block-at-a-time
+  baseline used by experiment E1.
+"""
+
+from repro.buddy.amap import AllocationMap, SegmentView
+from repro.buddy.bitmap import BitmapAllocator
+from repro.buddy.directory import (
+    effective_max_type,
+    max_capacity,
+    max_segment_type,
+)
+from repro.buddy.manager import AllocatorStats, BuddyManager, SegmentRef
+from repro.buddy.space import BuddySpace
+from repro.buddy.stats import SpaceUsage, internal_waste_pages, space_usage
+
+__all__ = [
+    "AllocationMap",
+    "SegmentView",
+    "BitmapAllocator",
+    "effective_max_type",
+    "max_capacity",
+    "max_segment_type",
+    "AllocatorStats",
+    "BuddyManager",
+    "SegmentRef",
+    "BuddySpace",
+    "SpaceUsage",
+    "internal_waste_pages",
+    "space_usage",
+]

@@ -1,0 +1,137 @@
+"""A block-at-a-time bitmap allocator — the foil for experiment E1.
+
+Classic database storage managers keep one bit per page in a free-space
+bitmap spanning many map pages.  Finding ``n`` contiguous free pages
+means scanning bits, potentially across the whole map, and flipping the
+bits of every page in the run.  The paper's objective 4 — "allocation of
+large physically contiguous disk space should be fast; ideally, 1 disk
+access regardless of the size of the requested space" — is precisely
+what this allocator fails at: the number of map pages it touches grows
+with the request size and with how far into the volume the first fit
+lies.
+
+The implementation is deliberately straightforward first-fit, with map
+pages read and written through the same accounted disk as everything
+else, so E1's "directory pages touched per allocation" comparison is
+apples to apples.
+"""
+
+from __future__ import annotations
+
+from repro.buddy.manager import SegmentRef
+from repro.errors import BadSegment, OutOfSpace
+from repro.storage.disk import DiskVolume
+from repro.storage.page import PageId
+
+
+class BitmapAllocator:
+    """First-fit contiguous allocation over a one-bit-per-page bitmap.
+
+    The bitmap occupies the first ``map_pages`` pages of the managed
+    region; allocatable pages follow it.  Map pages are read on demand
+    (one at a time, as a block-granular allocator would) and written back
+    for every page run they describe.
+    """
+
+    def __init__(self, disk: DiskVolume, first_page: PageId, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.disk = disk
+        self.page_size = disk.page_size
+        bits_per_page = self.page_size * 8
+        self.map_pages = -(-capacity // bits_per_page)
+        self.first_map_page = first_page
+        self.first_data_page = first_page + self.map_pages
+        self.capacity = capacity
+        if self.first_data_page + capacity > disk.num_pages:
+            raise ValueError("bitmap region does not fit on the disk")
+        self.map_page_touches = 0
+        # Zero the map: all pages free.
+        for i in range(self.map_pages):
+            disk.write_page(self.first_map_page + i, bytes(self.page_size))
+
+    # -- map access -----------------------------------------------------
+
+    def _load_map_page(self, index: int) -> bytearray:
+        self.map_page_touches += 1
+        return bytearray(self.disk.read_page(self.first_map_page + index))
+
+    def _store_map_page(self, index: int, image: bytearray) -> None:
+        self.map_page_touches += 1
+        self.disk.write_page(self.first_map_page + index, image)
+
+    # -- allocation -------------------------------------------------------
+
+    def allocate(self, n_pages: int) -> SegmentRef:
+        """First-fit scan for ``n_pages`` contiguous free pages."""
+        if n_pages <= 0:
+            raise ValueError(f"allocation size must be positive, got {n_pages}")
+        bits_per_page = self.page_size * 8
+        run_start = 0
+        run_len = 0
+        page = 0
+        current_index = -1
+        image: bytearray | None = None
+        while page < self.capacity:
+            index = page // bits_per_page
+            if index != current_index:
+                image = self._load_map_page(index)
+                current_index = index
+            bit = page % bits_per_page
+            assert image is not None
+            allocated = image[bit // 8] & (1 << (bit % 8))
+            if allocated:
+                run_len = 0
+                run_start = page + 1
+            else:
+                run_len += 1
+                if run_len == n_pages:
+                    self._set_bits(run_start, n_pages, allocated=True)
+                    return SegmentRef(self.first_data_page + run_start, n_pages)
+            page += 1
+        raise OutOfSpace(n_pages)
+
+    def free(self, first_page: PageId, n_pages: int) -> None:
+        """Clear the bits of a previously allocated run."""
+        local = first_page - self.first_data_page
+        if local < 0 or local + n_pages > self.capacity:
+            raise BadSegment(
+                f"free of [{first_page}, {first_page + n_pages}) outside "
+                f"the bitmap region"
+            )
+        self._set_bits(local, n_pages, allocated=False)
+
+    def _set_bits(self, start: int, count: int, *, allocated: bool) -> None:
+        bits_per_page = self.page_size * 8
+        page = start
+        end = start + count
+        while page < end:
+            index = page // bits_per_page
+            image = self._load_map_page(index)
+            # Flip every bit of the run that lives on this map page.
+            while page < end and page // bits_per_page == index:
+                bit = page % bits_per_page
+                if allocated:
+                    if image[bit // 8] & (1 << (bit % 8)):
+                        raise BadSegment(f"page {page} is already allocated")
+                    image[bit // 8] |= 1 << (bit % 8)
+                else:
+                    if not image[bit // 8] & (1 << (bit % 8)):
+                        raise BadSegment(f"page {page} is already free")
+                    image[bit // 8] &= ~(1 << (bit % 8))
+                page += 1
+            self._store_map_page(index, image)
+
+    # -- introspection ----------------------------------------------------
+
+    def free_pages(self) -> int:
+        """Count free pages (test helper; charges map I/O like a real scan)."""
+        total = 0
+        for index in range(self.map_pages):
+            image = self._load_map_page(index)
+            base = index * self.page_size * 8
+            limit = min(self.capacity - base, self.page_size * 8)
+            for bit in range(limit):
+                if not image[bit // 8] & (1 << (bit % 8)):
+                    total += 1
+        return total

@@ -1,0 +1,241 @@
+"""Multi-space allocation and the superdirectory (paper Section 3.3).
+
+A database larger than one buddy space has many directory pages, and a
+naive allocator might have to visit every one of them to find a segment.
+The paper's remedy is the **superdirectory**: a main-memory array holding
+"the size of the largest free segment in each buddy space".  It starts
+out optimistic — every space is assumed to hold a maximum-size free
+segment — and is *self-correcting*: "the first wrong guess about the
+maximum segment size available in a particular buddy space will correct
+the superdirectory information regarding this buddy space".
+
+:class:`BuddyManager` owns the superdirectory, translates between
+physical page numbers and space-local segment addresses, and accounts
+for how many directory pages each request inspects (experiment E9).
+Directory pages travel through a buffer pool, so a hot directory costs
+no physical I/O — matching the paper's "at most one disk access ...
+regardless of the segment size" for databases that fit in one space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.buddy.space import BuddySpace
+from repro.concurrency.latch import Latch
+from repro.errors import BadSegment, OutOfSpace, SegmentTooLarge
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PageId
+from repro.storage.volume import Volume
+from repro.util.bitops import ceil_log2
+
+
+class SegmentRef(NamedTuple):
+    """A physically contiguous run of pages handed out by the allocator."""
+
+    first_page: PageId
+    n_pages: int
+
+    @property
+    def end(self) -> PageId:
+        return self.first_page + self.n_pages
+
+
+@dataclass
+class AllocatorStats:
+    """Counters for the allocation-cost experiments (E1, E9)."""
+
+    allocations: int = 0
+    frees: int = 0
+    directory_loads: int = 0       # directory pages inspected (buffered or not)
+    superdirectory_skips: int = 0  # spaces skipped thanks to the superdirectory
+    superdirectory_corrections: int = 0  # wrong optimistic guesses corrected
+
+
+class BuddyManager:
+    """Allocate and free physically contiguous page runs across buddy spaces."""
+
+    def __init__(
+        self,
+        volume: Volume,
+        pool: BufferPool | None = None,
+        *,
+        use_superdirectory: bool = True,
+        write_through: bool = True,
+    ) -> None:
+        self.volume = volume
+        self.pool = pool or BufferPool(volume.disk, capacity=volume.n_spaces + 8)
+        self.use_superdirectory = use_superdirectory
+        self.write_through = write_through
+        self.stats = AllocatorStats()
+        self.page_size = volume.disk.page_size
+        # "Initially, it indicates that each buddy space available in the
+        # system contains a free segment of the maximum size possible.
+        # This information may be erroneous."
+        probe = BuddySpace(self.page_size, volume.space_capacity)
+        self.max_type = probe.max_type
+        self.max_segment_pages = probe.max_segment_pages
+        self._super = [self.max_type] * volume.n_spaces
+        # The superdirectory is latched, not transaction-locked, "otherwise
+        # it would quickly become a hot spot".
+        self.superdirectory_latch = Latch("superdirectory")
+
+    # ------------------------------------------------------------------
+    # Formatting and directory paging
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def format(cls, volume: Volume, **kwargs: object) -> "BuddyManager":
+        """Write fresh (fully free) directories for every space."""
+        manager = cls(volume, **kwargs)  # type: ignore[arg-type]
+        for extent in volume.spaces:
+            space = BuddySpace.create(manager.page_size, extent.capacity)
+            volume.disk.write_page(extent.directory_page, space.to_page())
+        return manager
+
+    def load_space(self, index: int) -> BuddySpace:
+        """Fetch a space's directory page and decode it."""
+        self.stats.directory_loads += 1
+        extent = self.volume.spaces[index]
+        image = self.pool.fetch(extent.directory_page)
+        try:
+            return BuddySpace.from_page(self.page_size, image)
+        finally:
+            self.pool.unpin(extent.directory_page)
+
+    def store_space(self, index: int, space: BuddySpace) -> None:
+        """Write a space's directory back through the buffer pool."""
+        extent = self.volume.spaces[index]
+        image = self.pool.fetch(extent.directory_page)
+        try:
+            image[:] = space.to_page()
+            self.pool.mark_dirty(extent.directory_page)
+        finally:
+            self.pool.unpin(extent.directory_page)
+        if self.write_through:
+            self.pool.flush_page(extent.directory_page)
+
+    def _update_guess(self, index: int, space: BuddySpace) -> None:
+        with self.superdirectory_latch:
+            self._super[index] = space.max_free_type()
+
+    def superdirectory(self) -> list[int]:
+        """A copy of the current guesses (max free type per space)."""
+        with self.superdirectory_latch:
+            return list(self._super)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self, n_pages: int) -> SegmentRef:
+        """Allocate ``n_pages`` contiguous pages from some space.
+
+        Raises :class:`OutOfSpace` when no space can satisfy the request,
+        and :class:`SegmentTooLarge` above the maximum segment size (the
+        large object manager splits such objects across segments).
+        """
+        if n_pages > self.max_segment_pages:
+            raise SegmentTooLarge(n_pages, self.max_segment_pages)
+        self.stats.allocations += 1
+        ref = self._try_allocate(n_pages, exact=True)
+        if ref is None:
+            raise OutOfSpace(n_pages)
+        return ref
+
+    def allocate_up_to(self, n_pages: int) -> SegmentRef:
+        """Allocate the largest contiguous run available, at most ``n_pages``."""
+        want = min(n_pages, self.max_segment_pages)
+        self.stats.allocations += 1
+        ref = self._try_allocate(want, exact=True)
+        if ref is not None:
+            return ref
+        ref = self._try_allocate(want, exact=False)
+        if ref is None:
+            raise OutOfSpace(n_pages)
+        return ref
+
+    def _space_order(self, *, exact: bool) -> list[int]:
+        """Spaces to probe, in order.
+
+        Exact requests go first-fit (keeps related data clustered in low
+        spaces); best-effort requests try the space the superdirectory
+        believes has the largest free segment first.
+        """
+        indices = list(range(self.volume.n_spaces))
+        if not exact and self.use_superdirectory:
+            with self.superdirectory_latch:
+                guesses = list(self._super)
+            indices.sort(key=lambda i: guesses[i], reverse=True)
+        return indices
+
+    def _try_allocate(self, n_pages: int, *, exact: bool) -> SegmentRef | None:
+        needed_type = ceil_log2(n_pages) if exact else 0
+        for index in self._space_order(exact=exact):
+            if self.use_superdirectory:
+                with self.superdirectory_latch:
+                    guess = self._super[index]
+                if guess < needed_type:
+                    # "...to eliminate unnecessary access to an individual
+                    # buddy space directory, if the maximum segment size in
+                    # that space is less than the one requested."
+                    self.stats.superdirectory_skips += 1
+                    continue
+            space = self.load_space(index)
+            if exact:
+                start = space.allocate(n_pages)
+                got = n_pages if start is not None else 0
+            else:
+                result = space.allocate_up_to(n_pages)
+                start, got = result if result is not None else (None, 0)
+            if start is None:
+                if self.use_superdirectory:
+                    self.stats.superdirectory_corrections += 1
+                self._update_guess(index, space)
+                continue
+            self._update_guess(index, space)
+            self.store_space(index, space)
+            extent = self.volume.spaces[index]
+            return SegmentRef(extent.to_physical(start), got)
+        return None
+
+    # ------------------------------------------------------------------
+    # Deallocation
+    # ------------------------------------------------------------------
+
+    def free(self, first_page: PageId, n_pages: int) -> None:
+        """Free any previously allocated run (whole segments or portions)."""
+        if n_pages <= 0:
+            raise ValueError(f"free size must be positive, got {n_pages}")
+        extent = self.volume.space_of_physical(first_page)
+        local = extent.to_local(first_page)
+        if local + n_pages > extent.capacity:
+            raise BadSegment(
+                f"free of [{first_page}, {first_page + n_pages}) crosses out "
+                f"of buddy space {extent.index}"
+            )
+        self.stats.frees += 1
+        space = self.load_space(extent.index)
+        space.free(local, n_pages)
+        self._update_guess(extent.index, space)
+        self.store_space(extent.index, space)
+
+    def free_segment(self, ref: SegmentRef) -> None:
+        """Free a whole segment previously returned by :meth:`allocate`."""
+        self.free(ref.first_page, ref.n_pages)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def free_pages(self) -> int:
+        """Total free pages across all spaces (reads every directory)."""
+        return sum(
+            self.load_space(i).free_pages() for i in range(self.volume.n_spaces)
+        )
+
+    def verify(self) -> None:
+        """Verify every space's directory (used by tests)."""
+        for i in range(self.volume.n_spaces):
+            self.load_space(i).verify()

@@ -1,0 +1,6 @@
+"""Concurrency control: latches and hierarchical segment locks (Section 4.5)."""
+
+from repro.concurrency.latch import Latch
+from repro.concurrency.locks import LockManager, LockMode, RangeLock, SegmentLock
+
+__all__ = ["Latch", "LockManager", "LockMode", "RangeLock", "SegmentLock"]

@@ -1,0 +1,55 @@
+"""Short-duration latches (paper Section 3.3).
+
+"It is enough to hold a short duration lock (also called latch [Moha90])
+on the superdirectory during a read or update and release it right after
+this operation completes; i.e., the lock does not have to be held until
+the end of the transaction."
+
+The reproduction is single-process, like the EOS prototype, so the latch
+does not need to block real threads; what it *does* provide is the
+protocol — acquire/release pairing enforced, non-reentrancy detected —
+plus counters showing how often the hot structure is latched.  A real
+deployment would swap in ``threading.Lock`` without changing callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LatchError
+
+
+@dataclass
+class Latch:
+    """A non-reentrant short-duration latch with acquisition accounting."""
+
+    name: str
+    acquisitions: int = 0
+    _held: bool = field(default=False, repr=False)
+
+    def acquire(self) -> None:
+        """Take the latch; raises if it is already held."""
+        if self._held:
+            raise LatchError(
+                f"latch {self.name!r} acquired while already held "
+                f"(latches are short-duration and non-reentrant)"
+            )
+        self._held = True
+        self.acquisitions += 1
+
+    def release(self) -> None:
+        """Release the latch; raises if it is not held."""
+        if not self._held:
+            raise LatchError(f"latch {self.name!r} released while not held")
+        self._held = False
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def __enter__(self) -> "Latch":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()

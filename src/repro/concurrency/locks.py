@@ -1,0 +1,177 @@
+"""Transaction locks (paper Section 4.5).
+
+Two lock families, exactly the two the paper names:
+
+* **Object locks** — "concurrency can be handled either by locking the
+  root of the large object or, for finer granularity, the byte range
+  affected by each operation [Care86]."  :meth:`LockManager.acquire_root`
+  and :meth:`LockManager.acquire_range` implement both granularities
+  with the classic S/X compatibility matrix; two byte-range locks
+  conflict only if the ranges overlap.
+
+* **Segment release locks** — freeing buddy segments inside a
+  transaction is special because "an update on the allocation status of
+  a segment may propagate to its buddies"; the paper adopts [Lehm89]'s
+  solution: "when a segment is freed, a (release) lock is placed on the
+  segment and an intention (release) lock is placed on all of the
+  segment's ancestors.  As in hierarchical locking, segments that are
+  descendants of a locked segment are also locked, and thus they remain
+  unallocated until the holding transaction releases the locks."
+  :meth:`acquire_release_lock` walks the buddy tree (address halving)
+  placing IR locks on ancestors; :meth:`segment_blocked` answers whether
+  an allocation candidate is still pinned down by an uncommitted free.
+
+Single-process simulation: conflicts raise
+:class:`~repro.errors.LockConflict` immediately (no blocking); tests
+interleave transactions logically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import LockConflict
+from repro.util.bitops import is_power_of_two
+
+
+class LockMode(enum.Enum):
+    S = "shared"
+    X = "exclusive"
+    RELEASE = "release"            # the freed segment itself
+    INTENTION_RELEASE = "i-release"  # its ancestors
+
+
+def _compatible(held: LockMode, wanted: LockMode) -> bool:
+    if held is LockMode.S and wanted is LockMode.S:
+        return True
+    if LockMode.INTENTION_RELEASE in (held, wanted):
+        # IR locks exist to make the path visible; they do not conflict
+        # with each other or with other IRs/RELEASEs on the same node —
+        # conflicts are decided at the RELEASE-locked segment itself.
+        return held is not LockMode.X and wanted is not LockMode.X
+    return False
+
+
+@dataclass(frozen=True)
+class RangeLock:
+    root_page: int
+    lo: int
+    hi: int
+    mode: LockMode
+
+    def overlaps(self, other: "RangeLock") -> bool:
+        """True when both locks cover some common byte of one object."""
+        return self.root_page == other.root_page and (
+            self.lo < other.hi and other.lo < self.hi
+        )
+
+
+@dataclass(frozen=True)
+class SegmentLock:
+    start: int
+    size: int
+    mode: LockMode
+
+
+@dataclass
+class LockManager:
+    """A lock table keyed by transaction id."""
+
+    range_locks: dict[int, list[RangeLock]] = field(default_factory=dict)
+    segment_locks: dict[int, list[SegmentLock]] = field(default_factory=dict)
+    acquisitions: int = 0
+
+    # ------------------------------------------------------------------
+    # Object locks (root-granularity = whole-range)
+    # ------------------------------------------------------------------
+
+    def acquire_root(self, txn_id: int, root_page: int, mode: LockMode) -> None:
+        """Lock the whole object (the coarse option the paper mentions)."""
+        self.acquire_range(txn_id, root_page, 0, 1 << 62, mode)
+
+    def acquire_range(
+        self, txn_id: int, root_page: int, lo: int, hi: int, mode: LockMode
+    ) -> None:
+        """Take an S/X lock on a byte range; raises LockConflict."""
+        if mode not in (LockMode.S, LockMode.X):
+            raise ValueError(f"object locks are S or X, got {mode}")
+        if lo >= hi:
+            hi = lo + 1
+        wanted = RangeLock(root_page, lo, hi, mode)
+        for other_txn, locks in self.range_locks.items():
+            if other_txn == txn_id:
+                continue
+            for held in locks:
+                if held.overlaps(wanted) and not _compatible(held.mode, mode):
+                    raise LockConflict(wanted, other_txn)
+        self.range_locks.setdefault(txn_id, []).append(wanted)
+        self.acquisitions += 1
+
+    # ------------------------------------------------------------------
+    # Segment release locks (the [Lehm89] hierarchy)
+    # ------------------------------------------------------------------
+
+    def acquire_release_lock(
+        self, txn_id: int, start: int, size: int, max_size: int
+    ) -> None:
+        """Lock a freed segment and IR-lock its buddy-tree ancestors."""
+        if not is_power_of_two(size) or start % size:
+            raise ValueError(f"segment ({start}, {size}) is not buddy-aligned")
+        mine = self.segment_locks.setdefault(txn_id, [])
+        self._check_segment_conflict(txn_id, start, size)
+        mine.append(SegmentLock(start, size, LockMode.RELEASE))
+        self.acquisitions += 1
+        # Ancestors: successively larger enclosing buddy segments.
+        parent_size = size * 2
+        while parent_size <= max_size:
+            parent_start = start - (start % parent_size)
+            mine.append(
+                SegmentLock(parent_start, parent_size, LockMode.INTENTION_RELEASE)
+            )
+            parent_size *= 2
+        self.acquisitions += 1
+
+    def _check_segment_conflict(self, txn_id: int, start: int, size: int) -> None:
+        end = start + size
+        for other_txn, locks in self.segment_locks.items():
+            if other_txn == txn_id:
+                continue
+            for held in locks:
+                if held.mode is not LockMode.RELEASE:
+                    continue
+                if held.start < end and start < held.start + held.size:
+                    raise LockConflict(SegmentLock(start, size, LockMode.RELEASE), other_txn)
+
+    def segment_blocked(self, txn_id: int, start: int, size: int) -> bool:
+        """True if [start, start+size) is pinned by another transaction's
+        release lock — "they remain unallocated until the holding
+        transaction releases the locks"."""
+        end = start + size
+        for other_txn, locks in self.segment_locks.items():
+            if other_txn == txn_id:
+                continue
+            for held in locks:
+                if held.mode is not LockMode.RELEASE:
+                    continue
+                # A candidate conflicts if it overlaps the released
+                # segment (descendant or ancestor alike).
+                if held.start < end and start < held.start + held.size:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection / teardown
+    # ------------------------------------------------------------------
+
+    def held_by(self, txn_id: int) -> tuple[list[RangeLock], list[SegmentLock]]:
+        """The (range, segment) locks a transaction currently holds."""
+        return (
+            list(self.range_locks.get(txn_id, [])),
+            list(self.segment_locks.get(txn_id, [])),
+        )
+
+    def release_all(self, txn_id: int) -> None:
+        """Drop every lock a transaction holds (commit/abort)."""
+        self.range_locks.pop(txn_id, None)
+        self.segment_locks.pop(txn_id, None)

@@ -1,0 +1,161 @@
+"""Index nodes of the positional tree (paper Section 4, Figure 5).
+
+"Each node N of the tree contains a sequence of (c[i], p[i]) pairs, one
+for each child of N ... The number of bytes stored in the subtree rooted
+at p[i] is c[i] - c[i-1]."  The serialized form stores the cumulative
+counts exactly as the paper describes; in memory we keep the *per-child*
+byte counts, which make structural edits (splice, split, merge, rotate)
+plain list operations, and reconstitute the cumulative form on demand
+for binary search and for serialization.
+
+A node at ``level == 0`` points to leaf segments: each entry carries the
+segment's first (physical) page and its allocated page count — "the
+address and size of each segment are stored in the corresponding parent
+index nodes" (Section 4.3.2), which is what lets whole subtrees be
+deleted without touching a single leaf page.  Nodes at higher levels
+point to child index pages (``pages`` is 0 there).
+
+Serialized page layout::
+
+    offset 0   u8   level (0 = children are leaf segments)
+    offset 1   u16  number of entries
+    offset 3   u64  LSN (meaningful on root pages; see Section 4.5)
+    offset 11  entries: u64 cumulative count, u32 child page, u16 pages
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.errors import TreeCorrupt
+
+_HEADER = struct.Struct("<BHQ")
+_ENTRY = struct.Struct("<QIH")
+
+HEADER_SIZE = _HEADER.size  # 11
+ENTRY_SIZE = _ENTRY.size  # 14
+
+
+def fanout(page_size: int) -> int:
+    """Maximum entries an index node of one page can hold."""
+    n = (page_size - HEADER_SIZE) // ENTRY_SIZE
+    if n < 4:
+        raise ValueError(
+            f"page size {page_size} holds only {n} index entries; need >= 4"
+        )
+    return n
+
+
+def min_entries(page_size: int) -> int:
+    """B-tree occupancy floor: internal nodes are at least half full."""
+    return fanout(page_size) // 2
+
+
+@dataclass
+class Entry:
+    """One (count, pointer) pair, held with its per-child byte count."""
+
+    count: int  # bytes stored in the subtree / segment
+    child: int  # child index page (level >= 1) or segment first page (level 0)
+    pages: int = 0  # segment page count (level 0 only)
+
+    def copy(self) -> "Entry":
+        """A detached copy of this entry."""
+        return Entry(self.count, self.child, self.pages)
+
+
+class Node:
+    """An index node: a level tag and a list of entries."""
+
+    __slots__ = ("level", "entries", "lsn")
+
+    def __init__(self, level: int, entries: list[Entry] | None = None, lsn: int = 0):
+        self.level = level
+        self.entries: list[Entry] = entries if entries is not None else []
+        self.lsn = lsn
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def is_leaf_parent(self) -> bool:
+        return self.level == 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes stored below this node (the paper's rightmost c[i])."""
+        return sum(e.count for e in self.entries)
+
+    def cumulative(self) -> list[int]:
+        """The paper's c[] array: cumulative byte counts."""
+        out = []
+        running = 0
+        for entry in self.entries:
+            running += entry.count
+            out.append(running)
+        return out
+
+    def find_child(self, byte: int) -> tuple[int, int]:
+        """Binary-search for the child holding ``byte``.
+
+        "Binary search S to find the smallest c[i] such that c[i] > B.
+        Set B = B - c[i-1]" (Section 4.2).  Returns ``(i, local_byte)``.
+        ``byte`` may equal the total (the append position), which maps to
+        one past the end of the last child: ``(len-1, count_of_last)``.
+        """
+        if not self.entries:
+            raise TreeCorrupt("find_child on an empty node")
+        cum = self.cumulative()
+        if byte == cum[-1]:
+            return len(self.entries) - 1, self.entries[-1].count
+        if byte < 0 or byte > cum[-1]:
+            raise TreeCorrupt(f"byte {byte} outside node holding {cum[-1]} bytes")
+        i = bisect_right(cum, byte)
+        prev = cum[i - 1] if i else 0
+        return i, byte - prev
+
+    def child_offset(self, index: int) -> int:
+        """Byte offset of child ``index``'s first byte within this node."""
+        return sum(e.count for e in self.entries[:index])
+
+    # -- serialization --------------------------------------------------------
+
+    def to_page(self, page_size: int) -> bytearray:
+        """Serialise to a page image, converting counts to cumulative form."""
+        image = bytearray(page_size)
+        if HEADER_SIZE + len(self.entries) * ENTRY_SIZE > page_size:
+            raise TreeCorrupt(
+                f"{len(self.entries)} entries do not fit in a {page_size}-byte page"
+            )
+        _HEADER.pack_into(image, 0, self.level, len(self.entries), self.lsn)
+        offset = HEADER_SIZE
+        running = 0
+        for entry in self.entries:
+            running += entry.count
+            _ENTRY.pack_into(image, offset, running, entry.child, entry.pages)
+            offset += ENTRY_SIZE
+        return image
+
+    @classmethod
+    def from_page(cls, image: bytes | bytearray) -> "Node":
+        level, n, lsn = _HEADER.unpack_from(image, 0)
+        entries = []
+        offset = HEADER_SIZE
+        previous = 0
+        for _ in range(n):
+            cum, child, pages = _ENTRY.unpack_from(image, offset)
+            if cum < previous:
+                raise TreeCorrupt("cumulative counts are not non-decreasing")
+            entries.append(Entry(cum - previous, child, pages))
+            previous = cum
+            offset += ENTRY_SIZE
+        return cls(level, entries, lsn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "seg" if self.level == 0 else "pg"
+        inner = ", ".join(
+            f"({e.count}b {kind}{e.child}" + (f"x{e.pages})" if self.level == 0 else ")")
+            for e in self.entries
+        )
+        return f"Node(level={self.level}, [{inner}])"

@@ -1,0 +1,245 @@
+"""The large object handle: the public face of Section 4.
+
+A :class:`LargeObject` bundles the positional tree, the buddy allocator,
+and the leaf-segment I/O into the operation set the paper specifies:
+append (with optional size hint), read, replace, insert, delete,
+truncate, plus trim and introspection (size, segment map, utilization,
+I/O-free structural verification).
+
+Recovery integration (Section 4.5) is by composition: an attached
+:class:`~repro.recovery.recovery.RecoveryManager` supplies the page log
+used by replace/append and wraps structural updates in shadowed
+transactions; without one, the object behaves like the EOS prototype
+("a single process, with no support for transactions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.buddy.manager import BuddyManager
+from repro.core.append import append as _append
+from repro.core.append import trim as _trim
+from repro.core.config import EOSConfig
+from repro.core.delete import delete_range as _delete
+from repro.core.delete import truncate as _truncate
+from repro.core.insert import insert as _insert
+from repro.core.node import Entry
+from repro.core.search import read_range as _read
+from repro.core.search import replace_range as _replace
+from repro.core.segio import SegmentIO
+from repro.core.threshold import ThresholdPolicy
+from repro.core.tree import LargeObjectTree
+from repro.storage.page import PageId
+from repro.util.bitops import ceil_div
+
+
+@dataclass(frozen=True)
+class ObjectStats:
+    """Space accounting for one large object."""
+
+    size_bytes: int
+    segments: int
+    leaf_pages: int
+    index_pages: int  # includes the root page
+    height: int
+
+    @property
+    def total_pages(self) -> int:
+        return self.leaf_pages + self.index_pages
+
+    def utilization(self, page_size: int) -> float:
+        """Live bytes over all allocated bytes (leaves + index)."""
+        if self.total_pages == 0:
+            return 0.0
+        return self.size_bytes / (self.total_pages * page_size)
+
+    def leaf_utilization(self, page_size: int) -> float:
+        """Live bytes over leaf bytes only — the paper's 1 - 1/2T metric."""
+        if self.leaf_pages == 0:
+            return 0.0
+        return self.size_bytes / (self.leaf_pages * page_size)
+
+
+class LargeObject:
+    """One large dynamic object, addressed by byte position."""
+
+    def __init__(
+        self,
+        tree: LargeObjectTree,
+        segio: SegmentIO,
+        buddy: BuddyManager,
+        *,
+        size_hint: int | None = None,
+        page_log=None,
+    ) -> None:
+        self.tree = tree
+        self.segio = segio
+        self.buddy = buddy
+        self.size_hint = size_hint
+        self.page_log = page_log
+        self.policy = ThresholdPolicy(
+            tree.config.threshold, tree.config.adaptive_threshold
+        )
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def root_page(self) -> PageId:
+        """Where the root lives; "the placement of the root ... is left
+        to the client"."""
+        return self.tree.root_page
+
+    @property
+    def config(self) -> EOSConfig:
+        return self.tree.config
+
+    # -- reads ----------------------------------------------------------------
+
+    def size(self) -> int:
+        """Object size in bytes (the root's rightmost count)."""
+        return self.tree.size()
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``offset`` (Section 4.2)."""
+        return _read(self.tree, self.segio, offset, length)
+
+    def read_all(self) -> bytes:
+        """Read the whole object."""
+        return self.read(0, self.size())
+
+    # -- updates ----------------------------------------------------------------
+
+    def append(self, data: bytes) -> None:
+        """Append bytes at the end (Section 4.1).
+
+        Carries the creation-time size hint while the object is still
+        below it, so known-size objects land in exactly-sized segments.
+        """
+        hint = self.size_hint
+        if hint is not None and self.size() >= hint:
+            hint = None
+        _append(
+            self.tree, self.segio, self.buddy, data,
+            size_hint=hint, log=self.page_log,
+        )
+
+    def replace(self, offset: int, data: bytes) -> None:
+        """Overwrite bytes in place; size is unchanged (Section 4.2)."""
+        _replace(self.tree, self.segio, offset, data, log=self.page_log)
+
+    def insert(self, offset: int, data: bytes) -> None:
+        """Insert bytes at ``offset`` (Section 4.3.1)."""
+        _insert(
+            self.tree, self.segio, self.buddy, offset, data,
+            policy=self.policy, log=self.page_log,
+        )
+
+    def delete(self, offset: int, length: int) -> None:
+        """Delete a byte range (Section 4.3.2)."""
+        _delete(
+            self.tree, self.segio, self.buddy, offset, length, policy=self.policy
+        )
+
+    def truncate(self, new_size: int) -> None:
+        """Delete from ``new_size`` to the end."""
+        _truncate(self.tree, self.segio, self.buddy, new_size, policy=self.policy)
+
+    def trim(self) -> int:
+        """Return the tail segment's spare pages to free space (4.1)."""
+        return _trim(self.tree, self.buddy)
+
+    def compact(self) -> int:
+        """Rewrite the object into freshly allocated exact-size segments.
+
+        The threshold mechanism (Section 4.4) *preserves* clustering
+        incrementally; compaction *restores* it wholesale after an
+        edit-heavy period — the object ends up as if created with a size
+        hint: maximum-size segments plus one trimmed remainder, with
+        sub-page waste.  Costs a full read and a full write.  Returns the
+        number of segments the object has afterwards.
+        """
+        size = self.size()
+        if size == 0:
+            return 0
+        data = self.read_all()
+        # Write the replacement first, then swap and free the old pages —
+        # the same never-overwrite discipline as insert/delete.
+        from repro.core.segio import allocate_and_write
+
+        new_segments = allocate_and_write(self.segio, self.buddy, data)
+        new_entries = [
+            Entry(count, ref.first_page, ref.n_pages) for ref, count in new_segments
+        ]
+        dropped = self.tree.replace_leaf_range(0, size, new_entries)
+        for entry in dropped:
+            self.buddy.free(entry.child, entry.pages)
+        return len(new_entries)
+
+    def set_threshold(self, threshold: int, *, adaptive: bool | None = None) -> None:
+        """Change T for subsequent updates.
+
+        "The threshold value does not have to be constant during the
+        lifetime of a large object" — applications may adjust it every
+        time the object is opened for updates.
+        """
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1 page, got {threshold}")
+        if adaptive is None:
+            adaptive = self.policy.adaptive
+        self.policy = ThresholdPolicy(threshold, adaptive)
+
+    def destroy(self) -> None:
+        """Delete all content and free the root page."""
+        size = self.size()
+        if size:
+            self.delete(0, size)
+        self.tree.pager.free(self.tree.root_page)
+
+    # -- introspection ------------------------------------------------------
+
+    def segments(self) -> list[tuple[int, Entry]]:
+        """(global_offset, entry) for every leaf segment, left to right."""
+        return self.tree.leaf_entries()
+
+    def stats(self) -> ObjectStats:
+        """Space accounting (reads the whole index, no leaf I/O)."""
+        size = self.tree.size()
+        leaf_pages = 0
+        segments = 0
+        index_pages = 1  # the root
+
+        def walk(node) -> None:
+            nonlocal leaf_pages, segments, index_pages
+            for entry in node.entries:
+                if node.level == 0:
+                    segments += 1
+                    leaf_pages += entry.pages
+                else:
+                    index_pages += 1
+                    walk(self.tree.pager.read(entry.child))
+
+        root = self.tree.read_root()
+        walk(root)
+        return ObjectStats(
+            size_bytes=size,
+            segments=segments,
+            leaf_pages=leaf_pages,
+            index_pages=index_pages,
+            height=root.level + 1,
+        )
+
+    def mean_segment_pages(self) -> float:
+        """Average leaf-segment size in pages (clustering metric, E3)."""
+        stats = self.stats()
+        return stats.leaf_pages / stats.segments if stats.segments else 0.0
+
+    def verify(self) -> None:
+        """Check all structural invariants plus content accounting."""
+        self.tree.verify()
+        # Cross-check: page counts of non-tail segments are exact.
+        entries = self.tree.leaf_entries()
+        ps = self.config.page_size
+        for _, entry in entries[:-1]:
+            if entry.pages != ceil_div(entry.count, ps):
+                raise AssertionError("non-tail segment with spare pages")

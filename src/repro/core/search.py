@@ -1,0 +1,95 @@
+"""Search (byte-range read) and replace (paper Section 4.2).
+
+The search algorithm descends the positional tree by cumulative counts
+and then reads, "in one step", all pages of the target segment that the
+requested range covers — one seek plus N transfers per segment touched.
+The worked example (read 320 bytes at offset 1470 of Figure 5.c) costs 3
+seeks + 6 page transfers; on the single-segment object of Figure 5.a it
+costs 1 seek + 5 transfers.  Both are reproduced in the tests and in
+``benchmarks/bench_fig6_search_cost.py``.
+
+Replace uses the same traversal to locate the range, then overwrites the
+affected pages in place.  It is the one update that touches leaf pages
+without touching the index, so it is protected by logging rather than
+shadowing (Section 4.5); the optional ``log`` callback receives each
+page's pre- and post-image.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.segio import SegmentIO
+from repro.core.tree import LargeObjectTree
+from repro.errors import ByteRangeError
+
+# Callback signature: (physical_page, pre_image, post_image).
+PageLog = Callable[[int, bytes, bytes], None]
+
+
+def read_range(
+    tree: LargeObjectTree, segio: SegmentIO, offset: int, length: int
+) -> bytes:
+    """Read ``length`` bytes starting at byte ``offset``.
+
+    Index pages are read through the buffer pool during the descent;
+    each leaf segment touched contributes one contiguous multi-page
+    read.
+    """
+    size = tree.size()
+    if length < 0 or offset < 0 or offset + length > size:
+        raise ByteRangeError(offset, length, size)
+    if length == 0:
+        return b""
+    lo, hi = offset, offset + length
+    chunks: list[bytes] = []
+    for seg_offset, entry in tree.iter_segments(lo, hi):
+        local_lo = max(lo, seg_offset) - seg_offset
+        local_hi = min(hi, seg_offset + entry.count) - seg_offset
+        chunks.append(segio.read_bytes(entry.child, local_lo, local_hi))
+    data = b"".join(chunks)
+    if len(data) != length:
+        raise ByteRangeError(offset, length, size)
+    return data
+
+
+def replace_range(
+    tree: LargeObjectTree,
+    segio: SegmentIO,
+    offset: int,
+    data: bytes,
+    log: PageLog | None = None,
+) -> None:
+    """Overwrite ``len(data)`` bytes in place starting at ``offset``.
+
+    The object's size and structure are unchanged — this is the paper's
+    byte-range *replace*, not insert.  Every affected page is rewritten
+    via read-modify-write of the covering span (boundary pages need
+    their unmodified bytes preserved); with logging enabled, each page's
+    old and new images go to the log.
+    """
+    size = tree.size()
+    if offset < 0 or offset + len(data) > size:
+        raise ByteRangeError(offset, len(data), size)
+    if not data:
+        return
+    ps = segio.page_size
+    lo, hi = offset, offset + len(data)
+    for seg_offset, entry in tree.iter_segments(lo, hi):
+        local_lo = max(lo, seg_offset) - seg_offset
+        local_hi = min(hi, seg_offset + entry.count) - seg_offset
+        page_lo = local_lo // ps
+        page_hi = (local_hi - 1) // ps
+        span, base = segio.read_span(entry.child, page_lo, page_hi)
+        patched = bytearray(span)
+        start = local_lo - base
+        patched[start : start + (local_hi - local_lo)] = data[
+            seg_offset + local_lo - lo : seg_offset + local_hi - lo
+        ]
+        if log is not None:
+            for i in range(page_hi - page_lo + 1):
+                pre = span[i * ps : (i + 1) * ps]
+                post = bytes(patched[i * ps : (i + 1) * ps])
+                if pre != post:
+                    log(entry.child + page_lo + i, pre, post)
+        segio.disk.write_pages(entry.child + page_lo, bytes(patched))

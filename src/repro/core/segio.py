@@ -1,0 +1,107 @@
+"""Leaf-segment I/O: contiguous multi-page transfers, bypassing the pool.
+
+Leaf segments are read and written with single contiguous transfers —
+that is the entire point of variable-size segments ("disk space is
+allocated in large units of physically adjacent disk blocks", Section 1)
+— and they bypass the buffer pool so a multi-megabyte scan cannot evict
+the object's own index pages.
+
+Writing a segment pads the final partial page with zeros: "there are no
+holes in each segment in that all of its pages must get filled up except
+the last one which may be partially full" (Section 4).  The pad bytes
+are physically present but logically dead; the byte counts in the index
+mask them.
+"""
+
+from __future__ import annotations
+
+from repro.buddy.manager import BuddyManager, SegmentRef
+from repro.errors import LargeObjectError
+from repro.storage.disk import DiskVolume
+from repro.storage.page import PageId
+from repro.util.bitops import ceil_div
+
+
+class SegmentIO:
+    """Byte-addressed access to leaf segments on the raw disk."""
+
+    def __init__(self, disk: DiskVolume, page_size: int) -> None:
+        if disk.page_size != page_size:
+            raise LargeObjectError(
+                f"config page size {page_size} != disk page size {disk.page_size}"
+            )
+        self.disk = disk
+        self.page_size = page_size
+
+    def read_bytes(self, first_page: PageId, byte_lo: int, byte_hi: int) -> bytes:
+        """Read bytes [byte_lo, byte_hi) of a segment: one contiguous run."""
+        if byte_lo >= byte_hi:
+            return b""
+        ps = self.page_size
+        page_lo = byte_lo // ps
+        page_hi = (byte_hi - 1) // ps
+        span = self.disk.read_pages(first_page + page_lo, page_hi - page_lo + 1)
+        base = page_lo * ps
+        return span[byte_lo - base : byte_hi - base]
+
+    def read_span(
+        self, first_page: PageId, page_lo: int, page_hi: int
+    ) -> tuple[bytes, int]:
+        """Read pages [page_lo, page_hi] of a segment in one run.
+
+        Returns ``(bytes, base_byte_offset)`` so callers can slice by
+        segment-relative byte offsets.
+        """
+        span = self.disk.read_pages(first_page + page_lo, page_hi - page_lo + 1)
+        return span, page_lo * self.page_size
+
+    def write_segment(self, first_page: PageId, data: bytes, at_page: int = 0) -> None:
+        """Write ``data`` into a segment starting at page ``at_page``,
+        padding the final partial page with zeros."""
+        if not data:
+            return
+        ps = self.page_size
+        n_pages = ceil_div(len(data), ps)
+        padded = bytes(data) + bytes(n_pages * ps - len(data))
+        self.disk.write_pages(first_page + at_page, padded)
+
+    def patch_page(self, page: PageId, offset: int, data: bytes) -> bytes:
+        """Read-modify-write one page; returns the pre-image (for logging)."""
+        ps = self.page_size
+        if offset + len(data) > ps:
+            raise LargeObjectError(
+                f"patch of {len(data)} bytes at offset {offset} overruns a page"
+            )
+        old = self.disk.read_page(page)
+        new = old[:offset] + data + old[offset + len(data) :]
+        self.disk.write_page(page, new)
+        return old
+
+
+def allocate_and_write(
+    segio: SegmentIO, buddy: BuddyManager, data: bytes
+) -> list[tuple[SegmentRef, int]]:
+    """Allocate exact-size segments for ``data`` and write them.
+
+    Returns ``[(segment, byte_count), ...]``.  Data longer than the
+    maximum segment size spans several segments; under fragmentation the
+    allocator may return shorter runs and the data simply continues in
+    the next segment (the tree indexes them independently).
+    """
+    out: list[tuple[SegmentRef, int]] = []
+    ps = segio.page_size
+    position = 0
+    while position < len(data):
+        remaining = len(data) - position
+        want = min(ceil_div(remaining, ps), buddy.max_segment_pages)
+        ref = buddy.allocate_up_to(want)
+        take = min(remaining, ref.n_pages * ps)
+        if ref.n_pages > ceil_div(take, ps):
+            # Trim immediately: these segments never carry spare pages.
+            spare = ref.n_pages - ceil_div(take, ps)
+            buddy.free(ref.first_page + ref.n_pages - spare, spare)
+            ref = SegmentRef(ref.first_page, ref.n_pages - spare)
+        segio.write_segment(ref.first_page, data[position : position + take])
+        out.append((ref, take))
+        position += take
+    return out

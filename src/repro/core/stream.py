@@ -1,0 +1,143 @@
+"""A file-like view over a large object.
+
+The paper's Section 1 argues that applications consume large objects
+piece-wise — "one would rather sequentially scan through the object in
+smaller portions, rather than access the whole chunk in one step" — and
+build them the same way.  :class:`ObjectStream` packages that access
+pattern behind the familiar ``read``/``write``/``seek``/``tell``
+interface so existing code (parsers, codecs, ``shutil.copyfileobj``)
+can run against a large object directly.
+
+Semantics:
+
+* ``read(n)`` returns up to ``n`` bytes from the cursor (all remaining
+  bytes when ``n`` is omitted or negative);
+* ``write(data)`` *replaces* bytes under the cursor and appends once the
+  cursor passes the end — exactly overwrite-then-extend, like a file
+  opened ``r+b``;
+* ``truncate(size)`` uses the object's truncate;
+* writes issued while the cursor sits at the end are buffered and
+  flushed in page-sized batches, so chunk-wise builders get the
+  multi-append behaviour of Section 4.1 (doubling segments, one trim)
+  instead of per-call tree updates.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.object import LargeObject
+
+
+class ObjectStream(io.RawIOBase):
+    """Seekable binary stream over a :class:`LargeObject`."""
+
+    def __init__(self, obj: LargeObject, *, buffer_pages: int = 16) -> None:
+        super().__init__()
+        self.obj = obj
+        self._position = 0
+        self._append_buffer = bytearray()
+        self._buffer_limit = buffer_pages * obj.config.page_size
+
+    # -- io.RawIOBase interface -------------------------------------------
+
+    def readable(self) -> bool:
+        return True
+
+    def writable(self) -> bool:
+        return True
+
+    def seekable(self) -> bool:
+        return True
+
+    def tell(self) -> int:
+        return self._position
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        self._flush_append()
+        if whence == io.SEEK_SET:
+            target = offset
+        elif whence == io.SEEK_CUR:
+            target = self._position + offset
+        elif whence == io.SEEK_END:
+            target = self.obj.size() + offset
+        else:
+            raise ValueError(f"bad whence: {whence}")
+        if target < 0:
+            raise ValueError(f"negative seek position {target}")
+        self._position = target
+        return target
+
+    def read(self, n: int = -1) -> bytes:
+        """Read up to ``n`` bytes from the cursor (all remaining if n < 0)."""
+        self._flush_append()
+        size = self.obj.size()
+        if self._position >= size:
+            return b""
+        if n is None or n < 0:
+            n = size - self._position
+        n = min(n, size - self._position)
+        data = self.obj.read(self._position, n)
+        self._position += n
+        return data
+
+    def readall(self) -> bytes:
+        return self.read(-1)
+
+    def write(self, data) -> int:
+        """Overwrite under the cursor, appending once past the end."""
+        data = bytes(data)
+        if not data:
+            return 0
+        size = self.obj.size() + len(self._append_buffer)
+        if self._position == size:
+            # Pure append: batch it.
+            self._append_buffer.extend(data)
+            self._position += len(data)
+            if len(self._append_buffer) >= self._buffer_limit:
+                self._flush_append()
+            return len(data)
+        self._flush_append()
+        size = self.obj.size()
+        overlap = max(0, min(len(data), size - self._position))
+        if overlap > 0:
+            self.obj.replace(self._position, data[:overlap])
+        if overlap < len(data):
+            # Past-the-end remainder is an append (a seek hole is filled
+            # with zeros first, like a sparse file write would appear).
+            gap = self._position - size
+            if gap > 0:
+                self.obj.append(bytes(gap))
+            self.obj.append(data[overlap:])
+        self._position += len(data)
+        return len(data)
+
+    def truncate(self, size: int | None = None) -> int:
+        self._flush_append()
+        if size is None:
+            size = self._position
+        current = self.obj.size()
+        if size < current:
+            self.obj.truncate(size)
+        elif size > current:
+            self.obj.append(bytes(size - current))
+        return size
+
+    def flush(self) -> None:
+        self._flush_append()
+
+    def close(self) -> None:
+        if not self.closed:
+            self._flush_append()
+            self.obj.trim()
+        super().close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _flush_append(self) -> None:
+        if self._append_buffer:
+            self.obj.append(bytes(self._append_buffer))
+            self._append_buffer.clear()
+
+    def __len__(self) -> int:
+        return self.obj.size() + len(self._append_buffer)

@@ -1,0 +1,202 @@
+"""Exception hierarchy for the EOS reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle anything the storage stack raises.
+The sub-hierarchy mirrors the layering of the system: disk-level errors,
+buddy-allocator errors, large-object-manager errors, and errors raised by
+the baseline stores when an operation exceeds what the original system
+supported (e.g. WiSS's ~1.6 MB object cap, System R's lack of partial
+updates).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage substrate
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the simulated disk substrate."""
+
+
+class PageOutOfRange(StorageError):
+    """A page id fell outside the volume being accessed."""
+
+    def __init__(self, page: int, num_pages: int) -> None:
+        super().__init__(f"page {page} out of range (volume has {num_pages} pages)")
+        self.page = page
+        self.num_pages = num_pages
+
+
+class PageSizeMismatch(StorageError):
+    """A page image did not match the volume's page size."""
+
+    def __init__(self, got: int, expected: int) -> None:
+        super().__init__(f"page image is {got} bytes, volume page size is {expected}")
+        self.got = got
+        self.expected = expected
+
+
+class BufferPoolError(StorageError):
+    """Base class for buffer-pool failures."""
+
+
+class AllPagesPinned(BufferPoolError):
+    """The buffer pool could not evict because every frame is pinned."""
+
+
+class PageNotPinned(BufferPoolError):
+    """An unpin was attempted on a page that is not pinned."""
+
+
+class VolumeLayoutError(StorageError):
+    """A volume could not be laid out with the requested parameters."""
+
+
+# ---------------------------------------------------------------------------
+# Buddy system
+# ---------------------------------------------------------------------------
+
+
+class BuddyError(ReproError):
+    """Base class for buddy-system errors."""
+
+
+class OutOfSpace(BuddyError):
+    """No buddy space could satisfy an allocation request."""
+
+    def __init__(self, pages: int) -> None:
+        super().__init__(f"no free segment of {pages} pages available")
+        self.pages = pages
+
+
+class BadSegment(BuddyError):
+    """A segment handed to the allocator is not consistent with the map.
+
+    Raised for double frees, frees of ranges that are not currently
+    allocated, or out-of-range segment addresses.
+    """
+
+
+class DirectoryCorrupt(BuddyError):
+    """A buddy-space directory page failed to decode."""
+
+
+class SegmentTooLarge(BuddyError):
+    """An allocation request exceeded the maximum segment size."""
+
+    def __init__(self, pages: int, max_pages: int) -> None:
+        super().__init__(
+            f"requested {pages} pages exceeds the maximum segment size of "
+            f"{max_pages} pages"
+        )
+        self.pages = pages
+        self.max_pages = max_pages
+
+
+# ---------------------------------------------------------------------------
+# Large object manager
+# ---------------------------------------------------------------------------
+
+
+class LargeObjectError(ReproError):
+    """Base class for large-object-manager errors."""
+
+
+class ByteRangeError(LargeObjectError):
+    """A byte offset or length fell outside the object."""
+
+    def __init__(self, offset: int, length: int, size: int) -> None:
+        super().__init__(
+            f"byte range [{offset}, {offset + length}) is invalid for an "
+            f"object of {size} bytes"
+        )
+        self.offset = offset
+        self.length = length
+        self.size = size
+
+
+class ObjectNotFound(LargeObjectError):
+    """An object id did not resolve to a live large object."""
+
+
+class RootOverflow(LargeObjectError):
+    """The root grew past the client-imposed byte limit.
+
+    The paper (Section 4, footnote 3) lets clients restrict the maximum
+    size of the root when an object is opened for updates, e.g. when the
+    root is embedded in a field of a small object.
+    """
+
+
+class TreeCorrupt(LargeObjectError):
+    """A structural invariant of the positional tree was violated."""
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+class BaselineError(ReproError):
+    """Base class for baseline-store errors."""
+
+
+class UnsupportedOperation(BaselineError):
+    """The original system did not support the requested operation.
+
+    Examples: System R long fields did not support partial reads or
+    updates; WiSS objects are capped by the one-page slice directory.
+    """
+
+
+class ObjectTooLarge(BaselineError):
+    """The object exceeded the baseline system's maximum size."""
+
+    def __init__(self, size: int, max_size: int, system: str) -> None:
+        super().__init__(
+            f"{system} supports objects up to {max_size} bytes; got {size}"
+        )
+        self.size = size
+        self.max_size = max_size
+        self.system = system
+
+
+# ---------------------------------------------------------------------------
+# Concurrency and recovery
+# ---------------------------------------------------------------------------
+
+
+class ConcurrencyError(ReproError):
+    """Base class for locking/latching errors."""
+
+
+class LockConflict(ConcurrencyError):
+    """A lock request conflicted with a lock held by another transaction."""
+
+    def __init__(self, resource: object, holder: object) -> None:
+        super().__init__(f"lock on {resource!r} is held by transaction {holder!r}")
+        self.resource = resource
+        self.holder = holder
+
+
+class LatchError(ConcurrencyError):
+    """A latch was used outside its short-duration protocol."""
+
+
+class RecoveryError(ReproError):
+    """Base class for logging/recovery errors."""
+
+
+class LogCorrupt(RecoveryError):
+    """The write-ahead log failed to decode during recovery."""
+
+
+class TransactionError(RecoveryError):
+    """A transaction was used after commit/abort, or nested improperly."""

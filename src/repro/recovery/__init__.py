@@ -1,0 +1,32 @@
+"""Recovery (paper Section 4.5): logging, shadowing, transactions.
+
+The paper's split, implemented faithfully:
+
+* replace -> **logging** (old/new page or byte images, applied in place);
+* insert/delete/append -> **shadowing of index pages only**, because the
+  algorithms never overwrite existing leaf pages; the object's root page
+  is the single in-place write that commits each update and carries its
+  LSN for idempotent undo/redo.
+"""
+
+from repro.recovery.log import LogRecord, OpKind, WriteAheadLog
+from repro.recovery.shadow import ShadowPager
+from repro.recovery.transaction import (
+    RecoveryManager,
+    SimulatedCrash,
+    Transaction,
+    TransactionalAllocator,
+    TransactionalObject,
+)
+
+__all__ = [
+    "LogRecord",
+    "OpKind",
+    "WriteAheadLog",
+    "ShadowPager",
+    "RecoveryManager",
+    "SimulatedCrash",
+    "Transaction",
+    "TransactionalAllocator",
+    "TransactionalObject",
+]

@@ -1,0 +1,171 @@
+"""The write-ahead log (paper Section 4.5).
+
+"Since no control information is kept on leaf segments, the log record
+of all updates must contain the operation that caused the update as well
+as its parameters, and the log sequence number of the update must be
+placed in the root page of the object to ensure that the update can be
+undone or redone idempotently [Gray79]."
+
+The log is operation-based (logical): each record names the operation
+(insert/delete/append/replace/truncate), the object's root page, the
+byte offset, and the payload needed to redo *and* undo it:
+
+* insert/append carry the inserted bytes (undo = delete/truncate);
+* delete/truncate carry the deleted bytes (undo = insert them back);
+* replace carries both images (undo = replace with the old bytes —
+  replace is the one operation recovered by logging rather than
+  shadowing, since it overwrites leaf pages in place).
+
+Compensation records (CLRs) mark undos so recovery is idempotent: a
+second recovery pass finds the CLR and does not undo the same operation
+twice.
+
+The log serialises to bytes and round-trips, so crash tests can "lose"
+everything except the disk image and the log.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import LogCorrupt
+
+
+class OpKind(enum.Enum):
+    BEGIN = 1
+    COMMIT = 2
+    ABORT = 3
+    INSERT = 4
+    DELETE = 5
+    APPEND = 6
+    REPLACE = 7
+    CLR = 8  # compensation: ``undoes`` names the undone record's LSN
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    lsn: int
+    txn_id: int
+    kind: OpKind
+    root_page: int = 0
+    offset: int = 0
+    data: bytes = b""       # inserted/deleted bytes; new image for REPLACE
+    old_data: bytes = b""   # old image for REPLACE
+    undoes: int = 0         # CLR: LSN of the record this undo compensates
+
+    def inverse_description(self) -> str:
+        """Human-readable undo action (used in recovery traces)."""
+        return {
+            OpKind.INSERT: f"delete {len(self.data)} bytes at {self.offset}",
+            OpKind.APPEND: f"truncate {len(self.data)} appended bytes",
+            OpKind.DELETE: f"re-insert {len(self.data)} bytes at {self.offset}",
+            OpKind.REPLACE: f"restore {len(self.old_data)} bytes at {self.offset}",
+        }.get(self.kind, "nothing")
+
+
+_RECORD_HEADER = struct.Struct("<QQBQQQII")  # lsn txn kind root offset undoes len(data) len(old)
+
+
+class WriteAheadLog:
+    """An append-only operation log with monotonically increasing LSNs."""
+
+    def __init__(self) -> None:
+        self.records: list[LogRecord] = []
+        self._next_lsn = 1
+
+    def append(
+        self,
+        txn_id: int,
+        kind: OpKind,
+        *,
+        root_page: int = 0,
+        offset: int = 0,
+        data: bytes = b"",
+        old_data: bytes = b"",
+        undoes: int = 0,
+    ) -> int:
+        """Write one record; returns its LSN."""
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self.records.append(
+            LogRecord(
+                lsn=lsn,
+                txn_id=txn_id,
+                kind=kind,
+                root_page=root_page,
+                offset=offset,
+                data=data,
+                old_data=old_data,
+                undoes=undoes,
+            )
+        )
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Analysis (recovery's first pass)
+    # ------------------------------------------------------------------
+
+    def loser_transactions(self) -> list[int]:
+        """Transactions with a BEGIN but neither COMMIT nor ABORT."""
+        state: dict[int, OpKind] = {}
+        for record in self.records:
+            if record.kind in (OpKind.BEGIN, OpKind.COMMIT, OpKind.ABORT):
+                state[record.txn_id] = record.kind
+        return [txn for txn, kind in state.items() if kind == OpKind.BEGIN]
+
+    def updates_of(self, txn_id: int) -> list[LogRecord]:
+        """The transaction's update records, in log order."""
+        return [
+            r
+            for r in self.records
+            if r.txn_id == txn_id
+            and r.kind in (OpKind.INSERT, OpKind.DELETE, OpKind.APPEND, OpKind.REPLACE)
+        ]
+
+    def compensated_lsns(self) -> set[int]:
+        """LSNs already undone by a CLR (skip them on re-recovery)."""
+        return {r.undoes for r in self.records if r.kind == OpKind.CLR}
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise every record for durability."""
+        out = bytearray()
+        for r in self.records:
+            out += _RECORD_HEADER.pack(
+                r.lsn, r.txn_id, r.kind.value, r.root_page, r.offset,
+                r.undoes, len(r.data), len(r.old_data),
+            )
+            out += r.data
+            out += r.old_data
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "WriteAheadLog":
+        log = cls()
+        position = 0
+        while position < len(raw):
+            if position + _RECORD_HEADER.size > len(raw):
+                raise LogCorrupt("truncated log record header")
+            lsn, txn, kind, root, offset, undoes, n_data, n_old = (
+                _RECORD_HEADER.unpack_from(raw, position)
+            )
+            position += _RECORD_HEADER.size
+            if position + n_data + n_old > len(raw):
+                raise LogCorrupt(f"truncated payload for LSN {lsn}")
+            data = raw[position : position + n_data]
+            position += n_data
+            old = raw[position : position + n_old]
+            position += n_old
+            log.records.append(
+                LogRecord(lsn, txn, OpKind(kind), root, offset, data, old, undoes)
+            )
+            log._next_lsn = max(log._next_lsn, lsn + 1)
+        return log
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,182 @@
+"""An LRU buffer pool for single-page structures.
+
+Index pages of the positional tree and buddy-space directory pages are
+hot, single-page structures; the paper assumes they are cached ("at most
+one disk access is needed to serve block allocation requests" presumes
+the directory is fetched once).  Leaf segments, by contrast, are read
+with large contiguous transfers and deliberately bypass the pool — a
+multi-megabyte object must not wipe out the cache of its own index.
+
+The pool implements the classic protocol:
+
+* :meth:`fetch` pins a page frame and returns a mutable ``bytearray``;
+* :meth:`unpin` releases it, optionally marking it dirty;
+* dirty frames are written back on eviction or :meth:`flush_all`;
+* eviction is LRU over unpinned frames; if every frame is pinned,
+  :class:`~repro.errors.AllPagesPinned` is raised.
+
+A ``with pool.page(pid) as frame:`` form handles pin/unpin pairing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import AllPagesPinned, PageNotPinned
+from repro.storage.disk import DiskVolume
+from repro.storage.page import PageId
+
+
+@dataclass
+class _Frame:
+    image: bytearray
+    pin_count: int = 0
+    dirty: bool = False
+
+
+@dataclass
+class BufferPoolStats:
+    """Hit/miss counters, exposed for the superdirectory experiment (E9)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class BufferPool:
+    """LRU cache of single pages over a :class:`DiskVolume`."""
+
+    def __init__(self, disk: DiskVolume, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"buffer pool needs at least one frame, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        self.stats = BufferPoolStats()
+        # Ordered oldest-first for LRU; move_to_end on every touch.
+        self._frames: "OrderedDict[PageId, _Frame]" = OrderedDict()
+
+    # -- core protocol ------------------------------------------------------
+
+    def fetch(self, page: PageId) -> bytearray:
+        """Pin ``page`` and return its (shared, mutable) in-memory image."""
+        frame = self._frames.get(page)
+        if frame is None:
+            self.stats.misses += 1
+            self._make_room()
+            frame = _Frame(image=bytearray(self.disk.read_page(page)))
+            self._frames[page] = frame
+        else:
+            self.stats.hits += 1
+            self._frames.move_to_end(page)
+        frame.pin_count += 1
+        return frame.image
+
+    def fetch_new(self, page: PageId, image: bytes | bytearray) -> bytearray:
+        """Install a freshly built page image without reading the disk.
+
+        Used when a page has just been allocated: its on-disk content is
+        garbage, so reading it would charge I/O for bytes nobody needs.
+        The frame starts dirty and pinned.
+        """
+        existing = self._frames.get(page)
+        if existing is not None and existing.pin_count:
+            raise AllPagesPinned(f"page {page} is pinned and cannot be replaced")
+        if existing is not None:
+            del self._frames[page]
+        self._make_room()
+        frame = _Frame(image=bytearray(image), pin_count=1, dirty=True)
+        self._frames[page] = frame
+        return frame.image
+
+    def unpin(self, page: PageId, *, dirty: bool = False) -> None:
+        """Release one pin; ``dirty=True`` schedules write-back."""
+        frame = self._frames.get(page)
+        if frame is None or frame.pin_count == 0:
+            raise PageNotPinned(f"page {page} is not pinned")
+        frame.pin_count -= 1
+        frame.dirty = frame.dirty or dirty
+
+    @contextlib.contextmanager
+    def page(self, page: PageId) -> Iterator[bytearray]:
+        """``with`` form of fetch/unpin; mark dirty via :meth:`mark_dirty`."""
+        image = self.fetch(page)
+        try:
+            yield image
+        finally:
+            self.unpin(page)
+
+    def mark_dirty(self, page: PageId) -> None:
+        """Mark a currently resident page dirty without changing pins."""
+        frame = self._frames.get(page)
+        if frame is None:
+            raise PageNotPinned(f"page {page} is not resident")
+        frame.dirty = True
+
+    # -- write-back ---------------------------------------------------------
+
+    def flush_page(self, page: PageId) -> None:
+        """Write one dirty frame back to disk (no-op if clean or absent)."""
+        frame = self._frames.get(page)
+        if frame is not None and frame.dirty:
+            self.disk.write_page(page, frame.image)
+            self.stats.writebacks += 1
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write back every dirty frame (frames stay resident)."""
+        for page in list(self._frames):
+            self.flush_page(page)
+
+    def drop(self, page: PageId) -> None:
+        """Discard a frame without write-back (page was freed)."""
+        frame = self._frames.get(page)
+        if frame is not None:
+            if frame.pin_count:
+                raise AllPagesPinned(f"page {page} is pinned and cannot be dropped")
+            del self._frames[page]
+
+    def clear(self) -> None:
+        """Flush everything and empty the pool (simulates a cold cache)."""
+        self.flush_all()
+        for page, frame in self._frames.items():
+            if frame.pin_count:
+                raise AllPagesPinned(f"page {page} is pinned; cannot clear pool")
+        self._frames.clear()
+
+    # -- eviction -----------------------------------------------------------
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        for page, frame in self._frames.items():
+            if frame.pin_count == 0:
+                if frame.dirty:
+                    self.disk.write_page(page, frame.image)
+                    self.stats.writebacks += 1
+                del self._frames[page]
+                self.stats.evictions += 1
+                return
+        raise AllPagesPinned(
+            f"all {self.capacity} buffer frames are pinned; cannot evict"
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def resident(self, page: PageId) -> bool:
+        """True if the page is currently cached (used by tests)."""
+        return page in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -1,0 +1,137 @@
+"""The simulated disk volume.
+
+:class:`DiskVolume` is an array of ``num_pages`` fixed-size pages backed
+by a single in-memory ``bytearray``, with optional save/load to a file
+for persistence across processes.  It supports exactly the operations a
+raw device does:
+
+* read/write one page;
+* read/write a *contiguous* run of pages in one call.
+
+All accesses flow through an :class:`~repro.storage.iostats.IOStats`
+instance, which models the disk head: a run that does not start where
+the head was left costs a seek.  The large object manager's claim that a
+multi-page read within one segment is "1 disk seek plus N page
+transfers" (Section 4.2) is therefore measured, not assumed.
+
+The volume knows nothing about allocation — that is the buddy system's
+job — and nothing about caching — that is the buffer pool's job.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.errors import PageOutOfRange, PageSizeMismatch
+from repro.storage.iostats import IOStats
+from repro.storage.page import PageId, validate_page_size
+
+_FILE_MAGIC = b"EOSVOL01"
+_FILE_HEADER = struct.Struct("<8sQQ")  # magic, page_size, num_pages
+
+
+class DiskVolume:
+    """A flat array of pages with seek-accurate I/O accounting."""
+
+    def __init__(self, num_pages: int, page_size: int = 4096) -> None:
+        if num_pages <= 0:
+            raise ValueError(f"a volume needs at least one page, got {num_pages}")
+        validate_page_size(page_size)
+        self.num_pages = num_pages
+        self.page_size = page_size
+        self.stats = IOStats()
+        self._data = bytearray(num_pages * page_size)
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Total raw capacity of the volume."""
+        return self.num_pages * self.page_size
+
+    def _check_range(self, first_page: PageId, n_pages: int) -> None:
+        if n_pages <= 0:
+            raise ValueError(f"transfer length must be positive, got {n_pages}")
+        if first_page < 0 or first_page + n_pages > self.num_pages:
+            raise PageOutOfRange(first_page, self.num_pages)
+
+    # -- transfers ----------------------------------------------------------
+
+    def read_page(self, page: PageId) -> bytes:
+        """Read one page; costs a seek unless the head is already there."""
+        return self.read_pages(page, 1)
+
+    def read_pages(self, first_page: PageId, n_pages: int) -> bytes:
+        """Read ``n_pages`` physically contiguous pages in one run."""
+        self._check_range(first_page, n_pages)
+        self.stats.record_read(first_page, n_pages)
+        lo = first_page * self.page_size
+        hi = lo + n_pages * self.page_size
+        return bytes(self._data[lo:hi])
+
+    def write_page(self, page: PageId, image: bytes | bytearray) -> None:
+        """Write one page image."""
+        self.write_pages(page, image)
+
+    def write_pages(self, first_page: PageId, data: bytes | bytearray) -> None:
+        """Write a contiguous run of whole pages in one run.
+
+        ``data`` must be a whole number of pages; a partial final page
+        must be padded by the caller (segments always own whole pages —
+        the unused tail of a segment's last page is physically present
+        but logically dead, per Section 4).
+        """
+        if len(data) % self.page_size:
+            raise PageSizeMismatch(len(data), self.page_size)
+        n_pages = len(data) // self.page_size
+        self._check_range(first_page, n_pages)
+        self.stats.record_write(first_page, n_pages)
+        lo = first_page * self.page_size
+        self._data[lo : lo + len(data)] = data
+
+    # -- maintenance --------------------------------------------------------
+
+    def peek(self, first_page: PageId, n_pages: int = 1) -> bytes:
+        """Read pages *without* I/O accounting (for tests and verifiers)."""
+        self._check_range(first_page, n_pages)
+        lo = first_page * self.page_size
+        return bytes(self._data[lo : lo + n_pages * self.page_size])
+
+    def poke(self, first_page: PageId, data: bytes | bytearray) -> None:
+        """Write pages without I/O accounting (for tests and fault injection)."""
+        if len(data) % self.page_size:
+            raise PageSizeMismatch(len(data), self.page_size)
+        self._check_range(first_page, len(data) // self.page_size)
+        lo = first_page * self.page_size
+        self._data[lo : lo + len(data)] = data
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist the volume image to a file."""
+        header = _FILE_HEADER.pack(_FILE_MAGIC, self.page_size, self.num_pages)
+        with open(path, "wb") as f:
+            f.write(header)
+            f.write(self._data)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "DiskVolume":
+        """Restore a volume previously written by :meth:`save`."""
+        with open(path, "rb") as f:
+            header = f.read(_FILE_HEADER.size)
+            magic, page_size, num_pages = _FILE_HEADER.unpack(header)
+            if magic != _FILE_MAGIC:
+                raise ValueError(f"{path!s} is not a saved DiskVolume image")
+            volume = cls(num_pages=num_pages, page_size=page_size)
+            data = f.read(num_pages * page_size)
+            if len(data) != num_pages * page_size:
+                raise ValueError(f"{path!s} is truncated")
+            volume._data[:] = data
+        return volume
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiskVolume(num_pages={self.num_pages}, page_size={self.page_size}, "
+            f"stats={self.stats!r})"
+        )

@@ -1,0 +1,112 @@
+"""Fault injection for crash testing at the disk layer.
+
+:class:`FaultyDisk` wraps a :class:`~repro.storage.disk.DiskVolume` and
+fails (raising :class:`DiskFault`) after a configured number of page
+writes — the classic "power loss mid-flush" model.  Writes up to the
+fault point are durable, the failing write is *not* applied (whole-page
+atomicity, the assumption Section 4.5's single-root-write commit relies
+on), and everything after the fault raises until :meth:`heal` is called.
+
+Tests use it to show that wherever the crash lands inside an update,
+the committed state remains exactly the old version or exactly the new
+one — never a torn mixture.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.disk import DiskVolume
+from repro.storage.page import PageId
+
+
+class DiskFault(StorageError):
+    """The simulated device failed (power loss / controller fault)."""
+
+
+class FaultyDisk:
+    """A DiskVolume proxy that dies after ``fail_after_writes`` writes.
+
+    Reads always succeed (the platters survive the crash).  The proxy
+    exposes the same transfer interface as :class:`DiskVolume`, so it
+    can be swapped in wherever a disk is expected.
+    """
+
+    def __init__(self, inner: DiskVolume) -> None:
+        self.inner = inner
+        self.fail_after_writes: int | None = None
+        self.writes_seen = 0
+        self.faulted = False
+
+    # -- fault control -------------------------------------------------------
+
+    def arm(self, fail_after_writes: int) -> None:
+        """Fail the (N+1)-th page-write call from now on."""
+        if fail_after_writes < 0:
+            raise ValueError("fail_after_writes must be >= 0")
+        self.fail_after_writes = fail_after_writes
+        self.writes_seen = 0
+        self.faulted = False
+
+    def heal(self) -> None:
+        """Clear the fault (the machine rebooted; the device is fine)."""
+        self.fail_after_writes = None
+        self.faulted = False
+
+    def _check_write(self) -> None:
+        if self.faulted:
+            raise DiskFault("device offline after fault")
+        if self.fail_after_writes is not None:
+            if self.writes_seen >= self.fail_after_writes:
+                self.faulted = True
+                raise DiskFault(
+                    f"simulated power loss at write #{self.writes_seen + 1}"
+                )
+            self.writes_seen += 1
+
+    # -- DiskVolume interface --------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return self.inner.num_pages
+
+    @property
+    def page_size(self) -> int:
+        return self.inner.page_size
+
+    @property
+    def size_bytes(self) -> int:
+        return self.inner.size_bytes
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    def read_page(self, page: PageId) -> bytes:
+        """Reads always succeed."""
+        return self.inner.read_page(page)
+
+    def read_pages(self, first_page: PageId, n_pages: int) -> bytes:
+        """Reads always succeed."""
+        return self.inner.read_pages(first_page, n_pages)
+
+    def write_page(self, page: PageId, image) -> None:
+        """Write one page, or die at the armed fault point."""
+        self._check_write()
+        self.inner.write_page(page, image)
+
+    def write_pages(self, first_page: PageId, data) -> None:
+        """Write a run, or die at the armed fault point."""
+        self._check_write()
+        self.inner.write_pages(first_page, data)
+
+    def peek(self, first_page: PageId, n_pages: int = 1) -> bytes:
+        """Unaccounted read-through (test helper)."""
+        return self.inner.peek(first_page, n_pages)
+
+    def poke(self, first_page: PageId, data) -> None:
+        """Unaccounted write-through (test helper)."""
+        self.inner.poke(first_page, data)
+
+    def save(self, path) -> None:
+        """Persist the underlying volume image."""
+        self.inner.save(path)

@@ -1,0 +1,61 @@
+"""Disk geometry: converting seek/transfer counts into estimated time.
+
+The paper's thesis is that I/O rates should be "close to transfer rates",
+which is only meaningful relative to how expensive a seek is compared to
+a page transfer.  :class:`DiskGeometry` captures that ratio.  Rotational
+latency is folded into the average seek cost, as is conventional for
+back-of-envelope storage arithmetic.
+
+Three presets are provided:
+
+* :data:`DISK_1992` — a drive contemporary with the paper (think Seagate
+  Wren-class): ~16 ms average seek+rotation, ~1.3 ms to transfer a 4 KB
+  page (≈3 MB/s media rate).  A seek costs about 12 page transfers.
+* :data:`MODERN_HDD` — ~8 ms average seek, ~0.02 ms per 4 KB page
+  (≈200 MB/s).  A seek costs about 400 page transfers, so preserving
+  physical contiguity matters *more* on modern spinning disks.
+* :data:`MODERN_SSD` — no mechanical seek; a small per-command overhead
+  stands in for one.  Included so experiments can show which conclusions
+  are geometry-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.iostats import IOSnapshot
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Cost constants for one disk model.
+
+    ``transfer_ms_per_page`` is normalised to ``reference_page_size``
+    bytes; :meth:`cost_ms` scales it linearly for other page sizes.
+    """
+
+    name: str
+    seek_ms: float
+    transfer_ms_per_page: float
+    reference_page_size: int = 4096
+
+    def transfer_ms(self, page_size: int) -> float:
+        """Per-page transfer time for pages of ``page_size`` bytes."""
+        return self.transfer_ms_per_page * (page_size / self.reference_page_size)
+
+    def cost_ms(self, seeks: int, pages: int, page_size: int = 4096) -> float:
+        """Estimated milliseconds for ``seeks`` seeks plus ``pages`` transfers."""
+        return seeks * self.seek_ms + pages * self.transfer_ms(page_size)
+
+    def cost_of(self, snap: IOSnapshot, page_size: int = 4096) -> float:
+        """Estimated milliseconds for a recorded I/O snapshot or delta."""
+        return self.cost_ms(snap.seeks, snap.page_transfers, page_size)
+
+    def seek_equivalent_pages(self, page_size: int = 4096) -> float:
+        """How many page transfers one seek costs — the contiguity premium."""
+        return self.seek_ms / self.transfer_ms(page_size)
+
+
+DISK_1992 = DiskGeometry(name="disk-1992", seek_ms=16.0, transfer_ms_per_page=1.33)
+MODERN_HDD = DiskGeometry(name="modern-hdd", seek_ms=8.0, transfer_ms_per_page=0.02)
+MODERN_SSD = DiskGeometry(name="modern-ssd", seek_ms=0.02, transfer_ms_per_page=0.01)

@@ -1,0 +1,145 @@
+"""I/O accounting with a disk-head position model.
+
+The paper reasons about operation cost as *seeks* plus *page transfers*:
+reading a 6-page range spread over 3 segments costs "3 disk seeks plus
+the cost to transfer 6 pages" (Section 4.2).  :class:`IOStats` produces
+those numbers mechanically:
+
+* every page transferred (read or written) increments a transfer counter;
+* a transfer *run* that does not begin where the head was left after the
+  previous run costs one seek.
+
+A contiguous multi-page read issued as a single call is one run: one seek
+(at most) plus N transfers.  Reading the same N pages with N single-page
+calls is still seek-free *if* they are physically consecutive — the head
+model, not the call structure, decides — which matches how a real drive
+behaves and keeps comparisons between EOS and the page-at-a-time
+baselines honest.
+
+Use :meth:`IOStats.delta` to measure a region of code::
+
+    with stats.delta() as d:
+        obj.read(0, 1 << 20)
+    print(d.seeks, d.page_reads)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class IOSnapshot:
+    """Immutable copy of the counters at one instant."""
+
+    seeks: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    read_calls: int = 0
+    write_calls: int = 0
+
+    @property
+    def page_transfers(self) -> int:
+        """Total pages moved in either direction."""
+        return self.page_reads + self.page_writes
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            seeks=self.seeks - other.seeks,
+            page_reads=self.page_reads - other.page_reads,
+            page_writes=self.page_writes - other.page_writes,
+            read_calls=self.read_calls - other.read_calls,
+            write_calls=self.write_calls - other.write_calls,
+        )
+
+
+@dataclass
+class IODelta:
+    """Mutable view populated when a :meth:`IOStats.delta` block exits."""
+
+    seeks: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    read_calls: int = 0
+    write_calls: int = 0
+
+    @property
+    def page_transfers(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def _fill(self, snap: IOSnapshot) -> None:
+        self.seeks = snap.seeks
+        self.page_reads = snap.page_reads
+        self.page_writes = snap.page_writes
+        self.read_calls = snap.read_calls
+        self.write_calls = snap.write_calls
+
+
+@dataclass
+class IOStats:
+    """Running seek/transfer counters shared by one disk volume."""
+
+    seeks: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    read_calls: int = 0
+    write_calls: int = 0
+    # Physical page the head would be positioned after the last transfer,
+    # or None before any I/O (the first access always seeks).
+    head: int | None = field(default=None, repr=False)
+
+    @property
+    def page_transfers(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def record_read(self, first_page: int, n_pages: int) -> None:
+        """Account for a contiguous read of ``n_pages`` starting at ``first_page``."""
+        self._record(first_page, n_pages, is_write=False)
+
+    def record_write(self, first_page: int, n_pages: int) -> None:
+        """Account for a contiguous write of ``n_pages`` starting at ``first_page``."""
+        self._record(first_page, n_pages, is_write=True)
+
+    def _record(self, first_page: int, n_pages: int, *, is_write: bool) -> None:
+        if n_pages <= 0:
+            return
+        if self.head != first_page:
+            self.seeks += 1
+        self.head = first_page + n_pages
+        if is_write:
+            self.page_writes += n_pages
+            self.write_calls += 1
+        else:
+            self.page_reads += n_pages
+            self.read_calls += 1
+
+    def snapshot(self) -> IOSnapshot:
+        """An immutable copy of the current counters."""
+        return IOSnapshot(
+            seeks=self.seeks,
+            page_reads=self.page_reads,
+            page_writes=self.page_writes,
+            read_calls=self.read_calls,
+            write_calls=self.write_calls,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters and forget the head position."""
+        self.seeks = 0
+        self.page_reads = 0
+        self.page_writes = 0
+        self.read_calls = 0
+        self.write_calls = 0
+        self.head = None
+
+    @contextlib.contextmanager
+    def delta(self) -> Iterator[IODelta]:
+        """Context manager yielding the I/O performed inside the block."""
+        before = self.snapshot()
+        d = IODelta()
+        try:
+            yield d
+        finally:
+            d._fill(self.snapshot() - before)

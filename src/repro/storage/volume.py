@@ -1,0 +1,135 @@
+"""Volume layout: a header page plus a sequence of buddy segment spaces.
+
+The buddy system of Section 3 "manages a number of large fixed-size disk
+sections of physically adjacent pages, called buddy segment spaces".
+:class:`Volume` is the layer that carves a raw :class:`DiskVolume` into:
+
+* page 0 — a header recording the layout (so a volume image can be
+  re-opened), and
+* one or more *space extents*, each consisting of a 1-page directory
+  followed by ``capacity`` physically adjacent allocatable pages.
+
+Segment addresses used by the buddy system are *space-local* (0-based
+within the allocatable area); :class:`SpaceExtent` converts them to
+physical page numbers.  Keeping the two address spaces distinct mirrors
+the paper, where the allocation map numbers pages within its own space.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import VolumeLayoutError
+from repro.storage.disk import DiskVolume
+from repro.storage.page import PageId
+
+_HEADER_MAGIC = b"EOSHDR01"
+_HEADER = struct.Struct("<8sIII")  # magic, page_size, n_spaces, space_capacity
+
+
+@dataclass(frozen=True)
+class SpaceExtent:
+    """Physical placement of one buddy space on the volume."""
+
+    index: int
+    directory_page: PageId
+    first_data_page: PageId
+    capacity: int  # allocatable pages (space-local addresses 0..capacity-1)
+
+    def to_physical(self, local_page: int) -> PageId:
+        """Translate a space-local page address to a physical page number."""
+        if local_page < 0 or local_page >= self.capacity:
+            raise VolumeLayoutError(
+                f"local page {local_page} outside space {self.index} "
+                f"(capacity {self.capacity})"
+            )
+        return self.first_data_page + local_page
+
+    def to_local(self, physical_page: PageId) -> int:
+        """Translate a physical page number back to a space-local address."""
+        local = physical_page - self.first_data_page
+        if local < 0 or local >= self.capacity:
+            raise VolumeLayoutError(
+                f"physical page {physical_page} is not inside space {self.index}"
+            )
+        return local
+
+
+class Volume:
+    """A formatted disk: header page + equal-capacity buddy spaces.
+
+    All spaces share one capacity because the paper sizes buddy spaces to
+    disk characteristics ("the buddy space size must be carefully matched
+    to the physical properties of the disk storage"), which is uniform
+    across a volume.
+    """
+
+    def __init__(self, disk: DiskVolume, n_spaces: int, space_capacity: int) -> None:
+        if n_spaces <= 0:
+            raise VolumeLayoutError(f"need at least one buddy space, got {n_spaces}")
+        if space_capacity <= 0:
+            raise VolumeLayoutError(
+                f"space capacity must be positive, got {space_capacity}"
+            )
+        needed = 1 + n_spaces * (1 + space_capacity)
+        if needed > disk.num_pages:
+            raise VolumeLayoutError(
+                f"layout needs {needed} pages, disk has {disk.num_pages}"
+            )
+        self.disk = disk
+        self.n_spaces = n_spaces
+        self.space_capacity = space_capacity
+        self.spaces = [
+            SpaceExtent(
+                index=i,
+                directory_page=1 + i * (1 + space_capacity),
+                first_data_page=1 + i * (1 + space_capacity) + 1,
+                capacity=space_capacity,
+            )
+            for i in range(n_spaces)
+        ]
+
+    # -- formatting ---------------------------------------------------------
+
+    @classmethod
+    def format(
+        cls, disk: DiskVolume, n_spaces: int, space_capacity: int
+    ) -> "Volume":
+        """Lay out a fresh volume and write its header page."""
+        volume = cls(disk, n_spaces, space_capacity)
+        header = bytearray(disk.page_size)
+        header[: _HEADER.size] = _HEADER.pack(
+            _HEADER_MAGIC, disk.page_size, n_spaces, space_capacity
+        )
+        disk.write_page(0, header)
+        return volume
+
+    @classmethod
+    def open(cls, disk: DiskVolume) -> "Volume":
+        """Re-open a previously formatted volume from its header page."""
+        header = disk.read_page(0)
+        magic, page_size, n_spaces, space_capacity = _HEADER.unpack(
+            header[: _HEADER.size]
+        )
+        if magic != _HEADER_MAGIC:
+            raise VolumeLayoutError("page 0 does not contain a volume header")
+        if page_size != disk.page_size:
+            raise VolumeLayoutError(
+                f"header page size {page_size} != disk page size {disk.page_size}"
+            )
+        return cls(disk, n_spaces, space_capacity)
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def total_data_pages(self) -> int:
+        """Allocatable pages across all spaces."""
+        return self.n_spaces * self.space_capacity
+
+    def space_of_physical(self, page: PageId) -> SpaceExtent:
+        """Find the space extent containing a physical data page."""
+        for extent in self.spaces:
+            if extent.first_data_page <= page < extent.first_data_page + extent.capacity:
+                return extent
+        raise VolumeLayoutError(f"physical page {page} is not in any buddy space")

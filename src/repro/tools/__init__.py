@@ -1,0 +1,12 @@
+"""Operator tools: structure dumps and whole-database checking.
+
+* :mod:`repro.tools.inspect` — render buddy-space maps and object trees
+  as text (also a CLI: ``python -m repro.tools.inspect image.db``);
+* :mod:`repro.tools.fsck` — cross-check the allocator against every
+  catalogued object: no leaks, no double-claims, no dangling segments.
+"""
+
+from repro.tools.fsck import FsckReport, fsck
+from repro.tools.inspect import dump_object, dump_space, dump_volume
+
+__all__ = ["FsckReport", "fsck", "dump_object", "dump_space", "dump_volume"]

@@ -1,0 +1,157 @@
+"""Whole-database consistency checking ("fsck" for EOS volumes).
+
+Cross-checks three independent sources of truth:
+
+1. every buddy space's directory (count array vs. allocation map,
+   maximal coalescing, encoding well-formedness);
+2. every catalogued object's tree (counts, occupancy, segment sizes);
+3. the *page ledger*: each allocatable page must be either free in its
+   buddy space or claimed by exactly one owner (a segment, an index
+   page, or an object root).  Pages allocated but claimed by nobody are
+   leaks; pages claimed by two owners are corruption.
+
+CLI::
+
+    python -m repro.tools.fsck image.db
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.api import EOSDatabase
+from repro.core.node import Node
+from repro.errors import ReproError
+
+
+@dataclass
+class FsckReport:
+    """Findings of one check run."""
+
+    objects_checked: int = 0
+    spaces_checked: int = 0
+    pages_free: int = 0
+    pages_claimed: int = 0
+    leaked_pages: list[int] = field(default_factory=list)
+    double_claimed: list[int] = field(default_factory=list)
+    claims_of_free_pages: list[int] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.errors
+            or self.leaked_pages
+            or self.double_claimed
+            or self.claims_of_free_pages
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary of the findings."""
+        status = "CLEAN" if self.clean else "CORRUPT"
+        lines = [
+            f"fsck: {status} — {self.objects_checked} objects, "
+            f"{self.spaces_checked} spaces, {self.pages_claimed} pages "
+            f"claimed, {self.pages_free} free",
+        ]
+        if self.leaked_pages:
+            lines.append(f"  leaked pages ({len(self.leaked_pages)}): "
+                         f"{self.leaked_pages[:10]}...")
+        if self.double_claimed:
+            lines.append(f"  double-claimed pages: {self.double_claimed[:10]}")
+        if self.claims_of_free_pages:
+            lines.append(
+                f"  claimed-but-free pages: {self.claims_of_free_pages[:10]}"
+            )
+        lines.extend(f"  error: {e}" for e in self.errors)
+        return "\n".join(lines)
+
+
+def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
+    """Run all checks; never raises — findings land in the report.
+
+    ``expect_no_leaks=False`` suppresses leak findings, for volumes known
+    to contain objects outside the catalog (client-placed roots).
+    """
+    report = FsckReport()
+
+    # 1. Allocator state, and the set of allocated pages.
+    allocated: set[int] = set()
+    for index in range(db.volume.n_spaces):
+        extent = db.volume.spaces[index]
+        try:
+            space = db.buddy.load_space(index)
+            segments = space.verify()
+        except ReproError as exc:
+            report.errors.append(f"space {index}: {exc}")
+            continue
+        report.spaces_checked += 1
+        for seg in segments:
+            pages = range(
+                extent.to_physical(seg.start),
+                extent.to_physical(seg.start) + seg.size,
+            )
+            if seg.allocated:
+                allocated.update(pages)
+            else:
+                report.pages_free += seg.size
+
+    # 2. Object trees, and the pages they claim.
+    claims: dict[int, str] = {}
+
+    def claim(page: int, n: int, what: str) -> None:
+        for p in range(page, page + n):
+            if p in claims:
+                report.double_claimed.append(p)
+            elif p not in allocated:
+                report.claims_of_free_pages.append(p)
+            else:
+                claims[p] = what
+
+    for obj in db.objects():
+        oid = getattr(obj, "oid", "?")
+        try:
+            obj.verify()
+        except ReproError as exc:
+            report.errors.append(f"object {oid}: {exc}")
+            continue
+        except AssertionError as exc:
+            report.errors.append(f"object {oid}: {exc}")
+            continue
+        report.objects_checked += 1
+        claim(obj.root_page, 1, f"root of oid {oid}")
+
+        def walk(node: Node, oid=oid) -> None:
+            for entry in node.entries:
+                if node.level == 0:
+                    claim(entry.child, entry.pages, f"segment of oid {oid}")
+                else:
+                    claim(entry.child, 1, f"index of oid {oid}")
+                    walk(db.pager.read(entry.child))
+
+        walk(obj.tree.read_root())
+
+    report.pages_claimed = len(claims)
+    if expect_no_leaks:
+        report.leaked_pages = sorted(allocated - set(claims))
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: check a saved volume image; exit 1 if corrupt."""
+    parser = argparse.ArgumentParser(description="Check an EOS volume image")
+    parser.add_argument("image", help="file written by EOSDatabase.save()")
+    parser.add_argument(
+        "--allow-leaks", action="store_true",
+        help="do not report allocated-but-unclaimed pages",
+    )
+    args = parser.parse_args(argv)
+    db = EOSDatabase.open_file(args.image)
+    report = fsck(db, expect_no_leaks=not args.allow_leaks)
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Human-readable dumps of on-disk structures.
+
+``dump_space`` renders a buddy space the way Figure 3 is drawn — one row
+per canonical segment, with the raw map bytes alongside — and
+``dump_object`` prints a positional tree the way Figure 5 is drawn.
+
+CLI::
+
+    python -m repro.tools.inspect image.db            # whole volume
+    python -m repro.tools.inspect image.db --space 0  # one directory
+    python -m repro.tools.inspect image.db --root 42  # one object tree
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api import EOSDatabase
+from repro.buddy.space import BuddySpace
+from repro.core.node import Node
+from repro.core.tree import LargeObjectTree
+from repro.util.fmt import human_bytes
+
+
+def dump_space(space: BuddySpace, *, max_rows: int = 64) -> str:
+    """Render one buddy space's directory: counts plus the segment list."""
+    lines = [
+        f"buddy space: {space.capacity} pages of {space.page_size} bytes, "
+        f"max segment 2^{space.max_type} = {space.max_segment_pages} pages",
+        "count array: "
+        + "  ".join(
+            f"[{t}]={c}" for t, c in enumerate(space.counts) if c
+        ),
+        f"free pages: {space.free_pages()} / {space.capacity}",
+        "segments:",
+    ]
+    segments = space.amap.decode()
+    for seg in segments[:max_rows]:
+        byte_index = seg.start // 4
+        raw = space.amap.raw[byte_index]
+        status = "alloc" if seg.allocated else "free "
+        lines.append(
+            f"  [{seg.start:>6} .. {seg.end - 1:>6}]  {status}  "
+            f"{seg.size:>5} pages   map[{byte_index}]=0x{raw:02X}"
+        )
+    if len(segments) > max_rows:
+        lines.append(f"  ... {len(segments) - max_rows} more segments")
+    return "\n".join(lines)
+
+
+def dump_object(tree: LargeObjectTree, *, max_entries: int = 32) -> str:
+    """Render an object's positional tree, Figure 5 style."""
+    lines = [
+        f"object @ root page {tree.root_page}: {tree.size()} bytes, "
+        f"height {tree.height()}"
+    ]
+
+    def walk(node: Node, page: int, depth: int, base: int) -> None:
+        pad = "  " * (depth + 1)
+        kind = "leaf-parent" if node.level == 0 else f"level {node.level}"
+        lines.append(
+            f"{pad}node @ page {page} ({kind}): cumulative {node.cumulative()}"
+        )
+        offset = base
+        shown = 0
+        for entry in node.entries:
+            if node.level == 0:
+                if shown < max_entries:
+                    lines.append(
+                        f"{pad}  bytes [{offset} .. {offset + entry.count - 1}] "
+                        f"-> segment @ page {entry.child} x{entry.pages}"
+                    )
+                shown += 1
+            else:
+                walk(tree.pager.read(entry.child), entry.child, depth + 1, offset)
+            offset += entry.count
+        if node.level == 0 and shown > max_entries:
+            lines.append(f"{pad}  ... {shown - max_entries} more segments")
+
+    root = tree.read_root()
+    if root.entries:
+        walk(root, tree.root_page, 0, 0)
+    else:
+        lines.append("  (empty)")
+    return "\n".join(lines)
+
+
+def dump_volume(db: EOSDatabase) -> str:
+    """Summarise a database: layout, free space, catalogued objects."""
+    lines = [
+        f"volume: {db.disk.num_pages} pages of {db.disk.page_size} bytes "
+        f"({human_bytes(db.disk.size_bytes)}), {db.volume.n_spaces} buddy "
+        f"space(s) of {db.volume.space_capacity} pages",
+        f"free: {db.free_pages()} pages "
+        f"({human_bytes(db.free_pages() * db.disk.page_size)})",
+        f"objects: {len(db.objects())}",
+    ]
+    for obj in db.objects():
+        stats = obj.stats()
+        lines.append(
+            f"  oid {getattr(obj, 'oid', '?')}: root page {obj.root_page}, "
+            f"{human_bytes(stats.size_bytes)} in {stats.segments} segments, "
+            f"height {stats.height}, utilization "
+            f"{stats.utilization(db.disk.page_size):.1%}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: dump a saved volume image (or one space/object)."""
+    parser = argparse.ArgumentParser(description="Inspect an EOS volume image")
+    parser.add_argument("image", help="file written by EOSDatabase.save()")
+    parser.add_argument("--space", type=int, help="dump one buddy space's map")
+    parser.add_argument("--root", type=int, help="dump the object tree at this root page")
+    args = parser.parse_args(argv)
+    db = EOSDatabase.open_file(args.image)
+    if args.space is not None:
+        print(dump_space(db.buddy.load_space(args.space)))
+    elif args.root is not None:
+        print(dump_object(db.open_root(args.root).tree))
+    else:
+        print(dump_volume(db))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

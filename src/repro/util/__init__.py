@@ -1,0 +1,26 @@
+"""Small shared utilities: bit arithmetic, size formatting, table rendering."""
+
+from repro.util.bitops import (
+    buddy_of,
+    ceil_div,
+    ceil_log2,
+    floor_log2,
+    is_power_of_two,
+    next_power_of_two,
+    power_of_two_decomposition,
+    reverse_power_of_two_decomposition,
+)
+from repro.util.fmt import TextTable, human_bytes
+
+__all__ = [
+    "buddy_of",
+    "ceil_div",
+    "ceil_log2",
+    "floor_log2",
+    "is_power_of_two",
+    "next_power_of_two",
+    "power_of_two_decomposition",
+    "reverse_power_of_two_decomposition",
+    "TextTable",
+    "human_bytes",
+]

@@ -1,0 +1,129 @@
+"""Power-of-two arithmetic used throughout the buddy system.
+
+The binary buddy system of Section 3 relies on three facts about
+power-of-two-sized, size-aligned segments:
+
+* the buddy of a segment is found by XOR-ing its address with its size
+  (Section 3.2);
+* any segment size can be decomposed into a sum of distinct powers of two,
+  which is exactly the binary representation of the size (Figure 4); and
+* the free remainder of a rounded-up allocation decomposes the same way,
+  but laid out in *reverse* order so every piece stays size-aligned.
+
+These helpers implement that arithmetic once, with the alignment rules
+spelled out, so the allocator code reads like the paper.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive integral power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def floor_log2(n: int) -> int:
+    """Return the largest t with ``2**t <= n``.
+
+    Raises ValueError for non-positive ``n``.
+    """
+    if n <= 0:
+        raise ValueError(f"floor_log2 requires a positive integer, got {n}")
+    return n.bit_length() - 1
+
+
+def ceil_log2(n: int) -> int:
+    """Return the smallest t with ``2**t >= n``.
+
+    Raises ValueError for non-positive ``n``.
+    """
+    if n <= 0:
+        raise ValueError(f"ceil_log2 requires a positive integer, got {n}")
+    return (n - 1).bit_length()
+
+
+def next_power_of_two(n: int) -> int:
+    """Round ``n`` up to the next power of two (identity on powers of two)."""
+    return 1 << ceil_log2(n)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires a positive divisor, got {b}")
+    return -(-a // b)
+
+
+def buddy_of(address: int, size: int) -> int:
+    """Return the buddy of the segment at ``address`` with ``size`` pages.
+
+    Both the address and the size must be powers-of-two-compatible: size a
+    power of two and address a multiple of size.  This is the XOR trick of
+    Section 3.2: the buddy of segment 6 of size 2 is ``0110 ^ 0010 = 0100``
+    (segment 4), and symmetrically the buddy of 4 is 6.
+    """
+    if not is_power_of_two(size):
+        raise ValueError(f"segment size must be a power of two, got {size}")
+    if address % size:
+        raise ValueError(
+            f"segment address {address} is not aligned to its size {size}"
+        )
+    return address ^ size
+
+
+def power_of_two_decomposition(n: int) -> list[int]:
+    """Decompose ``n`` into powers of two, largest first.
+
+    ``11 == 0b1011`` decomposes into ``[8, 2, 1]``.  Laying the pieces out
+    largest-first starting at a sufficiently aligned address keeps every
+    piece aligned to its own size: if the start is aligned to
+    ``next_power_of_two(n)``, each subsequent piece starts at an offset that
+    is a multiple of its size (Figure 4.a/4.b in the paper).
+    """
+    if n < 0:
+        raise ValueError(f"cannot decompose a negative size: {n}")
+    pieces = []
+    bit = 1 << max(n.bit_length() - 1, 0)
+    while bit:
+        if n & bit:
+            pieces.append(bit)
+        bit >>= 1
+    return pieces
+
+
+def reverse_power_of_two_decomposition(n: int) -> list[int]:
+    """Decompose ``n`` into powers of two, smallest first.
+
+    This is the layout for the *free remainder* of a rounded-up allocation.
+    After placing an 11-page allocation at the front of a 16-page segment,
+    the remaining 5 pages must be decomposed smallest-first — ``[1, 4]`` —
+    so that each free piece is aligned to its own size (the paper: "the
+    binary representation of the number of the remaining pages indicates,
+    in reverse order, the proper size of the free segments").
+    """
+    return list(reversed(power_of_two_decomposition(n)))
+
+
+def aligned_run_decomposition(start: int, length: int) -> list[tuple[int, int]]:
+    """Split an arbitrary page run into maximal size-aligned power-of-two pieces.
+
+    Returns ``[(address, size), ...]`` covering ``[start, start+length)``
+    where every piece has a power-of-two size and an address aligned to
+    that size.  This is the canonical form in which the allocation map can
+    represent any run of same-status pages, and the form in which partial
+    frees (Figure 4.c) enter the coalescing loop.
+    """
+    if start < 0 or length < 0:
+        raise ValueError(f"invalid run: start={start} length={length}")
+    pieces: list[tuple[int, int]] = []
+    pos = start
+    remaining = length
+    while remaining:
+        # Largest power of two that both divides the current address
+        # (alignment) and fits in the remaining length.
+        align = pos & -pos if pos else 1 << (remaining.bit_length() - 1)
+        size = min(align, 1 << (remaining.bit_length() - 1))
+        pieces.append((pos, size))
+        pos += size
+        remaining -= size
+    return pieces

@@ -1,0 +1,75 @@
+"""Plain-text formatting helpers for benchmark tables and reports.
+
+The benchmark harness prints tables in the style database papers use:
+fixed-width columns, a header rule, and one row per parameter setting.
+Nothing here depends on the rest of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_UNITS = ["B", "KB", "MB", "GB", "TB"]
+
+
+def human_bytes(n: int | float) -> str:
+    """Format a byte count with a binary-prefix unit (e.g. ``1.5 MB``)."""
+    value = float(n)
+    for unit in _UNITS:
+        if abs(value) < 1024 or unit == _UNITS[-1]:
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+class TextTable:
+    """A fixed-width text table with a title, header and aligned columns.
+
+    >>> t = TextTable("Example", ["x", "y"])
+    >>> t.add_row([1, 2.5])
+    >>> print(t.render())          # doctest: +NORMALIZE_WHITESPACE
+    Example
+    x | y
+    --+-----
+    1 | 2.50
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one row (must match the column count)."""
+        row = [_cell(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render title, header, rule and aligned rows as text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            for row in self.rows
+        ]
+        lines = [self.title, header, rule, *body] if self.title else [header, rule, *body]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,34 @@
+"""Workload generators for the experiments.
+
+The paper motivates large objects with three application families
+(Section 1): multimedia ("playing digital sound recordings, frame-to-
+frame accessing of a movie"), document processing ("pictures may be
+annotated and movie spots may be edited"), and long lists / insertable
+arrays ("elements may be removed from or new ones inserted at any place
+within the list").  Each has a generator here, all seeded and
+deterministic.
+"""
+
+from repro.workloads.generator import (
+    Operation,
+    append_build,
+    random_edits,
+    random_reads,
+    sequential_scan,
+)
+from repro.workloads.traces import (
+    document_edit_session,
+    list_operations,
+    multimedia_playback,
+)
+
+__all__ = [
+    "Operation",
+    "append_build",
+    "random_edits",
+    "random_reads",
+    "sequential_scan",
+    "document_edit_session",
+    "list_operations",
+    "multimedia_playback",
+]

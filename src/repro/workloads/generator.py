@@ -1,0 +1,95 @@
+"""Primitive operation-trace generators.
+
+Every generator yields :class:`Operation` tuples and is driven by a
+seeded :class:`random.Random`, so experiments are reproducible run to
+run.  Payload bytes are derived from the seed as well (cheap pseudo-
+random patterns — the storage layer is content-oblivious, but tests that
+cross-check contents need determinism).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, NamedTuple
+
+
+class Operation(NamedTuple):
+    """One step of a workload trace."""
+
+    kind: str  # append | insert | delete | replace | read
+    offset: int
+    length: int
+    data: bytes = b""
+
+
+def _payload(rng: random.Random, n: int) -> bytes:
+    seed = rng.randrange(256)
+    return bytes((i * 31 + seed) % 251 for i in range(n))
+
+
+def append_build(
+    total_bytes: int, chunk_bytes: int, *, seed: int = 0
+) -> Iterator[Operation]:
+    """Build an object by successive appends (Section 4.1's scenario:
+    "smaller (but sizable) chunks of bytes will be successively appended
+    at the end of the object")."""
+    rng = random.Random(seed)
+    position = 0
+    while position < total_bytes:
+        n = min(chunk_bytes, total_bytes - position)
+        yield Operation("append", position, n, _payload(rng, n))
+        position += n
+
+
+def sequential_scan(
+    total_bytes: int, chunk_bytes: int, *, seed: int = 0
+) -> Iterator[Operation]:
+    """Scan the object front to back in chunks ("one would rather
+    sequentially scan through the object in smaller portions")."""
+    position = 0
+    while position < total_bytes:
+        n = min(chunk_bytes, total_bytes - position)
+        yield Operation("read", position, n)
+        position += n
+
+
+def random_reads(
+    object_bytes: int, read_bytes: int, count: int, *, seed: int = 0
+) -> Iterator[Operation]:
+    """Uniformly random byte-range reads."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        n = min(read_bytes, object_bytes)
+        offset = rng.randrange(max(1, object_bytes - n + 1))
+        yield Operation("read", offset, n)
+
+
+def random_edits(
+    object_bytes: int,
+    count: int,
+    *,
+    edit_bytes: int = 64,
+    insert_fraction: float = 0.5,
+    seed: int = 0,
+) -> Iterator[Operation]:
+    """Uniformly distributed small inserts and deletes.
+
+    This is the Section 4.4 stressor: "a reasonable number of such
+    operations evenly distributed over the object will deteriorate the
+    physical continuity" — unless the threshold mechanism intervenes.
+    The generator tracks the running size so offsets stay valid.
+    """
+    rng = random.Random(seed)
+    size = object_bytes
+    for _ in range(count):
+        do_insert = rng.random() < insert_fraction or size <= edit_bytes
+        if do_insert:
+            n = rng.randint(1, edit_bytes)
+            offset = rng.randrange(size + 1)
+            yield Operation("insert", offset, n, _payload(rng, n))
+            size += n
+        else:
+            n = min(rng.randint(1, edit_bytes), size)
+            offset = rng.randrange(size - n + 1)
+            yield Operation("delete", offset, n)
+            size -= n

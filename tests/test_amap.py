@@ -1,0 +1,207 @@
+"""Unit tests for the allocation-map byte encoding (Figure 2)."""
+
+import pytest
+
+from repro.buddy.amap import (
+    AllocationMap,
+    SegmentView,
+    decode_large,
+    encode_large,
+)
+from repro.errors import BadSegment, DirectoryCorrupt
+
+
+class TestByteEncoding:
+    def test_encode_large_free(self):
+        # Figure 3, byte 17: free segment of size 2^2 = 4.
+        assert encode_large(2, allocated=False) == 0x82
+
+    def test_encode_large_allocated(self):
+        # Figure 3, byte 0: allocated segment of size 2^6 = 64.
+        assert encode_large(6, allocated=True) == 0xC6
+
+    def test_decode_round_trip(self):
+        for size_type in range(2, 14):
+            for allocated in (False, True):
+                byte = encode_large(size_type, allocated)
+                assert decode_large(byte) == (size_type, allocated)
+
+    def test_encoding_supports_up_to_type_63(self):
+        """The paper: "the scheme can support segment sizes of up to 2^63
+        pages, more than what is really needed"."""
+        assert decode_large(encode_large(63, True)) == (63, True)
+        with pytest.raises(ValueError):
+            encode_large(64, True)
+
+    def test_small_types_rejected(self):
+        with pytest.raises(ValueError):
+            encode_large(1, False)
+
+    def test_decode_rejects_non_start_byte(self):
+        with pytest.raises(ValueError):
+            decode_large(0x0F)
+
+
+class TestAllocationMapBasics:
+    def test_fresh_map_is_fully_allocated_singles(self):
+        amap = AllocationMap(8)
+        segments = amap.decode()
+        assert segments == [SegmentView(i, 1, True) for i in range(8)]
+
+    def test_capacity_must_be_multiple_of_four(self):
+        with pytest.raises(ValueError):
+            AllocationMap(10)
+        with pytest.raises(ValueError):
+            AllocationMap(0)
+
+    def test_large_segment_round_trip(self):
+        amap = AllocationMap(16)
+        amap.set_segment(0, 16, allocated=True)
+        assert amap.raw[0] == encode_large(4, True)
+        assert bytes(amap.raw[1:4]) == bytes(3)
+        seg = amap.segment_containing(13)
+        assert seg == SegmentView(0, 16, True)
+
+    def test_walk_left_to_first_nonzero_byte(self):
+        """Continuation quads resolve via "the first nonzero byte on the
+        left", across several zero bytes."""
+        amap = AllocationMap(32)
+        amap.set_segment(0, 32, allocated=False)
+        assert amap.segment_containing(31) == SegmentView(0, 32, False)
+
+    def test_quad_bits_round_trip(self):
+        amap = AllocationMap(4)
+        amap.set_segment(0, 1, allocated=False)
+        amap.set_segment(2, 2, allocated=False)
+        # Page 1 allocated, 0 free, 2-3 free pair.
+        assert amap.segment_containing(0) == SegmentView(0, 1, False)
+        assert amap.segment_containing(1) == SegmentView(1, 1, True)
+        assert amap.segment_containing(2) == SegmentView(2, 2, False)
+        assert amap.segment_containing(3) == SegmentView(2, 2, False)
+
+    def test_all_free_quad_normalises_to_type2(self):
+        """0x00 is reserved for continuations, so an all-free quad must
+        become a free type-2 start byte."""
+        amap = AllocationMap(4)
+        amap.set_segment(0, 2, allocated=False)
+        amap.set_segment(2, 2, allocated=False)
+        assert amap.raw[0] == encode_large(2, allocated=False)
+        assert amap.segment_containing(1) == SegmentView(0, 4, False)
+
+    def test_misaligned_segment_rejected(self):
+        amap = AllocationMap(16)
+        with pytest.raises(BadSegment):
+            amap.set_segment(2, 4, allocated=True)
+        with pytest.raises(BadSegment):
+            amap.set_small(1, 2, allocated=True)
+
+    def test_out_of_range_rejected(self):
+        amap = AllocationMap(8)
+        with pytest.raises(BadSegment):
+            amap.segment_containing(8)
+        with pytest.raises(BadSegment):
+            amap.set_segment(8, 4, allocated=True)
+
+    def test_set_small_inside_large_segment_is_protocol_error(self):
+        amap = AllocationMap(16)
+        amap.set_segment(0, 16, allocated=True)
+        with pytest.raises(BadSegment):
+            amap.set_small(4, 1, allocated=False)
+
+    def test_break_large_dissolves_to_bits(self):
+        amap = AllocationMap(8)
+        amap.set_segment(0, 8, allocated=True)
+        amap.break_large(0)
+        assert amap.decode() == [SegmentView(i, 1, True) for i in range(8)]
+
+    def test_break_large_refuses_free_segments(self):
+        amap = AllocationMap(8)
+        amap.set_segment(0, 8, allocated=False)
+        with pytest.raises(BadSegment):
+            amap.break_large(0)
+
+    def test_free_segment_at(self):
+        amap = AllocationMap(16)
+        amap.set_segment(0, 8, allocated=True)
+        amap.set_segment(8, 8, allocated=False)
+        assert amap.free_segment_at(8, 8)
+        assert not amap.free_segment_at(8, 4)
+        assert not amap.free_segment_at(0, 8)
+        assert not amap.free_segment_at(12, 8)  # would overrun
+
+
+class TestFigure3State:
+    """Build the exact allocation-map state of Figure 3 and decode it."""
+
+    def build(self) -> AllocationMap:
+        amap = AllocationMap(80)
+        amap.set_segment(0, 64, allocated=True)     # byte 0: 0xC6
+        # Quad of pages 64..67: 64 free, 65-66 allocated, 67 free.
+        amap.set_segment(64, 1, allocated=False)
+        amap.set_segment(65, 1, allocated=True)
+        amap.set_segment(66, 1, allocated=True)
+        amap.set_segment(67, 1, allocated=False)
+        amap.set_segment(68, 4, allocated=False)    # byte 17: 0x82
+        amap.set_segment(72, 8, allocated=False)    # byte 18: 0x83
+        return amap
+
+    def test_exact_bytes(self):
+        amap = self.build()
+        assert amap.raw[0] == 0xC6
+        assert bytes(amap.raw[1:16]) == bytes(15)
+        assert amap.raw[16] == 0b0110
+        assert amap.raw[17] == 0x82
+        assert amap.raw[18] == 0x83
+        assert amap.raw[19] == 0x00
+
+    def test_decode_matches_paper_description(self):
+        segments = self.build().decode()
+        assert segments == [
+            SegmentView(0, 64, True),
+            SegmentView(64, 1, False),
+            SegmentView(65, 1, True),
+            SegmentView(66, 1, True),
+            SegmentView(67, 1, False),
+            SegmentView(68, 4, False),
+            SegmentView(72, 8, False),
+        ]
+
+    def test_check_passes(self):
+        self.build().check()
+
+
+class TestCorruptionDetection:
+    def test_leading_continuation_byte(self):
+        amap = AllocationMap(8)
+        amap.raw[0] = 0
+        with pytest.raises(DirectoryCorrupt):
+            amap.decode()
+
+    def test_overrunning_segment(self):
+        amap = AllocationMap(8)
+        amap.raw[0] = encode_large(4, True)  # 16 pages in an 8-page map
+        with pytest.raises(DirectoryCorrupt):
+            amap.decode()
+
+    def test_nonzero_continuation(self):
+        amap = AllocationMap(8)
+        amap.set_segment(0, 8, allocated=True)
+        amap.raw[1] = 0x0F
+        with pytest.raises(DirectoryCorrupt):
+            amap.decode()
+
+    def test_uncoalesced_free_buddies_fail_check(self):
+        amap = AllocationMap(16)
+        amap.set_segment(0, 8, allocated=False)
+        amap.set_segment(8, 8, allocated=False)
+        with pytest.raises(DirectoryCorrupt):
+            amap.check()
+
+    def test_serialisation_round_trip(self):
+        amap = AllocationMap(16)
+        amap.set_segment(0, 8, allocated=True)
+        amap.set_segment(8, 4, allocated=False)
+        amap.set_segment(12, 2, allocated=True)
+        amap.set_segment(14, 2, allocated=False)
+        restored = AllocationMap.from_bytes(amap.to_bytes(), 16)
+        assert restored.decode() == amap.decode()

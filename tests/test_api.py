@@ -1,0 +1,142 @@
+"""Unit tests for the EOSDatabase facade and the bench-suite collation."""
+
+import pytest
+
+from repro import EOSConfig, EOSDatabase
+from repro.errors import ObjectNotFound, VolumeLayoutError
+
+
+class TestDatabaseCreation:
+    def test_defaults(self):
+        db = EOSDatabase.create(num_pages=4096, page_size=512)
+        assert db.config.page_size == 512
+        assert db.volume.n_spaces >= 1
+        assert db.free_pages() > 3000
+
+    def test_page_size_mismatch_rejected(self):
+        with pytest.raises(VolumeLayoutError):
+            EOSDatabase.create(
+                num_pages=1024, page_size=512,
+                config=EOSConfig(page_size=4096),
+            )
+
+    def test_explicit_space_capacity(self):
+        db = EOSDatabase.create(
+            num_pages=1 + 4 * (1 + 256), page_size=512, space_capacity=256
+        )
+        assert db.volume.n_spaces == 4
+        assert db.volume.space_capacity == 256
+
+    def test_small_volume(self):
+        db = EOSDatabase.create(num_pages=64, page_size=512)
+        obj = db.create_object(b"fits")
+        assert obj.read_all() == b"fits"
+
+    def test_multiple_spaces_by_default_on_big_volumes(self):
+        # 512-byte pages cap a space at 1936 pages; 8000 pages -> 4+ spaces.
+        db = EOSDatabase.create(num_pages=8000, page_size=512)
+        assert db.volume.n_spaces >= 4
+
+
+class TestObjectCatalog:
+    def test_oids_are_sequential(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        a = db.create_object()
+        b = db.create_object()
+        assert (a.oid, b.oid) == (1, 2)
+        assert db.get_object(1) is a
+
+    def test_get_object_missing(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        with pytest.raises(ObjectNotFound):
+            db.get_object(99)
+
+    def test_delete_object_removes_from_catalog(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        obj = db.create_object(b"bye")
+        db.delete_object(obj)
+        with pytest.raises(ObjectNotFound):
+            db.get_object(obj.oid)
+        assert db.objects() == []
+
+    def test_open_root_shares_storage(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        obj = db.create_object(b"shared view")
+        view = db.open_root(obj.root_page)
+        assert view.read_all() == b"shared view"
+        view.append(b"!")
+        assert obj.read_all() == b"shared view!"
+
+    def test_db_verify_covers_all_objects(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        for i in range(3):
+            db.create_object(bytes(100 * (i + 1)))
+        db.verify()
+
+
+class TestCheckpoint:
+    def test_checkpoint_flushes_dirty_pages(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        obj = db.create_object(b"x" * 2000)
+        db.checkpoint()
+        # The root page on disk must decode to the object's size.
+        from repro.core.node import Node
+
+        node = Node.from_page(db.disk.peek(obj.root_page))
+        assert node.total_bytes == 2000
+
+
+class TestSuiteCollation:
+    def test_collate_produces_report(self, tmp_path, monkeypatch):
+        import repro.bench.suite as suite
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "f1.txt").write_text("[F1] table one\n")
+        (results / "e4.txt").write_text("[E4] table two\n")
+        (results / "zz_custom.txt").write_text("[ZZ] custom\n")
+        monkeypatch.setattr(suite, "RESULTS_DIR", str(results))
+        out = suite.collate()
+        text = open(out).read()
+        assert text.index("[F1]") < text.index("[E4]") < text.index("[ZZ]")
+
+
+class TestObjectFiles:
+    """Per-file threshold hints (Section 4.4)."""
+
+    def test_objects_inherit_file_threshold(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        movies = db.create_file("movies", threshold=32)
+        clip = movies.create_object(b"x" * 5000)
+        assert clip.policy.base == 32
+
+    def test_file_threshold_change_applies_to_members(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        f = db.create_file("docs", threshold=4)
+        a = f.create_object(b"a" * 1000)
+        b = f.create_object(b"b" * 1000)
+        outsider = db.create_object(b"c" * 1000)
+        f.set_threshold(16)
+        assert a.policy.base == 16 and b.policy.base == 16
+        assert outsider.policy.base == db.config.threshold
+
+    def test_destroyed_objects_drop_out(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        f = db.create_file("tmp")
+        obj = f.create_object(b"gone soon")
+        assert len(f.objects()) == 1
+        db.delete_object(obj)
+        assert f.objects() == []
+
+    def test_duplicate_file_name_rejected(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        db.create_file("x")
+        with pytest.raises(VolumeLayoutError):
+            db.create_file("x")
+
+    def test_get_file(self):
+        db = EOSDatabase.create(num_pages=2048, page_size=512)
+        f = db.create_file("named")
+        assert db.get_file("named") is f
+        with pytest.raises(ObjectNotFound):
+            db.get_file("nope")

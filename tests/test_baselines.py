@@ -1,0 +1,313 @@
+"""Unit + cross-system property tests for the Section 2 baseline stores."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import EOSDatabase
+from repro.baselines import (
+    EOSStore,
+    ExodusStore,
+    Placement,
+    StarburstStore,
+    SystemRStore,
+    WissStore,
+)
+from repro.core.config import EOSConfig
+from repro.errors import ObjectTooLarge, UnsupportedOperation
+
+PAGE = 100
+
+
+def fresh_db(num_pages=6000):
+    config = EOSConfig(page_size=PAGE, threshold=4)
+    return EOSDatabase.create(num_pages=num_pages, page_size=PAGE, config=config)
+
+
+def all_stores(db):
+    return [
+        EOSStore(db),
+        ExodusStore(db.buddy, db.segio, db.pager, leaf_pages=2,
+                    placement=Placement.CLUSTERED),
+        StarburstStore(db.buddy, db.segio),
+        WissStore(db.buddy, db.segio, placement=Placement.CLUSTERED,
+                  max_slices=500),
+    ]
+
+
+def data_of(n, seed=0):
+    return bytes((i * 11 + seed) % 251 for i in range(n))
+
+
+class TestSystemR:
+    def test_create_and_full_read(self):
+        db = fresh_db()
+        store = SystemRStore(db.buddy, db.segio, placement=Placement.CLUSTERED)
+        payload = data_of(5000)
+        h = store.create(payload)
+        assert store.size(h) == 5000
+        assert store.read_all(h) == payload
+
+    def test_32kb_cap(self):
+        db = fresh_db(num_pages=2000)
+        store = SystemRStore(db.buddy, db.segio)
+        with pytest.raises(ObjectTooLarge):
+            store.create(bytes(33 * 1024))
+
+    def test_partial_read_unsupported(self):
+        db = fresh_db()
+        store = SystemRStore(db.buddy, db.segio)
+        h = store.create(data_of(1000))
+        with pytest.raises(UnsupportedOperation):
+            store.read(h, 10, 50)
+
+    def test_updates_unsupported(self):
+        db = fresh_db()
+        store = SystemRStore(db.buddy, db.segio)
+        h = store.create(data_of(1000))
+        for op in (
+            lambda: store.replace(h, 0, b"x"),
+            lambda: store.insert(h, 0, b"x"),
+            lambda: store.delete(h, 0, 1),
+            lambda: store.append(h, b"x"),
+        ):
+            with pytest.raises(UnsupportedOperation):
+                op()
+
+    def test_delete_object_frees_pages(self):
+        db = fresh_db()
+        store = SystemRStore(db.buddy, db.segio, placement=Placement.CLUSTERED)
+        free0 = db.free_pages()
+        h = store.create(data_of(3000))
+        assert db.free_pages() < free0
+        store.delete_object(h)
+        assert db.free_pages() == free0
+
+    def test_chain_reads_page_at_a_time(self):
+        db = fresh_db()
+        store = SystemRStore(db.buddy, db.segio, placement=Placement.SCATTERED)
+        h = store.create(data_of(3000))
+        with db.disk.stats.delta() as d:
+            store.read_all(h)
+        assert d.read_calls == len(h.pages)  # one call per chained page
+
+
+class TestWiss:
+    def test_round_trip_all_operations(self):
+        db = fresh_db()
+        store = WissStore(db.buddy, db.segio, placement=Placement.CLUSTERED)
+        model = bytearray(data_of(700))
+        h = store.create(bytes(model))
+        store.insert(h, 350, b"WXYZ")
+        model[350:350] = b"WXYZ"
+        store.delete(h, 100, 50)
+        del model[100:150]
+        store.replace(h, 0, b"head")
+        model[0:4] = b"head"
+        store.append(h, b"tail")
+        model.extend(b"tail")
+        assert store.read_all(h) == bytes(model)
+
+    def test_directory_cap(self):
+        db = fresh_db(num_pages=2000)
+        store = WissStore(db.buddy, db.segio, placement=Placement.CLUSTERED)
+        assert store.max_object_bytes < 1_000_000  # small pages, small cap
+        with pytest.raises(ObjectTooLarge):
+            store.create(bytes(store.max_object_bytes + PAGE))
+
+    def test_insert_splits_one_slice(self):
+        db = fresh_db()
+        store = WissStore(db.buddy, db.segio, placement=Placement.CLUSTERED)
+        h = store.create(data_of(500))
+        slices_before = len(h.slices)
+        store.insert(h, 250, b"x")
+        # Split slice + new slices for inserted+suffix bytes; bounded.
+        assert len(h.slices) <= slices_before + 2
+
+    def test_slices_never_exceed_one_page(self):
+        db = fresh_db()
+        store = WissStore(db.buddy, db.segio, placement=Placement.CLUSTERED)
+        h = store.create(data_of(600))
+        store.insert(h, 123, data_of(150, seed=1))
+        store.delete(h, 400, 200)
+        assert all(1 <= s.bytes <= PAGE for s in h.slices)
+
+
+class TestStarburst:
+    def test_doubling_growth(self):
+        db = fresh_db()
+        store = StarburstStore(db.buddy, db.segio)
+        h = store.create()
+        for i in range(20):
+            store.append(h, data_of(90, seed=i))
+        assert store.read_all(h) == b"".join(data_of(90, seed=i) for i in range(20))
+
+    def test_known_size_uses_big_segments(self):
+        db = fresh_db()
+        store = StarburstStore(db.buddy, db.segio)
+        h = store.create(data_of(5000), size_hint=5000)
+        assert len(h.segments) == 1
+        assert store.read_all(h) == data_of(5000)
+
+    def test_insert_copies_right(self):
+        """The Section 2 critique: an insert rewrites everything to the
+        right of (and including) the affected segment."""
+        db = fresh_db()
+        store = StarburstStore(db.buddy, db.segio)
+        payload = data_of(5000)
+        h = store.create(payload, size_hint=5000)
+        pages_before = {(s.first_page, s.pages) for s in h.segments}
+        store.insert(h, 100, b"NEW")
+        assert store.read_all(h) == payload[:100] + b"NEW" + payload[100:]
+        # The affected segment (the only one) was replaced wholesale.
+        assert not ({(s.first_page, s.pages) for s in h.segments} & pages_before)
+
+    def test_insert_cost_grows_with_tail(self):
+        db = fresh_db(num_pages=9000)
+        store = StarburstStore(db.buddy, db.segio)
+        h = store.create(data_of(20_000), size_hint=20_000)
+        with db.disk.stats.delta() as early:
+            store.insert(h, 100, b"x")
+        h2 = store.create(data_of(20_000), size_hint=20_000)
+        with db.disk.stats.delta() as late:
+            store.insert(h2, 19_900, b"x")
+        assert early.page_transfers > late.page_transfers
+
+    def test_delete_and_read(self):
+        db = fresh_db()
+        store = StarburstStore(db.buddy, db.segio)
+        payload = data_of(3000)
+        h = store.create(payload, size_hint=3000)
+        store.delete(h, 500, 1000)
+        assert store.read_all(h) == payload[:500] + payload[1500:]
+
+    def test_replace_in_place(self):
+        db = fresh_db()
+        store = StarburstStore(db.buddy, db.segio)
+        h = store.create(data_of(1000), size_hint=1000)
+        segs_before = [(s.first_page, s.pages) for s in h.segments]
+        store.replace(h, 450, b"REPL")
+        assert [(s.first_page, s.pages) for s in h.segments] == segs_before
+        assert store.read(h, 450, 4) == b"REPL"
+
+    def test_trim_leaves_no_spare(self):
+        db = fresh_db()
+        store = StarburstStore(db.buddy, db.segio)
+        h = store.create(data_of(777), size_hint=777)
+        last = h.segments[-1]
+        assert last.pages == -(-last.bytes // PAGE)
+
+
+class TestExodus:
+    @pytest.mark.parametrize("leaf_pages", [1, 2, 4])
+    def test_round_trip(self, leaf_pages):
+        db = fresh_db()
+        store = ExodusStore(
+            db.buddy, db.segio, db.pager, leaf_pages=leaf_pages,
+            placement=Placement.CLUSTERED,
+        )
+        model = bytearray(data_of(3000))
+        h = store.create(bytes(model))
+        store.insert(h, 1500, data_of(250, seed=2))
+        model[1500:1500] = data_of(250, seed=2)
+        store.delete(h, 700, 900)
+        del model[700:1600]
+        store.replace(h, 10, b"abcdef")
+        model[10:16] = b"abcdef"
+        store.append(h, data_of(130, seed=3))
+        model.extend(data_of(130, seed=3))
+        assert store.read_all(h) == bytes(model)
+
+    def test_blocks_are_fixed_size(self):
+        db = fresh_db()
+        store = ExodusStore(db.buddy, db.segio, db.pager, leaf_pages=2,
+                            placement=Placement.CLUSTERED)
+        h = store.create(data_of(2000))
+        for _, entry in h.leaf_entries():
+            assert entry.pages == 2
+            assert entry.count <= store.capacity
+
+    def test_insert_within_block_rewrites_in_place(self):
+        db = fresh_db()
+        store = ExodusStore(db.buddy, db.segio, db.pager, leaf_pages=4,
+                            placement=Placement.CLUSTERED)
+        h = store.create(data_of(300))
+        blocks_before = [e.child for _, e in h.leaf_entries()]
+        store.insert(h, 150, b"abc")
+        assert [e.child for _, e in h.leaf_entries()] == blocks_before
+
+    def test_insert_splits_full_block(self):
+        db = fresh_db()
+        store = ExodusStore(db.buddy, db.segio, db.pager, leaf_pages=2,
+                            placement=Placement.CLUSTERED)
+        h = store.create(data_of(store.capacity))  # one exactly full block
+        store.insert(h, 100, b"spill")
+        entries = [e for _, e in h.leaf_entries()]
+        assert len(entries) == 2
+        assert all(e.count >= store.capacity // 2 for e in entries)
+
+    def test_delete_merges_underfull_blocks(self):
+        db = fresh_db()
+        store = ExodusStore(db.buddy, db.segio, db.pager, leaf_pages=2,
+                            placement=Placement.CLUSTERED)
+        payload = data_of(1600)
+        h = store.create(payload)
+        store.delete(h, 100, 1300)
+        assert store.read_all(h) == payload[:100] + payload[1400:]
+        for _, e in h.leaf_entries():
+            assert e.count >= 1
+
+    def test_free_on_delete_object(self):
+        db = fresh_db()
+        free0 = db.free_pages()
+        store = ExodusStore(db.buddy, db.segio, db.pager, leaf_pages=2,
+                            placement=Placement.CLUSTERED)
+        h = store.create(data_of(4000))
+        store.insert(h, 2000, data_of(500, seed=1))
+        store.delete_object(h)
+        assert db.free_pages() == free0
+
+
+class TestCrossSystemProperty:
+    """Every store that claims full support must agree with the model."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_all_stores_agree_with_model(self, data):
+        db = fresh_db()
+        stores = all_stores(db)
+        which = data.draw(st.integers(0, len(stores) - 1), label="store")
+        store = stores[which]
+        model = bytearray(data_of(data.draw(st.integers(1, 1200), label="n0")))
+        h = store.create(bytes(model))
+        for _ in range(data.draw(st.integers(1, 8), label="steps")):
+            op = data.draw(
+                st.sampled_from(["append", "insert", "delete", "replace", "read"]),
+                label="op",
+            )
+            if op == "append":
+                blob = data_of(data.draw(st.integers(1, 400), label="n"), seed=7)
+                store.append(h, blob)
+                model.extend(blob)
+            elif op == "insert":
+                at = data.draw(st.integers(0, len(model)), label="at")
+                blob = data_of(data.draw(st.integers(1, 300), label="n"), seed=9)
+                store.insert(h, at, blob)
+                model[at:at] = blob
+            elif op == "delete" and model:
+                at = data.draw(st.integers(0, len(model) - 1), label="at")
+                n = data.draw(st.integers(1, len(model) - at), label="n")
+                store.delete(h, at, n)
+                del model[at : at + n]
+            elif op == "replace" and model:
+                at = data.draw(st.integers(0, len(model) - 1), label="at")
+                n = data.draw(st.integers(1, min(200, len(model) - at)), label="n")
+                blob = data_of(n, seed=5)
+                store.replace(h, at, blob)
+                model[at : at + n] = blob
+            elif op == "read" and model:
+                at = data.draw(st.integers(0, len(model) - 1), label="at")
+                n = data.draw(st.integers(1, len(model) - at), label="n")
+                assert store.read(h, at, n) == bytes(model[at : at + n])
+            assert store.size(h) == len(model)
+            assert store.read_all(h) == bytes(model)

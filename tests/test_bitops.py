@@ -1,0 +1,149 @@
+"""Unit and property tests for the power-of-two arithmetic helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    aligned_run_decomposition,
+    buddy_of,
+    ceil_div,
+    ceil_log2,
+    floor_log2,
+    is_power_of_two,
+    next_power_of_two,
+    power_of_two_decomposition,
+    reverse_power_of_two_decomposition,
+)
+
+
+class TestPowerOfTwoPredicates:
+    def test_is_power_of_two_positives(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(4096)
+        assert is_power_of_two(1 << 40)
+
+    def test_is_power_of_two_negatives(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(4097)
+
+    def test_floor_and_ceil_log2(self):
+        assert floor_log2(1) == 0
+        assert floor_log2(11) == 3
+        assert ceil_log2(11) == 4
+        assert floor_log2(16) == ceil_log2(16) == 4
+
+    def test_log2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            floor_log2(0)
+        with pytest.raises(ValueError):
+            ceil_log2(-1)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(11) == 16
+        assert next_power_of_two(16) == 16
+
+    def test_ceil_div(self):
+        assert ceil_div(0, 4) == 0
+        assert ceil_div(1, 4) == 1
+        assert ceil_div(1820, 100) == 19  # Figure 5.a: 19 pages
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+
+class TestBuddyOf:
+    def test_paper_example(self):
+        # Section 3.2: the buddy of segment 6 of size 2 is 4, and vice versa.
+        assert buddy_of(6, 2) == 4
+        assert buddy_of(4, 2) == 6
+
+    def test_figure4_coalescing_chain(self):
+        # Figure 4.c -> 4.d: 10^1=11, 10^2=8, 8^4=12, 8^8=0.
+        assert buddy_of(10, 1) == 11
+        assert buddy_of(10, 2) == 8
+        assert buddy_of(8, 4) == 12
+        assert buddy_of(8, 8) == 0
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            buddy_of(6, 4)
+
+    def test_rejects_non_power_size(self):
+        with pytest.raises(ValueError):
+            buddy_of(0, 3)
+
+    @given(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=1 << 20),
+    )
+    def test_buddy_is_involution(self, t, block):
+        size = 1 << t
+        address = block * size
+        assert buddy_of(buddy_of(address, size), size) == address
+
+
+class TestDecompositions:
+    def test_paper_11_pages(self):
+        # Figure 4: 11 = 8 + 2 + 1 allocated; remainder 5 = 1 + 4 free.
+        assert power_of_two_decomposition(11) == [8, 2, 1]
+        assert reverse_power_of_two_decomposition(5) == [1, 4]
+
+    def test_zero(self):
+        assert power_of_two_decomposition(0) == []
+
+    @given(st.integers(min_value=0, max_value=1 << 24))
+    def test_decomposition_sums(self, n):
+        pieces = power_of_two_decomposition(n)
+        assert sum(pieces) == n
+        assert len(set(pieces)) == len(pieces)  # distinct powers
+
+    @given(st.integers(min_value=1, max_value=1 << 16))
+    def test_forward_layout_is_self_aligned(self, n):
+        """Largest-first from an aligned start keeps each piece aligned."""
+        start = next_power_of_two(n) * 3  # some multiple of the block size
+        pos = start
+        for piece in power_of_two_decomposition(n):
+            assert pos % piece == 0
+            pos += piece
+
+    @given(st.integers(min_value=1, max_value=1 << 16))
+    def test_reverse_layout_is_self_aligned(self, n):
+        """Smallest-first for the remainder keeps each free piece aligned."""
+        block = next_power_of_two(n)
+        pos = n  # remainder starts right after the allocated prefix
+        for piece in reverse_power_of_two_decomposition(block - n):
+            assert pos % piece == 0
+            pos += piece
+        assert pos == block
+
+
+class TestAlignedRunDecomposition:
+    def test_simple(self):
+        assert aligned_run_decomposition(0, 8) == [(0, 8)]
+        assert aligned_run_decomposition(3, 5) == [(3, 1), (4, 4)]
+        assert aligned_run_decomposition(0, 3) == [(0, 2), (2, 1)]
+
+    def test_empty(self):
+        assert aligned_run_decomposition(5, 0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            aligned_run_decomposition(-1, 4)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 16),
+        st.integers(min_value=0, max_value=1 << 12),
+    )
+    def test_covers_exactly_and_aligned(self, start, length):
+        pieces = aligned_run_decomposition(start, length)
+        pos = start
+        for addr, size in pieces:
+            assert addr == pos
+            assert is_power_of_two(size)
+            assert addr % size == 0
+            pos += size
+        assert pos == start + length

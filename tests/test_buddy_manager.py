@@ -1,0 +1,213 @@
+"""Unit tests for BuddyManager: multi-space allocation and the superdirectory."""
+
+import pytest
+
+from repro.buddy import BitmapAllocator, BuddyManager
+from repro.errors import BadSegment, OutOfSpace, SegmentTooLarge
+from repro.storage import DiskVolume, Volume
+
+
+def make_manager(n_spaces=2, capacity=16, page_size=128, **kwargs):
+    disk = DiskVolume(num_pages=1 + n_spaces * (1 + capacity), page_size=page_size)
+    volume = Volume.format(disk, n_spaces=n_spaces, space_capacity=capacity)
+    return BuddyManager.format(volume, **kwargs)
+
+
+class TestAllocateFree:
+    def test_allocate_returns_physical_pages(self):
+        manager = make_manager()
+        ref = manager.allocate(8)
+        # Space 0's data area starts at physical page 2.
+        assert ref.first_page == 2
+        assert ref.n_pages == 8
+
+    def test_allocations_do_not_overlap(self):
+        manager = make_manager()
+        seen = set()
+        for _ in range(4):
+            ref = manager.allocate(6)
+            pages = set(range(ref.first_page, ref.end))
+            assert not pages & seen
+            seen |= pages
+        manager.verify()
+
+    def test_spills_to_second_space(self):
+        manager = make_manager(n_spaces=2, capacity=16)
+        manager.allocate(16)
+        ref = manager.allocate(16)
+        assert ref.first_page == manager.volume.spaces[1].first_data_page
+
+    def test_out_of_space(self):
+        manager = make_manager(n_spaces=1, capacity=16)
+        manager.allocate(16)
+        with pytest.raises(OutOfSpace):
+            manager.allocate(1)
+
+    def test_too_large_request(self):
+        manager = make_manager(n_spaces=1, capacity=16)
+        with pytest.raises(SegmentTooLarge):
+            manager.allocate(32)
+
+    def test_free_whole_segment_and_reuse(self):
+        manager = make_manager(n_spaces=1, capacity=16)
+        ref = manager.allocate(16)
+        manager.free_segment(ref)
+        again = manager.allocate(16)
+        assert again == ref
+
+    def test_free_portion(self):
+        """Trimming: free only the unused tail of a segment."""
+        manager = make_manager(n_spaces=1, capacity=16)
+        ref = manager.allocate(16)
+        manager.free(ref.first_page + 11, 5)  # trim to 11 pages
+        manager.verify()
+        tail = manager.allocate(4)
+        assert tail.first_page == ref.first_page + 12
+
+    def test_free_crossing_space_rejected(self):
+        manager = make_manager(n_spaces=2, capacity=16)
+        ref = manager.allocate(16)
+        with pytest.raises(BadSegment):
+            manager.free(ref.first_page + 8, 16)
+
+    def test_allocate_up_to_fragmented(self):
+        manager = make_manager(n_spaces=1, capacity=16)
+        manager.allocate(8)
+        manager.allocate(2)
+        ref = manager.allocate_up_to(8)
+        assert ref.n_pages == 4
+        manager.verify()
+
+    def test_free_pages_accounting(self):
+        manager = make_manager(n_spaces=2, capacity=16)
+        assert manager.free_pages() == 32
+        manager.allocate(11)
+        assert manager.free_pages() == 21
+
+
+class TestSuperdirectory:
+    def test_initial_guesses_are_optimistic(self):
+        manager = make_manager(n_spaces=3, capacity=16)
+        assert manager.superdirectory() == [manager.max_type] * 3
+
+    def test_skip_counting(self):
+        manager = make_manager(n_spaces=2, capacity=16)
+        manager.allocate(16)
+        manager.allocate(16)  # corrected guess for space 0 -> -1 (full)
+        manager.stats.superdirectory_skips = 0
+        with pytest.raises(OutOfSpace):
+            manager.allocate(1)
+        # Space 0 was skipped outright; space 1 was visited and corrected.
+        assert manager.stats.superdirectory_skips >= 1
+
+    def test_self_correction_on_wrong_guess(self):
+        """A fresh manager starts optimistic; "the first wrong guess ...
+        will correct the superdirectory information"."""
+        manager = make_manager(n_spaces=2, capacity=16)
+        manager.allocate(16)  # fill space 0
+        manager.pool.flush_all()
+        # Re-open with a fresh (optimistic, erroneous) superdirectory.
+        fresh = BuddyManager(manager.volume)
+        assert fresh.superdirectory()[0] == fresh.max_type  # wrong: space 0 full
+        ref = fresh.allocate(16)  # visits space 0, fails, corrects, moves on
+        assert ref.first_page == fresh.volume.spaces[1].first_data_page
+        assert fresh.stats.superdirectory_corrections == 1
+        assert fresh.superdirectory()[0] == -1
+        # Subsequent requests skip space 0 without touching its directory.
+        fresh.stats.directory_loads = 0
+        with pytest.raises(OutOfSpace):
+            fresh.allocate(16)
+        assert fresh.stats.directory_loads == 0
+
+    def test_without_superdirectory_every_space_is_visited(self):
+        with_sd = make_manager(n_spaces=4, capacity=16, use_superdirectory=True)
+        without_sd = make_manager(n_spaces=4, capacity=16, use_superdirectory=False)
+        for manager in (with_sd, without_sd):
+            for _ in range(4):
+                manager.allocate(16)
+            manager.stats.directory_loads = 0
+            with pytest.raises(OutOfSpace):
+                manager.allocate(16)
+        assert with_sd.stats.directory_loads == 0      # all four skipped
+        assert without_sd.stats.directory_loads == 4   # all four probed
+
+    def test_latch_is_used(self):
+        manager = make_manager()
+        before = manager.superdirectory_latch.acquisitions
+        manager.allocate(4)
+        assert manager.superdirectory_latch.acquisitions > before
+
+
+class TestDirectoryIO:
+    def test_hot_directory_costs_no_physical_io(self):
+        """Paper 3.3: repeated allocations touch only the cached directory."""
+        manager = make_manager(n_spaces=1, capacity=16, write_through=False)
+        manager.allocate(1)
+        reads_before = manager.volume.disk.stats.page_reads
+        manager.allocate(1)
+        manager.allocate(1)
+        assert manager.volume.disk.stats.page_reads == reads_before
+
+    def test_cold_allocation_is_one_page_read(self):
+        """E1's headline: 1 disk access per allocation, any segment size."""
+        manager = make_manager(n_spaces=1, capacity=16, write_through=False)
+        manager.pool.clear()
+        with manager.volume.disk.stats.delta() as d:
+            manager.allocate(16)
+        assert d.page_reads == 1
+
+    def test_directory_persists_across_reopen(self):
+        disk = DiskVolume(num_pages=1 + 17, page_size=128)
+        volume = Volume.format(disk, n_spaces=1, space_capacity=16)
+        manager = BuddyManager.format(volume)
+        ref = manager.allocate(11)
+        manager.pool.flush_all()
+        # Re-open the same disk with a fresh manager.
+        volume2 = Volume.open(disk)
+        manager2 = BuddyManager(volume2)
+        assert manager2.free_pages() == 5
+        manager2.free_segment(ref)
+        assert manager2.free_pages() == 16
+
+
+class TestBitmapBaseline:
+    def test_allocate_and_free(self):
+        disk = DiskVolume(num_pages=200, page_size=128)
+        bitmap = BitmapAllocator(disk, first_page=0, capacity=128)
+        ref = bitmap.allocate(10)
+        assert ref.n_pages == 10
+        assert bitmap.free_pages() == 118
+        bitmap.free(ref.first_page, ref.n_pages)
+        assert bitmap.free_pages() == 128
+
+    def test_first_fit_reuses_holes(self):
+        disk = DiskVolume(num_pages=200, page_size=128)
+        bitmap = BitmapAllocator(disk, first_page=0, capacity=128)
+        a = bitmap.allocate(10)
+        bitmap.allocate(10)
+        bitmap.free(a.first_page, a.n_pages)
+        c = bitmap.allocate(8)
+        assert c.first_page == a.first_page
+
+    def test_double_alloc_detected(self):
+        disk = DiskVolume(num_pages=200, page_size=128)
+        bitmap = BitmapAllocator(disk, first_page=0, capacity=128)
+        ref = bitmap.allocate(4)
+        with pytest.raises(BadSegment):
+            bitmap.free(ref.first_page + 2, 4)  # partially free range
+
+    def test_out_of_space(self):
+        disk = DiskVolume(num_pages=200, page_size=128)
+        bitmap = BitmapAllocator(disk, first_page=0, capacity=128)
+        bitmap.allocate(100)
+        with pytest.raises(OutOfSpace):
+            bitmap.allocate(64)
+
+    def test_map_touches_grow_with_volume(self):
+        """The E1 contrast: bitmap touches scale, buddy stays at one page."""
+        disk = DiskVolume(num_pages=4200, page_size=128)
+        bitmap = BitmapAllocator(disk, first_page=0, capacity=4096)
+        bitmap.allocate(2048)
+        bitmap.map_page_touches = 0
+        bitmap.allocate(1024)  # must scan past the first 2048 pages
+        assert bitmap.map_page_touches > 2

@@ -1,0 +1,123 @@
+"""Tests for latches and the hierarchical segment release locks."""
+
+import pytest
+
+from repro.concurrency import Latch, LockManager, LockMode
+from repro.errors import LatchError, LockConflict
+
+
+class TestLatch:
+    def test_acquire_release(self):
+        latch = Latch("test")
+        with latch:
+            assert latch.held
+        assert not latch.held
+        assert latch.acquisitions == 1
+
+    def test_non_reentrant(self):
+        latch = Latch("test")
+        latch.acquire()
+        with pytest.raises(LatchError):
+            latch.acquire()
+
+    def test_release_requires_hold(self):
+        latch = Latch("test")
+        with pytest.raises(LatchError):
+            latch.release()
+
+
+class TestByteRangeLocks:
+    def test_shared_locks_coexist(self):
+        locks = LockManager()
+        locks.acquire_range(1, 10, 0, 100, LockMode.S)
+        locks.acquire_range(2, 10, 50, 150, LockMode.S)
+
+    def test_exclusive_conflicts_with_overlap(self):
+        locks = LockManager()
+        locks.acquire_range(1, 10, 0, 100, LockMode.X)
+        with pytest.raises(LockConflict):
+            locks.acquire_range(2, 10, 99, 101, LockMode.X)
+
+    def test_disjoint_exclusive_ok(self):
+        locks = LockManager()
+        locks.acquire_range(1, 10, 0, 100, LockMode.X)
+        locks.acquire_range(2, 10, 100, 200, LockMode.X)
+
+    def test_different_objects_never_conflict(self):
+        locks = LockManager()
+        locks.acquire_range(1, 10, 0, 100, LockMode.X)
+        locks.acquire_range(2, 11, 0, 100, LockMode.X)
+
+    def test_same_transaction_relocks_freely(self):
+        locks = LockManager()
+        locks.acquire_range(1, 10, 0, 100, LockMode.X)
+        locks.acquire_range(1, 10, 50, 150, LockMode.X)
+
+    def test_root_lock_covers_everything(self):
+        locks = LockManager()
+        locks.acquire_root(1, 10, LockMode.X)
+        with pytest.raises(LockConflict):
+            locks.acquire_range(2, 10, 10 ** 9, 10 ** 9 + 1, LockMode.S)
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.acquire_root(1, 10, LockMode.X)
+        locks.release_all(1)
+        locks.acquire_root(2, 10, LockMode.X)
+
+    def test_rejects_bad_modes(self):
+        locks = LockManager()
+        with pytest.raises(ValueError):
+            locks.acquire_range(1, 10, 0, 10, LockMode.RELEASE)
+
+
+class TestSegmentReleaseLocks:
+    """The [Lehm89] scheme: RELEASE on the freed segment, IR on ancestors."""
+
+    def test_lock_places_ir_on_ancestors(self):
+        locks = LockManager()
+        locks.acquire_release_lock(1, start=6, size=2, max_size=16)
+        _, seg_locks = locks.held_by(1)
+        release = [(l.start, l.size) for l in seg_locks if l.mode is LockMode.RELEASE]
+        intents = [
+            (l.start, l.size)
+            for l in seg_locks
+            if l.mode is LockMode.INTENTION_RELEASE
+        ]
+        assert release == [(6, 2)]
+        assert intents == [(4, 4), (0, 8), (0, 16)]
+
+    def test_descendants_remain_unallocated(self):
+        """"Segments that are descendants of a locked segment are also
+        locked, and thus they remain unallocated until the holding
+        transaction releases the locks."
+        """
+        locks = LockManager()
+        locks.acquire_release_lock(1, start=8, size=8, max_size=16)
+        assert locks.segment_blocked(2, start=10, size=2)   # descendant
+        assert locks.segment_blocked(2, start=8, size=8)    # the segment
+        assert locks.segment_blocked(2, start=0, size=16)   # enclosing
+        assert not locks.segment_blocked(2, start=0, size=8)  # disjoint
+        assert not locks.segment_blocked(1, start=10, size=2)  # own txn
+
+    def test_conflicting_release_locks(self):
+        locks = LockManager()
+        locks.acquire_release_lock(1, start=0, size=4, max_size=16)
+        with pytest.raises(LockConflict):
+            locks.acquire_release_lock(2, start=2, size=2, max_size=16)
+
+    def test_disjoint_release_locks_coexist(self):
+        locks = LockManager()
+        locks.acquire_release_lock(1, start=0, size=4, max_size=16)
+        locks.acquire_release_lock(2, start=8, size=4, max_size=16)
+
+    def test_release_unblocks(self):
+        locks = LockManager()
+        locks.acquire_release_lock(1, start=0, size=8, max_size=16)
+        locks.release_all(1)
+        assert not locks.segment_blocked(2, start=0, size=8)
+
+    def test_misaligned_segment_rejected(self):
+        locks = LockManager()
+        with pytest.raises(ValueError):
+            locks.acquire_release_lock(1, start=3, size=2, max_size=16)

@@ -1,0 +1,152 @@
+"""Model-based property tests: the object against a reference bytearray.
+
+Every operation the paper defines — append, read, replace, insert,
+delete, truncate, trim, threshold changes — is applied in random
+interleavings to both a :class:`LargeObject` and a plain ``bytearray``.
+After every step the contents must match and all structural invariants
+must hold; at the end, destroying the object must return every page to
+the allocator.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EOSConfig, EOSDatabase
+
+PAGE = 100
+
+
+def fresh_db(threshold: int) -> EOSDatabase:
+    config = EOSConfig(page_size=PAGE, threshold=threshold)
+    return EOSDatabase.create(num_pages=6000, page_size=PAGE, config=config)
+
+
+def blob(data, label: str) -> bytes:
+    n = data.draw(
+        st.integers(1, 700) | st.integers(1, 40) | st.just(PAGE) | st.just(2 * PAGE),
+        label=label,
+    )
+    seed = data.draw(st.integers(0, 255), label=f"{label}-seed")
+    return bytes((i * 13 + seed) % 251 for i in range(n))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_random_operations_match_bytearray_model(data):
+    threshold = data.draw(st.sampled_from([1, 2, 4, 8]), label="T")
+    db = fresh_db(threshold)
+    free0 = db.free_pages()
+    obj = db.create_object()
+    model = bytearray()
+    steps = data.draw(st.integers(3, 18), label="steps")
+    for _ in range(steps):
+        ops = ["append", "insert", "trim", "set_threshold"]
+        if model:
+            ops += ["read", "replace", "delete", "truncate"]
+        op = data.draw(st.sampled_from(ops), label="op")
+        if op == "append":
+            payload = blob(data, "append")
+            obj.append(payload)
+            model.extend(payload)
+        elif op == "insert":
+            at = data.draw(st.integers(0, len(model)), label="insert-at")
+            payload = blob(data, "insert")
+            obj.insert(at, payload)
+            model[at:at] = payload
+        elif op == "replace":
+            at = data.draw(st.integers(0, len(model) - 1), label="replace-at")
+            n = data.draw(st.integers(1, len(model) - at), label="replace-n")
+            payload = blob(data, "replace")[:n]
+            payload = payload + bytes(n - len(payload))
+            obj.replace(at, payload)
+            model[at : at + n] = payload
+        elif op == "delete":
+            at = data.draw(st.integers(0, len(model) - 1), label="delete-at")
+            n = data.draw(st.integers(1, len(model) - at), label="delete-n")
+            obj.delete(at, n)
+            del model[at : at + n]
+        elif op == "truncate":
+            new_size = data.draw(st.integers(0, len(model)), label="truncate-to")
+            obj.truncate(new_size)
+            del model[new_size:]
+        elif op == "read":
+            at = data.draw(st.integers(0, len(model) - 1), label="read-at")
+            n = data.draw(st.integers(1, len(model) - at), label="read-n")
+            assert obj.read(at, n) == bytes(model[at : at + n])
+        elif op == "trim":
+            obj.trim()
+        elif op == "set_threshold":
+            obj.set_threshold(data.draw(st.sampled_from([1, 2, 4, 8, 16]), label="newT"))
+        assert obj.size() == len(model)
+        assert obj.read_all() == bytes(model)
+        obj.verify()
+        db.buddy.verify()
+    # Teardown: every page must come back.
+    db.delete_object(obj)
+    assert db.free_pages() == free0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_editor_style_workload(data):
+    """Clustered small edits (the paper's document-editing motivation)."""
+    db = fresh_db(threshold=data.draw(st.sampled_from([1, 8]), label="T"))
+    base = bytes(i % 251 for i in range(8000))
+    obj = db.create_object(base, size_hint=len(base))
+    model = bytearray(base)
+    cursor = len(model) // 2
+    for _ in range(data.draw(st.integers(5, 20), label="edits")):
+        cursor = max(0, min(len(model), cursor + data.draw(
+            st.integers(-300, 300), label="move"
+        )))
+        if data.draw(st.booleans(), label="ins?") or not model:
+            payload = blob(data, "edit")[:50]
+            obj.insert(cursor, payload)
+            model[cursor:cursor] = payload
+        else:
+            n = min(data.draw(st.integers(1, 80), label="cut"), len(model) - cursor)
+            if n:
+                obj.delete(cursor, n)
+                del model[cursor : cursor + n]
+        assert obj.read_all() == bytes(model)
+        obj.verify()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 3000),
+    st.sampled_from([1, 4, 16]),
+    st.integers(0, 255),
+)
+def test_append_read_roundtrip_any_size(total, threshold, seed):
+    db = fresh_db(threshold)
+    payload = bytes((i * 7 + seed) % 256 for i in range(total))
+    obj = db.create_object(payload)
+    assert obj.read_all() == payload
+    obj.verify()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_interleaved_objects_do_not_interfere(data):
+    """Multiple objects share one allocator without overlapping pages."""
+    db = fresh_db(threshold=2)
+    objects = [db.create_object() for _ in range(3)]
+    models = [bytearray() for _ in range(3)]
+    for _ in range(data.draw(st.integers(4, 12), label="steps")):
+        which = data.draw(st.integers(0, 2), label="which")
+        obj, model = objects[which], models[which]
+        if model and data.draw(st.booleans(), label="del?"):
+            at = data.draw(st.integers(0, len(model) - 1), label="at")
+            n = data.draw(st.integers(1, len(model) - at), label="n")
+            obj.delete(at, n)
+            del model[at : at + n]
+        else:
+            at = data.draw(st.integers(0, len(model)), label="at")
+            payload = blob(data, "w")
+            obj.insert(at, payload)
+            model[at:at] = payload
+    for obj, model in zip(objects, models):
+        assert obj.read_all() == bytes(model)
+        obj.verify()
+    db.verify()

@@ -1,0 +1,165 @@
+"""Error-path coverage: corrupt inputs, protocol misuse, exhaustion."""
+
+import pytest
+
+from repro import EOSConfig, EOSDatabase
+from repro.buddy.amap import AllocationMap
+from repro.buddy.directory import pack_directory, unpack_directory
+from repro.buddy.space import BuddySpace
+from repro.core.node import Node
+from repro.errors import (
+    DirectoryCorrupt,
+    LogCorrupt,
+    OutOfSpace,
+    RecoveryError,
+    VolumeLayoutError,
+)
+from repro.recovery import ShadowPager, WriteAheadLog
+from repro.recovery.log import OpKind
+from repro.storage import DiskVolume, Volume
+
+
+class TestCorruptInputs:
+    def test_truncated_log_header(self):
+        log = WriteAheadLog()
+        log.append(1, OpKind.BEGIN)
+        raw = log.to_bytes()
+        with pytest.raises(LogCorrupt):
+            WriteAheadLog.from_bytes(raw[:-1])
+
+    def test_truncated_log_payload(self):
+        log = WriteAheadLog()
+        log.append(1, OpKind.INSERT, root_page=1, data=b"payload")
+        raw = log.to_bytes()
+        with pytest.raises(LogCorrupt):
+            WriteAheadLog.from_bytes(raw[:-3])
+
+    def test_amap_from_short_bytes(self):
+        with pytest.raises(DirectoryCorrupt):
+            AllocationMap.from_bytes(b"\x0f", capacity=16)
+
+    def test_directory_wrong_count_length(self):
+        with pytest.raises(DirectoryCorrupt):
+            pack_directory(128, 16, [0, 0], b"\x0f" * 4)  # needs k+1 entries
+
+    def test_directory_count_overflow(self):
+        k = 8  # page size 128 -> 9 entries
+        counts = [0] * 9
+        counts[0] = 70000  # > u16
+        with pytest.raises(DirectoryCorrupt):
+            pack_directory(128, 16, counts, b"\x0f" * 4)
+
+    def test_directory_unknown_version(self):
+        space = BuddySpace.create(page_size=128, capacity=16)
+        image = space.to_page()
+        image[0] = 99
+        with pytest.raises(DirectoryCorrupt):
+            unpack_directory(image)
+
+    def test_directory_page_too_small_for_map(self):
+        space = BuddySpace.create(page_size=128, capacity=16)
+        image = bytes(space.to_page())[:20]
+        with pytest.raises(DirectoryCorrupt):
+            unpack_directory(image)
+
+    def test_volume_open_unformatted_disk(self):
+        disk = DiskVolume(num_pages=32, page_size=128)
+        with pytest.raises(VolumeLayoutError):
+            Volume.open(disk)
+
+    def test_disk_load_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.img"
+        path.write_bytes(b"not a volume image at all" * 10)
+        with pytest.raises(ValueError):
+            DiskVolume.load(path)
+
+    def test_disk_load_truncated(self, tmp_path):
+        disk = DiskVolume(num_pages=8, page_size=128)
+        path = tmp_path / "vol.img"
+        disk.save(path)
+        path.write_bytes(path.read_bytes()[:-64])
+        with pytest.raises(ValueError):
+            DiskVolume.load(path)
+
+
+class TestShadowProtocol:
+    def make(self):
+        db = EOSDatabase.create(
+            num_pages=512, page_size=128,
+            config=EOSConfig(page_size=128),
+        )
+        return db, ShadowPager(db.pager)
+
+    def test_double_begin(self):
+        _, shadow = self.make()
+        shadow.begin_unit()
+        with pytest.raises(RecoveryError):
+            shadow.begin_unit()
+
+    def test_commit_without_begin(self):
+        _, shadow = self.make()
+        with pytest.raises(RecoveryError):
+            shadow.commit_unit(1)
+
+    def test_abort_without_begin(self):
+        _, shadow = self.make()
+        with pytest.raises(RecoveryError):
+            shadow.abort_unit()
+
+    def test_crash_without_begin(self):
+        _, shadow = self.make()
+        with pytest.raises(RecoveryError):
+            shadow.crash_unit()
+
+    def test_abort_frees_only_new_pages(self):
+        db, shadow = self.make()
+        free0 = db.free_pages()
+        shadow.begin_unit()
+        page = shadow.allocate()
+        shadow.write_new(page, Node(0))
+        freed = shadow.abort_unit()
+        assert freed == {page}
+        assert db.free_pages() == free0
+
+
+class TestExhaustion:
+    def test_out_of_space_bubbles_from_object_create(self):
+        config = EOSConfig(page_size=128)
+        db = EOSDatabase.create(num_pages=64, page_size=128, config=config)
+        with pytest.raises(OutOfSpace):
+            db.create_object(bytes(128 * 200))
+
+    def test_partial_failure_leaves_allocator_consistent(self):
+        config = EOSConfig(page_size=128, threshold=2)
+        db = EOSDatabase.create(num_pages=128, page_size=128, config=config)
+        obj = db.create_object(bytes(3000), size_hint=3000)
+        with pytest.raises(OutOfSpace):
+            obj.append(bytes(128 * 200))
+        # The allocator is still internally consistent afterwards.
+        db.buddy.verify()
+
+    def test_allocate_up_to_spills_across_spaces(self):
+        disk = DiskVolume(num_pages=1 + 2 * 17, page_size=128)
+        volume = Volume.format(disk, n_spaces=2, space_capacity=16)
+        from repro.buddy.manager import BuddyManager
+
+        manager = BuddyManager.format(volume)
+        manager.allocate(16)  # space 0 full
+        manager.allocate(8)   # space 1 half full
+        ref = manager.allocate_up_to(16)
+        assert ref.n_pages == 8  # the biggest run anywhere
+        manager.verify()
+
+
+class TestStreamMisuse:
+    def test_closed_stream_rejects_io(self):
+        from repro.core.stream import ObjectStream
+
+        db = EOSDatabase.create(
+            num_pages=512, page_size=128, config=EOSConfig(page_size=128)
+        )
+        stream = ObjectStream(db.create_object(b"data"))
+        stream.close()
+        assert stream.closed
+        # Closing twice is fine (io contract).
+        stream.close()

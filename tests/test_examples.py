@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples double as integration tests of the public API — each one
+asserts its own invariants internally, so "ran to completion" is a
+meaningful check, not just an import test.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)  # examples that write files stay in tmp
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "multimedia_store",
+        "document_editor",
+        "long_array",
+        "archive_volume",
+    } <= names

@@ -1,0 +1,144 @@
+"""Unit tests for positional-tree index nodes (serialization, search)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.node import ENTRY_SIZE, HEADER_SIZE, Entry, Node, fanout, min_entries
+from repro.errors import TreeCorrupt
+
+
+class TestFanout:
+    def test_hundred_byte_pages(self):
+        # (100 - 11) // 14 = 6 entries, min 3 — matches the Figure 5 scale.
+        assert fanout(100) == 6
+        assert min_entries(100) == 3
+
+    def test_4k_pages(self):
+        assert fanout(4096) == (4096 - HEADER_SIZE) // ENTRY_SIZE
+        assert fanout(4096) >= 250
+
+    def test_too_small_page_rejected(self):
+        with pytest.raises(ValueError):
+            fanout(40)
+
+
+class TestSerialization:
+    def test_round_trip_leaf_parent(self):
+        node = Node(0, [Entry(280, 17, 3), Entry(430, 40, 5), Entry(90, 99, 1)])
+        node.lsn = 1234
+        restored = Node.from_page(node.to_page(100))
+        assert restored.level == 0
+        assert restored.lsn == 1234
+        assert [(e.count, e.child, e.pages) for e in restored.entries] == [
+            (280, 17, 3), (430, 40, 5), (90, 99, 1),
+        ]
+
+    def test_round_trip_internal(self):
+        node = Node(2, [Entry(1020, 7), Entry(800, 9)])
+        restored = Node.from_page(node.to_page(100))
+        assert restored.level == 2
+        assert restored.cumulative() == [1020, 1820]
+
+    def test_serialized_form_is_cumulative(self):
+        """The page stores the paper's c[i] values, not per-child counts."""
+        import struct
+
+        node = Node(0, [Entry(100, 1, 1), Entry(250, 2, 3)])
+        image = node.to_page(100)
+        c0 = struct.unpack_from("<Q", image, HEADER_SIZE)[0]
+        c1 = struct.unpack_from("<Q", image, HEADER_SIZE + ENTRY_SIZE)[0]
+        assert (c0, c1) == (100, 350)
+
+    def test_empty_node(self):
+        restored = Node.from_page(Node(0).to_page(100))
+        assert restored.entries == []
+        assert restored.total_bytes == 0
+
+    def test_overflow_rejected(self):
+        node = Node(0, [Entry(1, i, 1) for i in range(10)])
+        with pytest.raises(TreeCorrupt):
+            node.to_page(100)
+
+    def test_corrupt_cumulative_detected(self):
+        node = Node(0, [Entry(100, 1, 1), Entry(50, 2, 1)])
+        image = node.to_page(100)
+        # Swap the two cumulative counts so they decrease.
+        import struct
+
+        struct.pack_into("<Q", image, HEADER_SIZE, 150)
+        struct.pack_into("<Q", image, HEADER_SIZE + ENTRY_SIZE, 100)
+        with pytest.raises(TreeCorrupt):
+            Node.from_page(image)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 10 ** 9),
+                st.integers(0, 2 ** 32 - 1),
+                st.integers(0, 2 ** 16 - 1),
+            ),
+            max_size=6,
+        ),
+        st.integers(0, 30),
+    )
+    def test_round_trip_property(self, raw_entries, level):
+        node = Node(level, [Entry(c, p, g) for c, p, g in raw_entries])
+        restored = Node.from_page(node.to_page(100))
+        assert restored.level == level
+        assert [(e.count, e.child, e.pages) for e in restored.entries] == raw_entries
+
+
+class TestFindChild:
+    def setup_method(self):
+        # The Figure 5.c right child: cumulative counts 280, 710, 800.
+        self.node = Node(0, [Entry(280, 1, 3), Entry(430, 2, 5), Entry(90, 3, 1)])
+
+    def test_paper_arithmetic(self):
+        """"We find that c[1] = 710 is the smallest count greater than
+        450, and thus, we set S=p[1], and B = 450 - c[0] = 170."
+        """
+        index, local = self.node.find_child(450)
+        assert index == 1
+        assert local == 170
+
+    def test_first_byte(self):
+        assert self.node.find_child(0) == (0, 0)
+
+    def test_boundary_bytes_go_right(self):
+        # Byte 280 is the first byte of child 1 (c[0] is not > 280).
+        assert self.node.find_child(280) == (1, 0)
+        assert self.node.find_child(279) == (0, 279)
+
+    def test_last_byte(self):
+        assert self.node.find_child(799) == (2, 89)
+
+    def test_append_position(self):
+        # byte == total maps to one past the end of the last child.
+        assert self.node.find_child(800) == (2, 90)
+
+    def test_out_of_range(self):
+        with pytest.raises(TreeCorrupt):
+            self.node.find_child(801)
+        with pytest.raises(TreeCorrupt):
+            self.node.find_child(-1)
+
+    def test_empty_node_raises(self):
+        with pytest.raises(TreeCorrupt):
+            Node(0).find_child(0)
+
+    def test_child_offset(self):
+        assert self.node.child_offset(0) == 0
+        assert self.node.child_offset(1) == 280
+        assert self.node.child_offset(2) == 710
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=6), st.data())
+    def test_find_child_consistency(self, counts, data):
+        node = Node(0, [Entry(c, i, 1) for i, c in enumerate(counts)])
+        total = sum(counts)
+        byte = data.draw(st.integers(0, total - 1))
+        index, local = node.find_child(byte)
+        assert node.child_offset(index) + local == byte
+        assert 0 <= local < counts[index]

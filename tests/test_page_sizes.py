@@ -1,0 +1,93 @@
+"""The same operation battery across page sizes.
+
+The paper's examples use 100-byte pages and its arithmetic 4 KB pages;
+nothing in the design depends on a particular size, so the whole
+operation set must behave identically at every size.  This module runs
+one standard battery at several page sizes (including non-powers of two
+— the paper's own 100 — and the real-world 4096), catching any buried
+page-size assumption.
+"""
+
+import pytest
+
+from repro import EOSConfig, EOSDatabase
+from repro.buddy.directory import max_capacity, max_segment_type
+
+# 80 is the smallest page an index node fits 4 entries in.
+PAGE_SIZES = [80, 100, 256, 512, 4096]
+
+
+def battery(page_size: int) -> None:
+    config = EOSConfig(page_size=page_size, threshold=4)
+    db = EOSDatabase.create(
+        num_pages=3000, page_size=page_size, config=config
+    )
+    scale = max(1, page_size // 8)
+    payload = bytes(i % 251 for i in range(40 * scale))
+    obj = db.create_object(payload, size_hint=len(payload))
+    model = bytearray(payload)
+
+    edits = [
+        ("insert", len(model) // 2, b"M" * (scale // 2 + 1)),
+        ("insert", 0, b"H" * 3),
+        ("delete", len(model) // 3, 5 * scale),
+        ("replace", 7, b"R" * min(64, scale)),
+        ("insert", None, b"T" * (2 * scale)),  # None = append position
+        ("delete", 0, scale),
+    ]
+    for kind, at, arg in edits:
+        if at is None:
+            at = len(model)
+        if kind == "insert":
+            obj.insert(at, arg)
+            model[at:at] = arg
+        elif kind == "delete":
+            n = min(arg, len(model) - at)
+            obj.delete(at, n)
+            del model[at : at + n]
+        else:
+            n = min(len(arg), len(model) - at)
+            obj.replace(at, arg[:n])
+            model[at : at + n] = arg[:n]
+        assert obj.read_all() == bytes(model)
+        obj.verify()
+    obj.trim()
+    obj.compact()
+    assert obj.read_all() == bytes(model)
+    free0 = db.free_pages()
+    db.delete_object(obj)
+    assert db.free_pages() > free0
+    db.buddy.verify()
+
+
+@pytest.mark.parametrize("page_size", PAGE_SIZES)
+def test_operation_battery(page_size):
+    battery(page_size)
+
+
+@pytest.mark.parametrize("page_size", PAGE_SIZES)
+def test_directory_limits_scale(page_size):
+    """Max segment type tracks log2(2*PS); capacity tracks the map bytes."""
+    k = max_segment_type(page_size)
+    assert 1 << k <= 2 * page_size < 1 << (k + 1)
+    cap = max_capacity(page_size)
+    assert cap % 4 == 0
+    assert cap <= (page_size - 6 - 2 * (k + 1)) * 4
+
+
+@pytest.mark.parametrize("page_size", [80, 256, 4096])
+def test_transactions_across_page_sizes(page_size):
+    from repro.recovery import RecoveryManager
+
+    config = EOSConfig(page_size=page_size, threshold=2)
+    db = EOSDatabase.create(num_pages=2000, page_size=page_size, config=config)
+    manager = RecoveryManager(db)
+    base = bytes(i % 251 for i in range(page_size * 8))
+    obj = db.create_object(base, size_hint=len(base))
+    txn = manager.begin()
+    tobj = txn.open(obj)
+    tobj.insert(len(base) // 2, b"tx" * page_size)
+    tobj.delete(3, page_size)
+    txn.abort()
+    assert obj.read_all() == base
+    obj.verify()

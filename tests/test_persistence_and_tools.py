@@ -1,0 +1,246 @@
+"""Tests for database persistence, the stream API, and the tools."""
+
+import pytest
+
+from repro import EOSConfig, EOSDatabase
+from repro.core.stream import ObjectStream
+from repro.errors import VolumeLayoutError
+from repro.tools import dump_object, dump_space, dump_volume, fsck
+from repro.tools.fsck import main as fsck_main
+from repro.tools.inspect import main as inspect_main
+
+PAGE = 256
+
+
+def make_db(num_pages=4000, **cfg):
+    config = EOSConfig(page_size=PAGE, threshold=4, **cfg)
+    return EOSDatabase.create(num_pages=num_pages, page_size=PAGE, config=config)
+
+
+def payload(n, seed=0):
+    return bytes((i * 23 + seed) % 251 for i in range(n))
+
+
+class TestPersistence:
+    def test_save_and_reopen(self, tmp_path):
+        db = make_db()
+        a = db.create_object(payload(5000), size_hint=5000)
+        b = db.create_object(payload(777, seed=1))
+        b.insert(300, b"edited")
+        path = tmp_path / "volume.db"
+        db.save(path)
+
+        reopened = EOSDatabase.open_file(
+            path, config=EOSConfig(page_size=PAGE, threshold=4)
+        )
+        assert len(reopened.objects()) == 2
+        ra = reopened.get_object(a.oid)
+        rb = reopened.get_object(b.oid)
+        assert ra.read_all() == a.read_all()
+        assert rb.read_all() == b.read_all()
+        assert reopened.free_pages() == db.free_pages()
+
+    def test_reopened_objects_are_editable(self, tmp_path):
+        db = make_db()
+        obj = db.create_object(payload(3000), size_hint=3000)
+        path = tmp_path / "volume.db"
+        db.save(path)
+        reopened = EOSDatabase.open_file(path)
+        robj = reopened.get_object(obj.oid)
+        robj.insert(1000, b"post-restart")
+        robj.delete(0, 100)
+        expected = bytearray(payload(3000))
+        expected[1000:1000] = b"post-restart"
+        del expected[:100]
+        assert robj.read_all() == bytes(expected)
+        robj.verify()
+
+    def test_oids_continue_after_reopen(self, tmp_path):
+        db = make_db()
+        first = db.create_object(b"x")
+        path = tmp_path / "volume.db"
+        db.save(path)
+        reopened = EOSDatabase.open_file(path)
+        second = reopened.create_object(b"y")
+        assert second.oid > first.oid
+
+    def test_catalog_capacity_enforced(self, tmp_path):
+        db = make_db()
+        limit = db._catalog_capacity
+        for _ in range(limit):
+            db.create_object(b"z")
+        db.create_object(b"overflow")
+        with pytest.raises(VolumeLayoutError):
+            db.save(tmp_path / "volume.db")
+
+    def test_attach_in_memory(self):
+        db = make_db()
+        obj = db.create_object(payload(500))
+        db.checkpoint()
+        db._write_catalog()
+        attached = EOSDatabase.attach(db.disk)
+        assert attached.get_object(obj.oid).read_all() == payload(500)
+
+
+class TestObjectStream:
+    def test_sequential_write_then_read(self):
+        db = make_db()
+        stream = ObjectStream(db.create_object())
+        for i in range(50):
+            stream.write(payload(123, seed=i))
+        stream.flush()
+        stream.seek(0)
+        assert stream.read() == b"".join(payload(123, seed=i) for i in range(50))
+
+    def test_append_batches_into_few_tree_updates(self):
+        db = make_db()
+        obj = db.create_object()
+        stream = ObjectStream(obj, buffer_pages=8)
+        for _ in range(100):
+            stream.write(b"x" * 20)  # 2000 bytes, buffer limit 2048
+        assert obj.size() < 2000  # most still buffered
+        stream.flush()
+        assert obj.size() == 2000
+
+    def test_overwrite_mid_stream(self):
+        db = make_db()
+        stream = ObjectStream(db.create_object(payload(1000)))
+        stream.seek(400)
+        stream.write(b"OVERWRITE")
+        stream.seek(0)
+        data = stream.read()
+        assert data[400:409] == b"OVERWRITE"
+        assert len(data) == 1000
+
+    def test_write_straddling_the_end_extends(self):
+        db = make_db()
+        stream = ObjectStream(db.create_object(b"abcdef"))
+        stream.seek(4)
+        stream.write(b"XYZW")
+        stream.seek(0)
+        assert stream.read() == b"abcdXYZW"
+
+    def test_write_past_end_zero_fills(self):
+        db = make_db()
+        stream = ObjectStream(db.create_object(b"head"))
+        stream.seek(10)
+        stream.write(b"tail")
+        stream.seek(0)
+        assert stream.read() == b"head" + bytes(6) + b"tail"
+
+    def test_seek_whence_variants(self):
+        import io
+
+        db = make_db()
+        stream = ObjectStream(db.create_object(bytes(100)))
+        assert stream.seek(10) == 10
+        assert stream.seek(5, io.SEEK_CUR) == 15
+        assert stream.seek(-20, io.SEEK_END) == 80
+        with pytest.raises(ValueError):
+            stream.seek(-1)
+
+    def test_truncate(self):
+        db = make_db()
+        stream = ObjectStream(db.create_object(payload(500)))
+        stream.seek(200)
+        stream.truncate()
+        stream.seek(0)
+        assert stream.read() == payload(500)[:200]
+        stream.truncate(300)
+        assert len(stream.obj.read_all()) == 300
+
+    def test_close_trims(self):
+        db = make_db()
+        obj = db.create_object()
+        stream = ObjectStream(obj)
+        stream.write(payload(700))
+        stream.close()
+        assert obj.read_all() == payload(700)
+        stats = obj.stats()
+        assert stats.leaf_pages == -(-700 // PAGE)  # trimmed
+        assert stream.closed
+
+    def test_copyfileobj_compatibility(self):
+        import io
+        import shutil
+
+        db = make_db()
+        src = io.BytesIO(payload(5000))
+        dst = ObjectStream(db.create_object())
+        shutil.copyfileobj(src, dst, length=512)
+        dst.flush()
+        assert dst.obj.read_all() == payload(5000)
+
+
+class TestTools:
+    def build(self):
+        db = make_db()
+        obj = db.create_object(payload(4000), size_hint=4000)
+        obj.insert(2000, payload(300, seed=2))
+        obj.delete(100, 500)
+        return db, obj
+
+    def test_dump_space(self):
+        db, _ = self.build()
+        text = dump_space(db.buddy.load_space(0))
+        assert "buddy space" in text
+        assert "count array" in text
+        assert "alloc" in text and "free" in text
+
+    def test_dump_object(self):
+        db, obj = self.build()
+        text = dump_object(obj.tree)
+        assert f"root page {obj.root_page}" in text
+        assert "segment @ page" in text
+
+    def test_dump_volume(self):
+        db, _ = self.build()
+        text = dump_volume(db)
+        assert "objects: 1" in text
+
+    def test_fsck_clean(self):
+        db, _ = self.build()
+        report = fsck(db)
+        assert report.clean, report.summary()
+        assert report.objects_checked == 1
+        assert "CLEAN" in report.summary()
+
+    def test_fsck_detects_leak(self):
+        db, _ = self.build()
+        db.buddy.allocate(4)  # allocated, owned by nobody
+        report = fsck(db)
+        assert not report.clean
+        assert len(report.leaked_pages) == 4
+
+    def test_fsck_detects_double_claim(self):
+        db, obj = self.build()
+        # Second object whose tree points into the first object's segment.
+        from repro.core.node import Entry
+
+        thief = db.create_object()
+        victim_entry = obj.segments()[0][1]
+        thief.tree.append_leaf_entries(
+            [Entry(PAGE, victim_entry.child, 1)]
+        )
+        report = fsck(db)
+        assert report.double_claimed
+
+    def test_fsck_detects_claim_of_free_page(self):
+        db, obj = self.build()
+        entry = obj.segments()[0][1]
+        db.buddy.free(entry.child, 1)  # rug-pull one page of a live segment
+        report = fsck(db)
+        assert report.claims_of_free_pages
+
+    def test_cli_round_trip(self, tmp_path, capsys):
+        db, obj = self.build()
+        path = str(tmp_path / "vol.db")
+        db.save(path)
+        assert inspect_main([path]) == 0
+        assert "objects: 1" in capsys.readouterr().out
+        assert inspect_main([path, "--space", "0"]) == 0
+        assert "count array" in capsys.readouterr().out
+        assert inspect_main([path, "--root", str(obj.root_page)]) == 0
+        assert "segment @ page" in capsys.readouterr().out
+        assert fsck_main([path]) == 0
+        assert "CLEAN" in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""Unit + property tests for the byte/page reshuffle planner (§4.3/§4.4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reshuffle import last_page_bytes, pages_of, plan_reshuffle
+
+PS = 100
+MAX = 128  # max segment pages
+
+
+def plan(l0, n0, r0, threshold=1):
+    return plan_reshuffle(
+        l0, n0, r0, page_size=PS, threshold=threshold, max_segment_pages=MAX
+    )
+
+
+class TestHelpers:
+    def test_pages_of(self):
+        assert pages_of(0, PS) == 0
+        assert pages_of(1, PS) == 1
+        assert pages_of(100, PS) == 1
+        assert pages_of(101, PS) == 2
+
+    def test_last_page_bytes(self):
+        assert last_page_bytes(0, PS) == 0
+        assert last_page_bytes(1, PS) == 1
+        assert last_page_bytes(100, PS) == 100
+        assert last_page_bytes(250, PS) == 50
+
+
+class TestByteReshuffle:
+    """Step 3 of the insert algorithm (threshold = 1)."""
+
+    def test_no_op_when_n_ends_on_page_boundary(self):
+        # N_m == PS: "skip this step."
+        p = plan(550, 200, 300)
+        assert (p.l_bytes, p.n_bytes, p.r_bytes) == (550, 200, 300)
+
+    def test_eliminates_l_last_page(self):
+        """L_m + N_m fit in a page -> L's partial last page moves to N
+        (Figure 6's situation)."""
+        p = plan(550, 30, 300)
+        # L_m=50, N_m=30: 50+30 <= 100 -> move. Balance may take more.
+        assert p.l_bytes == 500
+        assert p.n_bytes == 80
+        assert p.r_bytes == 300
+
+    def test_absorbs_single_page_r(self):
+        """R has exactly one page and R_c + N_m fit in one page."""
+        p = plan(500, 30, 40)
+        assert p.r_bytes == 0
+        assert p.n_bytes == 70
+        assert p.l_bytes == 500
+
+    def test_takes_both_when_they_fit(self):
+        p = plan(520, 30, 40)  # L_m=20, N_m=30, R=40: 20+30+40 <= 100
+        assert p.l_bytes == 500
+        assert p.r_bytes == 0
+        assert p.n_bytes == 90
+
+    def test_prefers_larger_free_space_when_both_do_not_fit(self):
+        # L_m=70, N_m=25, R=80 (one page): both candidates? L: 70+25<=100 ok;
+        # R: 80+25>100 -> R not candidate; only L moves.
+        p = plan(570, 25, 80)
+        assert p.l_bytes == 500
+        assert p.r_bytes == 80
+
+    def test_choice_between_two_candidates(self):
+        # L_m=60 (free 40), R=30 (free 70), N_m=35.
+        # Both fit individually; 60+30+35 > 100 so not both.
+        # R's page has the larger free space -> take R.
+        p = plan(560, 35, 30)
+        assert p.r_bytes == 0
+        assert p.l_bytes in (560, 559, 545)  # balance may borrow from L
+        assert p.n_bytes == 560 + 35 + 30 - p.l_bytes - 0
+
+    def test_multi_page_r_never_byte_reshuffled(self):
+        """"Byte reshuffling can also be performed from R to N but only
+        if R has exactly one page."
+        """
+        p = plan(500, 30, 150)
+        assert p.r_bytes == 150
+
+    def test_balance_borrows_from_l(self):
+        # No elimination possible: L_m=90, N_m=50 -> 140 > 100.
+        # Balance: x = (90-50)//2 = 20 moves from L to N.
+        p = plan(590, 50, 300)
+        assert p.l_bytes == 570
+        assert p.n_bytes == 70
+
+    def test_empty_l_and_r(self):
+        p = plan(0, 137, 0)
+        assert (p.l_bytes, p.n_bytes, p.r_bytes) == (0, 137, 0)
+
+
+class TestPageReshuffle:
+    """Steps 3.1-3.3 with a threshold (Section 4.4)."""
+
+    def test_all_safe_goes_straight_to_byte_reshuffle(self):
+        p = plan(800, 850, 900, threshold=8)
+        assert p.page_reshuffles == 0
+
+    def test_unsafe_neighbour_merged(self):
+        """3.2: an unsafe L or R is merged into N outright."""
+        p = plan(250, 850, 900, threshold=8)  # L is 3 pages < 8
+        assert p.l_bytes == 0
+        assert p.n_bytes == 1100
+        assert p.page_reshuffles >= 1
+
+    def test_smaller_unsafe_neighbour_merged_first(self):
+        p = plan(250, 850, 150, threshold=8)  # both unsafe; R smaller
+        assert p.r_bytes == 0
+        # After merging R, L is still unsafe -> merged too.
+        assert p.l_bytes == 0
+        assert p.n_bytes == 1250
+
+    def test_unsafe_n_tops_up_from_smaller_neighbour(self):
+        """3.3: N takes whole pages from the smaller of L and R."""
+        p = plan(950, 150, 1400, threshold=8)  # N is 2 pages < 8
+        assert pages_of(p.n_bytes, PS) >= 8
+        assert p.took_from_l > 0  # L is the smaller donor
+        assert p.r_bytes == 1400
+
+    def test_r_donates_whole_pages(self):
+        p = plan(1400, 150, 950, threshold=8)
+        assert pages_of(p.n_bytes, PS) >= 8
+        # R donates head pages; if the donation leaves R unsafe, the
+        # next 3.1/3.2 round absorbs it entirely.
+        assert p.r_bytes == 0 or (950 - p.r_bytes) % PS == 0
+        assert p.l_bytes == 1400
+
+    def test_max_segment_size_respected(self):
+        """3.1.c: merging stops at the maximum segment size."""
+        max_bytes = MAX * PS
+        p = plan(700, max_bytes - 100, 0, threshold=8)
+        assert p.n_bytes <= max_bytes
+
+    def test_both_empty_short_circuits(self):
+        p = plan(0, 150, 0, threshold=8)
+        assert p.n_bytes == 150  # "kept in two pages, not in 8"
+
+    def test_threshold_one_never_page_reshuffles(self):
+        p = plan(250, 150, 90, threshold=1)
+        assert p.page_reshuffles == 0
+
+
+class TestPlannerProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        st.integers(0, 3000),
+        st.integers(1, 3000),
+        st.integers(0, 3000),
+        st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    def test_invariants(self, l0, n0, r0, threshold):
+        p = plan_reshuffle(
+            l0, n0, r0, page_size=PS, threshold=threshold, max_segment_pages=MAX
+        )
+        # Bytes conserved.
+        assert p.total == l0 + n0 + r0
+        # L only shrinks, from the tail.
+        assert 0 <= p.l_bytes <= l0
+        # R only shrinks from the head, by whole pages or entirely.
+        assert 0 <= p.r_bytes <= r0
+        assert p.r_bytes == 0 or (r0 - p.r_bytes) % PS == 0
+        # N never exceeds the maximum segment size *through reshuffling*
+        # (a huge insert can exceed it on its own).
+        if n0 <= MAX * PS:
+            assert p.n_bytes <= max(MAX * PS, n0)
+        # Audit fields agree.
+        assert p.took_from_l == l0 - p.l_bytes
+        assert p.took_from_r == r0 - p.r_bytes
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        st.integers(0, 3000),
+        st.integers(1, 3000),
+        st.integers(0, 3000),
+        st.sampled_from([2, 4, 8]),
+    )
+    def test_threshold_postcondition(self, l0, n0, r0, threshold):
+        """After reshuffling, remaining unsafety is only ever due to the
+        max-segment cap (3.1.c) or to there being nothing to merge with
+        (3.1.b covers the empty-neighbour case)."""
+        p = plan_reshuffle(
+            l0, n0, r0, page_size=PS, threshold=threshold, max_segment_pages=MAX
+        )
+
+        def unsafe(c):
+            return 0 < pages_of(c, PS) < threshold
+
+        if unsafe(p.l_bytes) or unsafe(p.r_bytes):
+            smallest = min(c for c in (p.l_bytes, p.r_bytes) if unsafe(c))
+            assert smallest + p.n_bytes > MAX * PS, (
+                f"unsafe neighbour left although it fits: {p}"
+            )

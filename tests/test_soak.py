@@ -1,0 +1,114 @@
+"""Soak tests at realistic scale (4 KB pages, megabyte objects).
+
+The unit tests run on toy pages so structure appears quickly; these runs
+use the benchmark configuration and larger volumes to catch anything
+that only shows up at depth (multi-level trees over real fan-outs,
+multi-space allocation, long op sequences).
+"""
+
+import random
+
+from repro import EOSConfig, EOSDatabase
+from repro.tools import fsck
+
+PAGE = 4096
+
+
+def make_db(num_pages=16384, threshold=8):
+    config = EOSConfig(page_size=PAGE, threshold=threshold)
+    return EOSDatabase.create(num_pages=num_pages, page_size=PAGE, config=config)
+
+
+def test_four_megabyte_object_lifecycle():
+    db = make_db()
+    rng = random.Random(99)
+    size = 4 * 1024 * 1024
+    payload = bytes(rng.randrange(256) for _ in range(64 * 1024)) * 64
+    obj = db.create_object(size_hint=size)
+    for start in range(0, size, 256 * 1024):
+        obj.append(payload[start : start + 256 * 1024])
+    obj.trim()
+    assert obj.size() == size
+    model = bytearray(payload)
+
+    for step in range(60):
+        kind = rng.choice(["insert", "delete", "replace", "read"])
+        at = rng.randrange(len(model))
+        if kind == "insert":
+            blob = bytes(rng.randrange(256) for _ in range(rng.randint(1, 9000)))
+            obj.insert(at, blob)
+            model[at:at] = blob
+        elif kind == "delete":
+            n = min(rng.randint(1, 20_000), len(model) - at)
+            obj.delete(at, n)
+            del model[at : at + n]
+        elif kind == "replace":
+            n = min(rng.randint(1, 5000), len(model) - at)
+            blob = bytes(rng.randrange(256) for _ in range(n))
+            obj.replace(at, blob)
+            model[at : at + n] = blob
+        else:
+            n = min(rng.randint(1, 64 * 1024), len(model) - at)
+            assert obj.read(at, n) == bytes(model[at : at + n])
+        # Spot-check contents cheaply each step; full check at the end.
+        probe = rng.randrange(len(model))
+        probe_n = min(512, len(model) - probe)
+        assert obj.read(probe, probe_n) == bytes(model[probe : probe + probe_n])
+    assert obj.size() == len(model)
+    assert obj.read_all() == bytes(model)
+    obj.verify()
+    assert fsck(db).clean
+
+
+def test_many_objects_share_the_volume():
+    db = make_db(num_pages=8192)
+    rng = random.Random(5)
+    live = {}
+    for round_no in range(80):
+        if live and rng.random() < 0.35:
+            oid = rng.choice(list(live))
+            db.delete_object(db.get_object(oid))
+            del live[oid]
+        else:
+            n = rng.randint(1, 200_000)
+            data = bytes((i + round_no) % 251 for i in range(n))
+            obj = db.create_object(data, size_hint=n)
+            live[obj.oid] = data
+        # Mutate one survivor.
+        if live:
+            oid = rng.choice(list(live))
+            obj = db.get_object(oid)
+            model = bytearray(live[oid])
+            at = rng.randrange(len(model) + 1)
+            obj.insert(at, b"#")
+            model[at:at] = b"#"
+            live[oid] = bytes(model)
+    for oid, data in live.items():
+        assert db.get_object(oid).read_all() == data
+    db.verify()
+    report = fsck(db)
+    assert report.clean, report.summary()
+
+
+def test_fill_volume_to_exhaustion_and_recover_space():
+    from repro.errors import OutOfSpace
+
+    db = make_db(num_pages=2048)
+    objects = []
+    try:
+        while True:
+            obj = db.create_object(size_hint=400_000)
+            obj.append(bytes(400_000))
+            obj.trim()
+            objects.append(obj)
+    except OutOfSpace:
+        pass
+    assert len(objects) >= 2  # the volume really filled up
+    free_low = db.free_pages()
+    for obj in objects:
+        db.delete_object(obj)
+    assert db.free_pages() > free_low + 300
+    # The space is reusable afterwards.
+    again = db.create_object(bytes(400_000), size_hint=400_000)
+    assert again.size() == 400_000
+    db.verify()

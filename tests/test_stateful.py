@@ -1,0 +1,139 @@
+"""A hypothesis state machine driving the whole database.
+
+Unlike the per-object property tests, this machine interleaves object
+creation and destruction with edits across many objects sharing one
+allocator, checks every object against its model after each rule, and
+verifies global invariants (allocator consistency, page disjointness via
+fsck) at teardown.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import EOSConfig, EOSDatabase
+from repro.tools import fsck
+
+PAGE = 128
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    @initialize(threshold=st.sampled_from([1, 2, 4]))
+    def setup(self, threshold):
+        config = EOSConfig(page_size=PAGE, threshold=threshold)
+        self.db = EOSDatabase.create(
+            num_pages=4000, page_size=PAGE, config=config
+        )
+        self.models: dict[int, bytearray] = {}
+        self.initial_free = self.db.free_pages()
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @rule(n=st.integers(0, 600), seed=st.integers(0, 255))
+    def create_object(self, n, seed):
+        if len(self.models) >= 5:
+            return
+        data = bytes((i + seed) % 251 for i in range(n))
+        obj = self.db.create_object(data)
+        self.models[obj.oid] = bytearray(data)
+
+    def _pick(self, data_index):
+        oids = sorted(self.models)
+        return oids[data_index % len(oids)]
+
+    @precondition(lambda self: self.models)
+    @rule(which=st.integers(0, 99), at=st.floats(0, 1), n=st.integers(1, 300),
+          seed=st.integers(0, 255))
+    def insert(self, which, at, n, seed):
+        oid = self._pick(which)
+        obj, model = self.db.get_object(oid), self.models[oid]
+        offset = int(at * len(model))
+        blob = bytes((i * 3 + seed) % 251 for i in range(n))
+        obj.insert(offset, blob)
+        model[offset:offset] = blob
+
+    @precondition(lambda self: any(m for m in self.models.values()))
+    @rule(which=st.integers(0, 99), at=st.floats(0, 0.999), frac=st.floats(0, 1))
+    def delete(self, which, at, frac):
+        oids = [o for o in sorted(self.models) if self.models[o]]
+        oid = oids[which % len(oids)]
+        obj, model = self.db.get_object(oid), self.models[oid]
+        offset = int(at * (len(model) - 1))
+        n = max(1, int(frac * (len(model) - offset)))
+        obj.delete(offset, n)
+        del model[offset : offset + n]
+
+    @precondition(lambda self: any(m for m in self.models.values()))
+    @rule(which=st.integers(0, 99), at=st.floats(0, 0.999), seed=st.integers(0, 255))
+    def replace(self, which, at, seed):
+        oids = [o for o in sorted(self.models) if self.models[o]]
+        oid = oids[which % len(oids)]
+        obj, model = self.db.get_object(oid), self.models[oid]
+        offset = int(at * (len(model) - 1))
+        n = min(64, len(model) - offset)
+        blob = bytes((i + seed) % 256 for i in range(n))
+        obj.replace(offset, blob)
+        model[offset : offset + n] = blob
+
+    @precondition(lambda self: self.models)
+    @rule(which=st.integers(0, 99))
+    def trim(self, which):
+        oid = self._pick(which)
+        self.db.get_object(oid).trim()
+
+    @precondition(lambda self: self.models)
+    @rule(which=st.integers(0, 99))
+    def compact(self, which):
+        oid = self._pick(which)
+        self.db.get_object(oid).compact()
+
+    @precondition(lambda self: self.models)
+    @rule(which=st.integers(0, 99))
+    def destroy(self, which):
+        oid = self._pick(which)
+        self.db.delete_object(self.db.get_object(oid))
+        del self.models[oid]
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def contents_match_models(self):
+        if not hasattr(self, "db"):
+            return
+        for oid, model in self.models.items():
+            obj = self.db.get_object(oid)
+            assert obj.size() == len(model)
+            assert obj.read_all() == bytes(model)
+
+    @invariant()
+    def structures_are_sound(self):
+        if not hasattr(self, "db"):
+            return
+        for oid in self.models:
+            self.db.get_object(oid).verify()
+        self.db.buddy.verify()
+
+    def teardown(self):
+        if not hasattr(self, "db"):
+            return
+        report = fsck(self.db)
+        assert report.clean, report.summary()
+        for oid in list(self.models):
+            self.db.delete_object(self.db.get_object(oid))
+        assert self.db.free_pages() == self.initial_free
+
+
+DatabaseMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=15, deadline=None
+)
+TestDatabaseMachine = DatabaseMachine.TestCase

@@ -1,0 +1,140 @@
+"""Property tests for transactions: interleavings, aborts, conflicts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EOSConfig, EOSDatabase
+from repro.errors import LockConflict
+from repro.recovery import RecoveryManager
+
+PAGE = 128
+
+
+def fresh():
+    config = EOSConfig(page_size=PAGE, threshold=2)
+    db = EOSDatabase.create(num_pages=6000, page_size=PAGE, config=config)
+    return db, RecoveryManager(db)
+
+
+def blob(data, label):
+    n = data.draw(st.integers(1, 300), label=label)
+    seed = data.draw(st.integers(0, 250), label=f"{label}-seed")
+    return bytes((i + seed) % 251 for i in range(n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_commit_abort_interleavings_match_models(data):
+    """Several transactions over disjoint objects, randomly interleaved,
+    randomly committed or aborted; each object ends at its last
+    committed state."""
+    db, manager = fresh()
+    n_objects = data.draw(st.integers(1, 3), label="objects")
+    objects = []
+    committed = []
+    for i in range(n_objects):
+        base = bytes((j + i) % 251 for j in range(800))
+        objects.append(db.create_object(base, size_hint=800))
+        committed.append(bytearray(base))
+
+    for round_no in range(data.draw(st.integers(1, 4), label="rounds")):
+        which = data.draw(st.integers(0, n_objects - 1), label="which")
+        obj, model = objects[which], bytearray(committed[which])
+        txn = manager.begin()
+        tobj = txn.open(obj)
+        for _ in range(data.draw(st.integers(1, 4), label="ops")):
+            op = data.draw(
+                st.sampled_from(["insert", "delete", "replace", "append"]),
+                label="op",
+            )
+            if op == "insert":
+                at = data.draw(st.integers(0, len(model)), label="at")
+                payload = blob(data, "ins")
+                tobj.insert(at, payload)
+                model[at:at] = payload
+            elif op == "delete" and model:
+                at = data.draw(st.integers(0, len(model) - 1), label="at")
+                n = data.draw(st.integers(1, len(model) - at), label="n")
+                tobj.delete(at, n)
+                del model[at : at + n]
+            elif op == "replace" and model:
+                at = data.draw(st.integers(0, len(model) - 1), label="at")
+                n = data.draw(st.integers(1, min(100, len(model) - at)), label="n")
+                payload = blob(data, "rep")[:n].ljust(n, b"\0")
+                tobj.replace(at, payload)
+                model[at : at + n] = payload
+            else:
+                payload = blob(data, "app")
+                tobj.append(payload)
+                model.extend(payload)
+        if data.draw(st.booleans(), label="commit?"):
+            txn.commit()
+            committed[which] = model
+        else:
+            txn.abort()
+        # After every transaction boundary, on-disk state == last commit.
+        assert objects[which].read_all() == bytes(committed[which])
+        objects[which].verify()
+
+    for obj, model in zip(objects, committed):
+        assert obj.read_all() == bytes(model)
+    db.buddy.verify()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_conflicting_transactions_one_wins(data):
+    """Two transactions hit the same object; the second conflicting
+    update raises, its transaction aborts, and the winner's effects are
+    exactly what survives."""
+    db, manager = fresh()
+    base = bytes(i % 251 for i in range(1000))
+    obj = db.create_object(base, size_hint=1000)
+    t1 = manager.begin()
+    t2 = manager.begin()
+    o1, o2 = t1.open(obj), t2.open(obj)
+    at1 = data.draw(st.integers(0, 900), label="at1")
+    o1.insert(at1, b"WINNER")
+    expected = base[:at1] + b"WINNER" + base[at1:]
+    at2 = data.draw(st.integers(0, 900), label="at2")
+    try:
+        o2.insert(at2, b"LOSER!")
+        # No overlap (at2 strictly left of at1's lock start): both can
+        # commit; t2's insert happened on the tree t1 already changed.
+        both = True
+    except LockConflict:
+        both = False
+    t1.commit()
+    if both:
+        t2.commit()
+        assert b"WINNER" in obj.read_all()
+        assert b"LOSER!" in obj.read_all()
+    else:
+        t2.abort()
+        assert obj.read_all() == expected
+    obj.verify()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 6), st.integers(1, 5))
+def test_recovery_after_arbitrary_loser_prefix(n_committed_ops, n_loser_ops):
+    """A transaction dies after an arbitrary number of applied updates;
+    recovery always lands on the pre-transaction state."""
+    db, manager = fresh()
+    base = bytes(i % 251 for i in range(1200))
+    obj = db.create_object(base, size_hint=1200)
+    # A committed transaction first: recovery must not touch its work.
+    t0 = manager.begin()
+    o0 = t0.open(obj)
+    for i in range(n_committed_ops):
+        o0.insert((i * 97) % (obj.size() + 1), b"keep")
+    t0.commit()
+    stable = obj.read_all()
+    # Then the loser.
+    t1 = manager.begin()
+    o1 = t1.open(obj)
+    for i in range(n_loser_ops):
+        o1.insert((i * 131) % (obj.size() + 1), b"lose")
+    manager.recover()
+    assert obj.read_all() == stable
+    obj.verify()

@@ -1,0 +1,263 @@
+"""Unit tests for the positional tree's structural maintenance."""
+
+import pytest
+
+from repro import EOSConfig, EOSDatabase
+from repro.core.node import Entry
+from repro.core.tree import LargeObjectTree
+from repro.errors import ByteRangeError, TreeCorrupt
+
+PAGE = 100  # fanout 6, min 3
+
+
+def make_db(**cfg):
+    config = EOSConfig(page_size=PAGE, **cfg)
+    return EOSDatabase.create(num_pages=4000, page_size=PAGE, config=config)
+
+
+def make_tree(db):
+    return LargeObjectTree.create(db.pager, db.config)
+
+
+def add_segments(db, tree, counts, seed=0):
+    """Append one leaf entry per byte count, each in its own segment."""
+    entries = []
+    for i, count in enumerate(counts):
+        pages = -(-count // PAGE)
+        ref = db.buddy.allocate(pages)
+        db.segio.write_segment(
+            ref.first_page, bytes((j + seed + i) % 251 for j in range(count))
+        )
+        entries.append(Entry(count, ref.first_page, pages))
+    tree.append_leaf_entries(entries)
+    return entries
+
+
+class TestDescend:
+    def test_empty_tree(self):
+        db = make_db()
+        tree = make_tree(db)
+        assert tree.size() == 0
+        with pytest.raises(ByteRangeError):
+            tree.descend(0)
+
+    def test_single_level(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [250, 130, 400])
+        path, local = tree.descend(300)
+        assert len(path) == 1
+        assert path[0].index == 1
+        assert local == 50
+
+    def test_multi_level(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [100] * 30)  # forces height >= 2
+        assert tree.height() >= 2
+        path, local = tree.descend(1550)
+        assert path[-1].node.level == 0
+        assert local == 50
+        # The path's count arithmetic reconstructs the global offset.
+        offset = 0
+        for step in path:
+            offset += step.node.child_offset(step.index)
+        assert offset + local == 1550
+
+    def test_append_position(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [100, 60])
+        path, local = tree.descend(160)
+        assert path[-1].index == 1
+        assert local == 60
+
+
+class TestAppendEntriesAndSplits:
+    def test_growth_increases_height(self):
+        db = make_db()
+        tree = make_tree(db)
+        heights = []
+        for batch in range(12):
+            add_segments(db, tree, [50] * 5, seed=batch)
+            heights.append(tree.height())
+            tree.verify()
+        assert heights[0] == 1
+        assert heights[-1] >= 2
+        assert heights == sorted(heights)  # height never shrinks on appends
+
+    def test_update_tail_propagates_counts(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [100] * 30)
+        size_before = tree.size()
+        assert tree.height() >= 2  # the delta must climb several levels
+        # Grow the tail segment by one (spare) page holding 50 more bytes.
+        path, _ = tree.descend(size_before)
+        entry = path[-1].node.entries[path[-1].index]
+        tree.update_tail(50, pages=entry.pages + 1)
+        assert tree.size() == size_before + 50
+        # Every internal entry on the rightmost path agrees with its child.
+        node = tree.read_root()
+        while node.level > 0:
+            child = tree.pager.read(node.entries[-1].child)
+            assert node.entries[-1].count == child.total_bytes
+            node = child
+        assert node.entries[-1].count == 150
+        assert node.entries[-1].pages == entry.pages + 1
+
+
+class TestReplaceLeafRange:
+    def test_alignment_enforced(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [250, 130])
+        with pytest.raises(TreeCorrupt):
+            tree.replace_leaf_range(100, 250, [])  # cuts through entry 0
+
+    def test_bounds_enforced(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [250])
+        with pytest.raises(ByteRangeError):
+            tree.replace_leaf_range(0, 300, [])
+        with pytest.raises(ByteRangeError):
+            tree.replace_leaf_range(100, 100, [])  # empty range
+
+    def test_returns_dropped_entries(self):
+        db = make_db()
+        tree = make_tree(db)
+        entries = add_segments(db, tree, [250, 130, 400])
+        dropped = tree.replace_leaf_range(250, 380, [])
+        assert [(e.count, e.child) for e in dropped] == [
+            (entries[1].count, entries[1].child)
+        ]
+        assert tree.size() == 650
+        tree.verify()
+
+    def test_deep_delete_collapses_root(self):
+        """"If the root has exactly one child, copy the pairs of this
+        child to the root and repeat this step."
+        """
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [100] * 36)
+        assert tree.height() >= 2
+        root_page = tree.root_page
+        dropped = tree.replace_leaf_range(100, 3600, [])
+        for e in dropped:
+            db.buddy.free(e.child, e.pages)
+        assert tree.size() == 100
+        assert tree.height() == 1
+        assert tree.root_page == root_page  # the root page never moves
+        tree.verify()
+
+    def test_underflow_merges_or_rotates(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [100] * 36)
+        # Delete entry-by-entry from the middle; occupancy must hold
+        # after every structural edit.
+        for _ in range(30):
+            size = tree.size()
+            lo = (size // 2 // 100) * 100
+            dropped = tree.replace_leaf_range(lo, lo + 100, [])
+            for e in dropped:
+                db.buddy.free(e.child, e.pages)
+            tree.verify()
+        assert tree.size() == 600
+
+    def test_replacement_entries_split_overfull_leaf_node(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [100] * 6)  # exactly one full level-0 root
+        # Replace one entry with three: 8 entries > fanout 6 -> must split.
+        refs = [db.buddy.allocate(1) for _ in range(3)]
+        for ref in refs:
+            db.segio.write_segment(ref.first_page, bytes(30))
+        new = [Entry(30, r.first_page, 1) for r in refs]
+        dropped = tree.replace_leaf_range(200, 300, new)
+        db.buddy.free(dropped[0].child, dropped[0].pages)
+        assert tree.size() == 590
+        assert tree.height() == 2
+        tree.verify()
+
+
+class TestRootByteLimit:
+    """Footnote 3: clients can restrict the root's size in bytes."""
+
+    def test_limited_root_has_small_fanout(self):
+        db = make_db(max_root_bytes=11 + 2 * 14)  # room for 2 entries
+        tree = make_tree(db)
+        assert tree.root_fanout == 2
+
+    def test_limited_root_still_supports_growth(self):
+        db = make_db(max_root_bytes=11 + 3 * 14)
+        config = db.config
+        tree = LargeObjectTree.create(db.pager, config)
+        for batch in range(10):
+            entries = []
+            for i in range(4):
+                ref = db.buddy.allocate(1)
+                db.segio.write_segment(ref.first_page, bytes(80))
+                entries.append(Entry(80, ref.first_page, 1))
+            tree.append_leaf_entries(entries)
+            assert len(tree.read_root().entries) <= 3
+            tree.verify()
+        assert tree.size() == 10 * 4 * 80
+
+    def test_object_operations_under_limited_root(self):
+        db = make_db(max_root_bytes=11 + 3 * 14, threshold=2)
+        obj = db.create_object()
+        payload = bytes(i % 251 for i in range(4000))
+        obj.append(payload)
+        obj.insert(2000, b"x" * 250)
+        obj.delete(100, 500)
+        model = bytearray(payload)
+        model[2000:2000] = b"x" * 250
+        del model[100:600]
+        assert obj.read_all() == bytes(model)
+        assert len(obj.tree.read_root().entries) <= 3
+
+    def test_too_small_limit_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            LargeObjectTree(
+                db.pager,
+                EOSConfig(page_size=PAGE, max_root_bytes=20),
+                root_page=1,
+            )
+
+
+class TestVerify:
+    def test_detects_count_mismatch(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [100] * 30)
+        root = tree.read_root()
+        root.entries[0].count += 7
+        db.pager.write_root(tree.root_page, root)
+        with pytest.raises(TreeCorrupt):
+            tree.verify()
+
+    def test_detects_overlapping_segments(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [250])
+        ref = db.buddy.allocate(1)
+        # Add an entry whose pages overlap the first segment.
+        first = tree.read_root().entries[0]
+        tree.append_leaf_entries([Entry(50, first.child + 1, 1)])
+        with pytest.raises(TreeCorrupt):
+            tree.verify()
+        db.buddy.free(ref.first_page, 1)
+
+    def test_detects_undersized_segment(self):
+        db = make_db()
+        tree = make_tree(db)
+        add_segments(db, tree, [250])
+        root = tree.read_root()
+        root.entries[0].pages = 1  # 250 bytes cannot fit in one page
+        db.pager.write_root(tree.root_page, root)
+        with pytest.raises(TreeCorrupt):
+            tree.verify()
