@@ -90,6 +90,7 @@ def test_e10_update_cost_statements(benchmark):
     assert n == 0
 
     report.note("index pages are read (buffered); leaf segments only when bytes move")
+    report.attach_stats(db)
     report.emit()
 
     db2 = make_database(page_size=PAGE, num_pages=8192, threshold=1)

@@ -110,6 +110,7 @@ def test_e11_logging_vs_shadowing(benchmark):
         'shadowing must be the whole segment" — hence logging for replace, '
         "shadowing only for the (small) index pages of the other updates"
     )
+    report.attach_stats(db)
     report.emit()
 
     def one_insert_shadowed():

@@ -32,10 +32,8 @@ def run_eos(size):
     payload = bytes(i % 251 for i in range(size))
     obj = store.create(payload, size_hint=size)
     db.checkpoint()
-    db.pool.clear()
-    db.disk.stats.head = None
     offset = size * 3 // 4
-    with db.disk.stats.delta() as delta:
+    with db.stats.delta(cold=True) as delta:
         obj.read(offset, READ)
     return delta, obj, db
 
@@ -59,6 +57,7 @@ def test_e13_random_access(benchmark):
         "EOS pays height-of-tree index reads plus ceil(2048/512)+1 leaf "
         "pages; a linked list pays one read per page before the offset"
     )
+    report.attach_stats(db)
     report.emit()
 
     benchmark.pedantic(lambda: run_eos(400_000), rounds=2, iterations=1)
@@ -103,4 +102,5 @@ def test_e13_compaction_restores_clustering(benchmark):
     assert compacted.segments < fragged.segments / 10
     assert compacted.leaf_utilization(PAGE) > 0.99
     report.note("compaction = wholesale Section 4.4: back to hint-created shape")
+    report.attach_stats(db)
     report.emit()

@@ -16,7 +16,7 @@ mix's best T.  The paper's guidance predicts the optimum shifts right as
 reads dominate — asserted below.
 """
 
-from repro.bench.harness import apply_trace, make_database, run_trace_measured
+from repro.bench.harness import make_database, run_trace_measured
 from repro.bench.reporting import ExperimentReport
 from repro.baselines.eos_adapter import EOSStore
 from repro.workloads.generator import random_edits, random_reads

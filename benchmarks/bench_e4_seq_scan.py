@@ -67,11 +67,11 @@ def run_all():
             )
         rows.append((store.name, size, delta))
         store.delete_object(handle)
-    return rows
+    return db, rows
 
 
 def test_e4_sequential_scan(benchmark):
-    rows = run_all()
+    db, rows = run_all()
     report = ExperimentReport(
         "E4",
         f"Sequential scan in {CHUNK // 1024} KB chunks on an aged volume",
@@ -102,6 +102,7 @@ def test_e4_sequential_scan(benchmark):
         "EOS and Starburst approach transfer-rate-bound scanning; WiSS and "
         "System R seek on virtually every page, Exodus every leaf block"
     )
+    report.attach_stats(db)
     report.emit()
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

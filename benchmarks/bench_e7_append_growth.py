@@ -64,6 +64,7 @@ def test_e7_append_growth(benchmark):
     expected = [min(2 ** i, max_seg) for i in range(len(unknown_sizes))]
     assert unknown_sizes[:-1] == expected[: len(unknown_sizes) - 1]
     report.note("doubling reaches the maximum segment size, then repeats it")
+    report.attach_stats(db)
     report.emit()
 
     benchmark.pedantic(lambda: build(False), rounds=1, iterations=1)

@@ -85,6 +85,7 @@ def test_e8_internal_fragmentation(benchmark):
         "classic power-of-two rounding averages ~33% overhead on uniform "
         "sizes; carving + trimming makes waste sub-page, answering [Selt91]"
     )
+    report.attach_stats(db)
     report.emit()
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

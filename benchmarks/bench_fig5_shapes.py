@@ -66,4 +66,5 @@ def test_fig5_object_shapes(benchmark):
     assert [e.pages for _, e in b.segments()] == [1, 2, 4, 8, 4]
     assert len(c.segments()) > 1  # edits split the single segment
     report.note("the size of all three objects is read off the root's rightmost count")
+    report.attach_stats(db)
     report.emit()

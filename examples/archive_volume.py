@@ -32,31 +32,38 @@ def synthetic_blob(name: str, size: int) -> bytes:
 
 
 def main() -> None:
-    db = EOSDatabase.create(
-        num_pages=8192, page_size=PAGE,
-        config=EOSConfig(page_size=PAGE, threshold=8),
-    )
-
-    # --- ingest through the stream interface ------------------------------
     blobs = {
         "sensor.log": synthetic_blob("sensor.log", 700_000),
         "image.raw": synthetic_blob("image.raw", 2_000_000),
         "notes.txt": synthetic_blob("notes.txt", 12_345),
     }
-    oids = {}
-    for name, data in blobs.items():
-        obj = db.create_object()
-        with ObjectStream(obj) as stream:
-            shutil.copyfileobj(io.BytesIO(data), stream, length=64 * 1024)
-        oids[name] = obj.oid
-        print(f"ingested {name}: {human_bytes(len(data))} -> oid {obj.oid}")
-
-    # --- persist -------------------------------------------------------------
     image = Path(tempfile.mkdtemp()) / "archive.db"
-    db.save(image)
-    print(f"\nsaved volume image: {image} "
-          f"({human_bytes(image.stat().st_size)})")
+    oids = ingest(image, blobs)
+    reopen_and_verify(image, blobs, oids)
 
+
+def ingest(image, blobs) -> dict:
+    # --- ingest through the stream interface ------------------------------
+    with EOSDatabase.create(
+        num_pages=8192, page_size=PAGE,
+        config=EOSConfig(page_size=PAGE, threshold=8),
+    ) as db:
+        oids = {}
+        for name, data in blobs.items():
+            obj = db.create_object()
+            with ObjectStream(obj) as stream:
+                shutil.copyfileobj(io.BytesIO(data), stream, length=64 * 1024)
+            oids[name] = obj.oid
+            print(f"ingested {name}: {human_bytes(len(data))} -> oid {obj.oid}")
+
+        # --- persist (before close: a closed database refuses to save) ----
+        db.save(image)
+        print(f"\nsaved volume image: {image} "
+              f"({human_bytes(image.stat().st_size)})")
+    return oids
+
+
+def reopen_and_verify(image, blobs, oids) -> None:
     # --- reopen and keep working ----------------------------------------------
     archive = EOSDatabase.open_file(image)
     print("\nreopened:")

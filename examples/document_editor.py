@@ -54,10 +54,14 @@ def find(obj, needle: bytes, start: int = 0) -> int:
 
 
 def main() -> None:
-    db = EOSDatabase.create(
+    with EOSDatabase.create(
         num_pages=8192, page_size=PAGE,
         config=EOSConfig(page_size=PAGE, threshold=8),
-    )
+    ) as db:
+        edit_session(db)
+
+
+def edit_session(db) -> None:
     manuscript = build_manuscript(db)
     print(f"manuscript: {manuscript.size():,} bytes, "
           f"{manuscript.stats().segments} segments")

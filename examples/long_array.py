@@ -63,10 +63,14 @@ class PersistentArray:
 
 
 def main() -> None:
-    db = EOSDatabase.create(
+    with EOSDatabase.create(
         num_pages=8192, page_size=PAGE,
         config=EOSConfig(page_size=PAGE, threshold=8),
-    )
+    ) as db:
+        run(db)
+
+
+def run(db) -> None:
     array = PersistentArray(db.create_object())
 
     # --- bulk load ---------------------------------------------------------
@@ -87,14 +91,11 @@ def main() -> None:
     print("insert / remove / overwrite at arbitrary indexes verified")
 
     # --- middle insert cost: EOS vs a Starburst-style flat layout ----------
-    db.pool.clear()
-    db.disk.stats.head = None
-    with db.disk.stats.delta() as eos_cost:
+    with db.stats.delta(cold=True) as eos_cost:
         array.insert(len(array) // 2, -1, b"eos probe")
     star = StarburstStore(db.buddy, db.segio)
     flat = star.create(bytes(array.obj.size()), size_hint=array.obj.size())
-    db.disk.stats.head = None
-    with db.disk.stats.delta() as star_cost:
+    with db.stats.delta(cold=True) as star_cost:
         star.insert(flat, star.size(flat) // 2, RECORD.pack(-1, b"star probe"))
     print(
         f"middle insert: EOS {eos_cost.page_transfers} page transfers vs "

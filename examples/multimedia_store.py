@@ -38,24 +38,27 @@ def frame(i: int) -> bytes:
 
 def playback(db, read_frame) -> tuple[int, int, float]:
     """Play every frame; returns (seeks, transfers, modelled ms)."""
-    db.pool.clear()
-    db.disk.stats.head = None
-    with db.disk.stats.delta() as d:
+    with db.stats.delta(cold=True) as d:
         for i in range(N_FRAMES):
             read_frame(i)
-    return d.seeks, d.page_transfers, DISK_1992.cost_of(d, PAGE)
+    return d.seeks, d.page_transfers, DISK_1992.cost_ms(
+        d.seeks, d.page_transfers, PAGE
+    )
 
 
 def main() -> None:
-    db = EOSDatabase.create(
+    with EOSDatabase.create(
         num_pages=8240,
         page_size=PAGE,
         config=EOSConfig(page_size=PAGE, threshold=16),
         # Several buddy spaces: lets the WiSS comparison model an aged,
         # shared volume where slice allocations scatter.
         space_capacity=1024,
-    )
+    ) as db:
+        run(db)
 
+
+def run(db) -> None:
     # --- ingest: the camera appends frames as they arrive ----------------
     clip = db.create_object()
     for i in range(N_FRAMES):
@@ -103,12 +106,10 @@ def main() -> None:
     wiss = WissStore(db.buddy, db.segio, placement=Placement.SCATTERED,
                      max_slices=4000)
     wiss_clip = wiss.create(b"".join(frame(i) for i in range(N_FRAMES)))
-    db.pool.clear()
-    db.disk.stats.head = None
-    with db.disk.stats.delta() as d:
+    with db.stats.delta(cold=True) as d:
         for i in range(N_FRAMES):
             wiss.read(wiss_clip, i * FRAME_BYTES, FRAME_BYTES)
-    wiss_ms = DISK_1992.cost_of(d, PAGE)
+    wiss_ms = DISK_1992.cost_ms(d.seeks, d.page_transfers, PAGE)
     print(
         f"the same playback on WiSS slices: {d.seeks} seeks, ~{wiss_ms:.0f} ms "
         f"({wiss_ms / ms:.0f}x slower — {'misses' if wiss_ms > budget_ms else 'meets'} "

@@ -27,11 +27,16 @@ def show(db, obj, label):
 def main() -> None:
     # A 64 MB simulated volume with 4 KB pages and a segment-size
     # threshold of 8 pages (Section 4.4's middle-of-the-road setting).
-    db = EOSDatabase.create(
+    # The context manager flushes and releases everything on exit.
+    with EOSDatabase.create(
         num_pages=16_384,
         page_size=4096,
         config=EOSConfig(page_size=4096, threshold=8),
-    )
+    ) as db:
+        run(db)
+
+
+def run(db) -> None:
     print("formatted volume:", human_bytes(db.disk.size_bytes),
           f"({db.volume.n_spaces} buddy space(s))")
 
@@ -43,14 +48,12 @@ def main() -> None:
     show(db, obj, "created 1 MB (size hint)")
 
     # --- sequential scan: one seek per segment ---------------------------
-    db.pool.clear()
-    db.disk.stats.head = None
-    with db.disk.stats.delta() as d:
+    with db.stats.delta(cold=True) as d:
         for offset in range(0, obj.size(), 64 * 1024):
             obj.read(offset, min(64 * 1024, obj.size() - offset))
     print(
         f"  full scan: {d.seeks} seeks, {d.page_reads} page transfers "
-        f"(~{DISK_1992.cost_of(d):.0f} ms on a 1992 disk)"
+        f"(~{DISK_1992.cost_ms(d.seeks, d.page_transfers, db.config.page_size):.0f} ms on a 1992 disk)"
     )
 
     # --- piece-wise updates ----------------------------------------------

@@ -31,27 +31,24 @@ READ_BYTES = 8 * PAGE
 
 def measure(threshold: int, reads: int, edits: int) -> float:
     """Total modelled ms for one read/edit mix at one threshold."""
-    db = EOSDatabase.create(
+    with EOSDatabase.create(
         num_pages=8192, page_size=PAGE,
         config=EOSConfig(page_size=PAGE, threshold=threshold),
-    )
-    obj = db.create_object(
-        bytes(i % 251 for i in range(OBJECT_BYTES)), size_hint=OBJECT_BYTES
-    )
-    total = 0.0
-    ops = list(random_edits(OBJECT_BYTES, edits, edit_bytes=48, seed=1))
-    ops += list(random_reads(OBJECT_BYTES - 10_000, READ_BYTES, reads, seed=2))
-    db.pool.clear()
-    db.disk.stats.head = None
-    with db.disk.stats.delta() as delta:
-        for op in ops:
-            if op.kind == "insert":
-                obj.insert(op.offset, op.data)
-            elif op.kind == "delete":
-                obj.delete(op.offset, op.length)
-            else:
-                obj.read(op.offset, op.length)
-    return DISK_1992.cost_ms(delta.seeks, delta.page_transfers, PAGE)
+    ) as db:
+        obj = db.create_object(
+            bytes(i % 251 for i in range(OBJECT_BYTES)), size_hint=OBJECT_BYTES
+        )
+        ops = list(random_edits(OBJECT_BYTES, edits, edit_bytes=48, seed=1))
+        ops += list(random_reads(OBJECT_BYTES - 10_000, READ_BYTES, reads, seed=2))
+        with db.stats.delta(cold=True) as delta:
+            for op in ops:
+                if op.kind == "insert":
+                    obj.insert(op.offset, op.data)
+                elif op.kind == "delete":
+                    obj.delete(op.offset, op.length)
+                else:
+                    obj.read(op.offset, op.length)
+        return DISK_1992.cost_ms(delta.seeks, delta.page_transfers, PAGE)
 
 
 def main() -> None:
@@ -69,23 +66,25 @@ def main() -> None:
         print(f"{name:<24} {row}   -> best T={best}")
 
     # Apply the findings through per-file hints.
-    db = EOSDatabase.create(
+    with EOSDatabase.create(
         num_pages=8192, page_size=PAGE, config=EOSConfig(page_size=PAGE)
-    )
-    archive = db.create_file("archive", threshold=winners["archive (read-heavy)"])
-    workspace = db.create_file(
-        "workspace", threshold=winners["workspace (edit-heavy)"]
-    )
-    a = archive.create_object(bytes(50_000))
-    w = workspace.create_object(bytes(50_000))
-    print(f"\nfiles configured: archive T={a.policy.base}, "
-          f"workspace T={w.policy.base}")
+    ) as db:
+        archive = db.create_file(
+            "archive", threshold=winners["archive (read-heavy)"]
+        )
+        workspace = db.create_file(
+            "workspace", threshold=winners["workspace (edit-heavy)"]
+        )
+        a = archive.create_object(bytes(50_000))
+        w = workspace.create_object(bytes(50_000))
+        print(f"\nfiles configured: archive T={a.policy.base}, "
+              f"workspace T={w.policy.base}")
 
-    # Access patterns changed? Retune the whole file at once.
-    workspace.set_threshold(max(4, winners["archive (read-heavy)"] // 2))
-    print(f"workspace retuned to T={w.policy.base} "
-          f"(objects pick the new hint up immediately)")
-    assert w.policy.base == workspace.threshold
+        # Access patterns changed? Retune the whole file at once.
+        workspace.set_threshold(max(4, winners["archive (read-heavy)"] // 2))
+        print(f"workspace retuned to T={w.policy.base} "
+              f"(objects pick the new hint up immediately)")
+        assert w.policy.base == workspace.threshold
 
 
 if __name__ == "__main__":

@@ -14,30 +14,36 @@ The package is layered exactly as the paper's system is:
 * :mod:`repro.baselines` — the related systems of Section 2 (Exodus,
   Starburst, WiSS, System R) behind a common interface;
 * :mod:`repro.concurrency` / :mod:`repro.recovery` — Section 4.5;
-* :mod:`repro.workloads` / :mod:`repro.bench` — experiment support.
+* :mod:`repro.workloads` / :mod:`repro.bench` — experiment support;
+* :mod:`repro.obs` — spans, metrics and the ``db.stats`` facade.
 
 Quickstart::
 
     from repro import EOSDatabase
 
-    db = EOSDatabase.create(num_pages=20_000, page_size=4096)
-    obj = db.create_object(size_hint=1_000_000)
-    obj.append(b"x" * 1_000_000)
-    obj.insert(500_000, b"hello")
-    data = obj.read(499_995, 15)
+    with EOSDatabase.create(num_pages=20_000, page_size=4096) as db:
+        obj = db.create_object(size_hint=1_000_000)
+        obj.append(b"x" * 1_000_000)
+        obj.insert(500_000, b"hello")
+        data = obj.read(499_995, 15)
 """
 
 from repro.api import EOSDatabase
 from repro.core import EOSConfig, LargeObject, ObjectStream
 from repro.errors import ReproError
+from repro.obs import JsonLinesSink, Observability, RingSink, SummarySink
 
 __version__ = "1.0.0"
 
 __all__ = [
     "EOSDatabase",
     "EOSConfig",
+    "JsonLinesSink",
     "LargeObject",
     "ObjectStream",
+    "Observability",
     "ReproError",
+    "RingSink",
+    "SummarySink",
     "__version__",
 ]

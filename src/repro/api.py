@@ -37,14 +37,28 @@ from repro.core.object import LargeObject
 from repro.core.pager import InPlacePager
 from repro.core.segio import SegmentIO
 from repro.core.tree import LargeObjectTree
-from repro.errors import ObjectNotFound, VolumeLayoutError
+from repro.errors import DatabaseClosed, ObjectNotFound, VolumeLayoutError
+from repro.obs.facade import DatabaseStats
+from repro.obs.tracer import Observability
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskVolume
 from repro.storage.volume import Volume
 
 
 class EOSDatabase:
-    """A formatted volume plus the managers needed to use it."""
+    """A formatted volume plus the managers needed to use it.
+
+    Databases are context managers: ``with EOSDatabase.create(...) as
+    db:`` closes them on exit — flushing every dirty page, releasing the
+    buffer pool and finalising any observability sinks.  A closed
+    database raises :class:`~repro.errors.DatabaseClosed` on use.
+
+    Observability: every database carries an
+    :class:`~repro.obs.tracer.Observability` bundle at ``db.obs``
+    (disabled by default; ``db.obs.enable(sinks=[...])`` switches on
+    tracing and metrics) and a :class:`~repro.obs.facade.DatabaseStats`
+    facade at ``db.stats`` (always available).
+    """
 
     def __init__(
         self,
@@ -53,6 +67,7 @@ class EOSDatabase:
         config: EOSConfig,
         *,
         pool_capacity: int = 128,
+        obs: Observability | None = None,
     ) -> None:
         if config.page_size != disk.page_size:
             raise VolumeLayoutError(
@@ -61,13 +76,20 @@ class EOSDatabase:
         self.disk = disk
         self.volume = volume
         self.config = config
+        if obs is None:
+            obs = Observability(iostats=disk.stats, page_size=config.page_size)
+        elif obs.iostats is None:
+            obs.iostats = disk.stats
+        self.obs = obs
         self.pool = BufferPool(disk, capacity=pool_capacity)
-        self.buddy = BuddyManager(volume, self.pool)
+        self.buddy = BuddyManager(volume, self.pool, obs=self.obs)
         self.pager = InPlacePager(self.pool, self.buddy, config.page_size)
-        self.segio = SegmentIO(disk, config.page_size)
+        self.segio = SegmentIO(disk, config.page_size, obs=self.obs)
+        self.stats = DatabaseStats(self)
         self._objects: dict[int, LargeObject] = {}
         self._files: dict[str, "ObjectFile"] = {}
         self._next_oid = 1
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -82,6 +104,7 @@ class EOSDatabase:
         config: EOSConfig | None = None,
         space_capacity: int | None = None,
         pool_capacity: int = 128,
+        obs: Observability | None = None,
     ) -> "EOSDatabase":
         """Format a fresh in-memory database of ``num_pages`` pages.
 
@@ -98,12 +121,46 @@ class EOSDatabase:
             space_capacity = min(max_capacity(page_size), usable - usable % 4)
         n_spaces = max(1, (num_pages - 1) // (1 + space_capacity))
         volume = Volume.format(disk, n_spaces=n_spaces, space_capacity=space_capacity)
-        db = cls(disk, volume, config, pool_capacity=pool_capacity)
+        db = cls(disk, volume, config, pool_capacity=pool_capacity, obs=obs)
         BuddyManager.format(volume)
         # Rebuild the manager so its superdirectory starts fresh.
-        db.buddy = BuddyManager(volume, db.pool)
+        db.buddy = BuddyManager(volume, db.pool, obs=db.obs)
         db.pager = InPlacePager(db.pool, db.buddy, config.page_size)
         return db
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def is_closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def _ensure_open(self, operation: str) -> None:
+        if self._closed:
+            raise DatabaseClosed(operation)
+
+    def close(self) -> None:
+        """Flush all dirty state, release the buffer pool, finalise sinks.
+
+        Idempotent: closing a closed database is a no-op.  The disk
+        image survives (pass it to :meth:`attach`, or :meth:`save` the
+        database *before* closing to persist it to a file).
+        """
+        if self._closed:
+            return
+        self.pool.clear()
+        self.obs.close()
+        self._closed = True
+
+    def __enter__(self) -> "EOSDatabase":
+        self._ensure_open("enter a context")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # Objects
@@ -118,8 +175,11 @@ class EOSDatabase:
         for the object are allocated "just large enough to hold the
         entire object."
         """
-        tree = LargeObjectTree.create(self.pager, self.config)
-        obj = LargeObject(tree, self.segio, self.buddy, size_hint=size_hint)
+        self._ensure_open("create an object")
+        tree = LargeObjectTree.create(self.pager, self.config, obs=self.obs)
+        obj = LargeObject(
+            tree, self.segio, self.buddy, size_hint=size_hint, obs=self.obs
+        )
         oid = self._next_oid
         self._next_oid += 1
         obj.oid = oid  # type: ignore[attr-defined]
@@ -130,6 +190,7 @@ class EOSDatabase:
 
     def get_object(self, oid: int) -> LargeObject:
         """Look up a catalogued object by its oid."""
+        self._ensure_open("look up an object")
         try:
             return self._objects[oid]
         except KeyError:
@@ -137,11 +198,13 @@ class EOSDatabase:
 
     def open_root(self, root_page: int) -> LargeObject:
         """Open an object by its root page (client-placed roots)."""
-        tree = LargeObjectTree(self.pager, self.config, root_page)
-        return LargeObject(tree, self.segio, self.buddy)
+        self._ensure_open("open an object")
+        tree = LargeObjectTree(self.pager, self.config, root_page, obs=self.obs)
+        return LargeObject(tree, self.segio, self.buddy, obs=self.obs)
 
     def delete_object(self, obj: LargeObject) -> None:
         """Destroy the object and drop it from the catalog."""
+        self._ensure_open("delete an object")
         obj.destroy()
         oid = getattr(obj, "oid", None)
         if oid is not None:
@@ -149,6 +212,7 @@ class EOSDatabase:
 
     def objects(self) -> list[LargeObject]:
         """All catalogued objects, in creation order."""
+        self._ensure_open("list objects")
         return list(self._objects.values())
 
     # ------------------------------------------------------------------
@@ -167,6 +231,7 @@ class EOSDatabase:
         inherit its threshold; individual objects may still override via
         :meth:`~repro.core.object.LargeObject.set_threshold`.
         """
+        self._ensure_open("create a file")
         if name in self._files:
             raise VolumeLayoutError(f"file {name!r} already exists")
         handle = ObjectFile(
@@ -180,6 +245,7 @@ class EOSDatabase:
 
     def get_file(self, name: str) -> "ObjectFile":
         """Look up a previously created file by name."""
+        self._ensure_open("look up a file")
         try:
             return self._files[name]
         except KeyError:
@@ -190,13 +256,34 @@ class EOSDatabase:
     # ------------------------------------------------------------------
 
     # The catalog lives in the volume-header page's spare area, after the
-    # 20-byte volume header: u16 count, then (u64 oid, u32 root) each.
+    # 20-byte volume header: u16 count, then (u64 oid, u32 root) each,
+    # then the file section — u16 file count, and per file: u8 name
+    # length, the UTF-8 name, u32 threshold, u8 adaptive flag, u16
+    # member count, u64 member oids.
     _CATALOG_OFFSET = 64
     _CATALOG_ENTRY = struct.Struct("<QI")
 
     @property
     def _catalog_capacity(self) -> int:
         return (self.config.page_size - self._CATALOG_OFFSET - 2) // self._CATALOG_ENTRY.size
+
+    def _pack_files(self) -> bytes:
+        out = bytearray(struct.pack("<H", len(self._files)))
+        for handle in self._files.values():
+            name = handle.name.encode("utf-8")
+            if len(name) > 255:
+                raise VolumeLayoutError(
+                    f"file name {handle.name!r} exceeds 255 bytes encoded"
+                )
+            oids = [oid for oid in handle._oids if oid in self._objects]
+            out += struct.pack("<B", len(name))
+            out += name
+            out += struct.pack(
+                "<IBH", handle.threshold, int(handle.adaptive), len(oids)
+            )
+            for oid in oids:
+                out += struct.pack("<Q", oid)
+        return bytes(out)
 
     def _write_catalog(self) -> None:
         entries = [(oid, obj.root_page) for oid, obj in sorted(self._objects.items())]
@@ -205,13 +292,22 @@ class EOSDatabase:
                 f"catalog holds at most {self._catalog_capacity} objects; "
                 f"{len(entries)} are live (store roots client-side instead)"
             )
-        header = bytearray(self.disk.read_page(0))
+        files = self._pack_files()
         offset = self._CATALOG_OFFSET
+        needed = offset + 2 + len(entries) * self._CATALOG_ENTRY.size + len(files)
+        if needed > self.config.page_size:
+            raise VolumeLayoutError(
+                f"catalog needs {needed} bytes but the header page holds "
+                f"{self.config.page_size} (fewer objects/files, or shorter "
+                "file names)"
+            )
+        header = bytearray(self.disk.read_page(0))
         struct.pack_into("<H", header, offset, len(entries))
         offset += 2
         for oid, root in entries:
             self._CATALOG_ENTRY.pack_into(header, offset, oid, root)
             offset += self._CATALOG_ENTRY.size
+        header[offset : offset + len(files)] = files
         self.disk.write_page(0, header)
 
     def _read_catalog(self) -> None:
@@ -220,6 +316,7 @@ class EOSDatabase:
         (count,) = struct.unpack_from("<H", header, offset)
         offset += 2
         self._objects = {}
+        self._files = {}
         self._next_oid = 1
         for _ in range(count):
             oid, root = self._CATALOG_ENTRY.unpack_from(header, offset)
@@ -228,29 +325,78 @@ class EOSDatabase:
             obj.oid = oid  # type: ignore[attr-defined]
             self._objects[oid] = obj
             self._next_oid = max(self._next_oid, oid + 1)
+        self._read_file_section(header, offset)
+
+    def _read_file_section(self, header: bytes, offset: int) -> None:
+        """Restore ObjectFile handles; tolerate pre-file-section images.
+
+        Images written before the file section existed leave zeros here
+        (count 0), so they parse cleanly; anything structurally invalid
+        is treated the same way rather than failing the open.
+        """
+        try:
+            (n_files,) = struct.unpack_from("<H", header, offset)
+            offset += 2
+            files: dict[str, ObjectFile] = {}
+            for _ in range(n_files):
+                (name_len,) = struct.unpack_from("<B", header, offset)
+                offset += 1
+                if offset + name_len > len(header):
+                    raise struct.error("file name overruns the header page")
+                name = header[offset : offset + name_len].decode("utf-8")
+                offset += name_len
+                threshold, adaptive, n_oids = struct.unpack_from(
+                    "<IBH", header, offset
+                )
+                offset += 7
+                oids = []
+                for _ in range(n_oids):
+                    (oid,) = struct.unpack_from("<Q", header, offset)
+                    offset += 8
+                    oids.append(oid)
+                if not name or threshold < 1:
+                    raise struct.error("implausible file record")
+                handle = ObjectFile(self, name, threshold, bool(adaptive))
+                handle._oids = [oid for oid in oids if oid in self._objects]
+                files[name] = handle
+        except (struct.error, UnicodeDecodeError):
+            return
+        self._files = files
+        for handle in files.values():
+            for obj in handle.objects():
+                obj.set_threshold(handle.threshold, adaptive=handle.adaptive)
 
     def save(self, path: str | os.PathLike) -> None:
         """Flush everything and persist the volume image to ``path``."""
+        self._ensure_open("save")
         self.checkpoint()
         self._write_catalog()
         self.disk.save(path)
 
     @classmethod
     def open_file(
-        cls, path: str | os.PathLike, *, config: EOSConfig | None = None
+        cls,
+        path: str | os.PathLike,
+        *,
+        config: EOSConfig | None = None,
+        obs: Observability | None = None,
     ) -> "EOSDatabase":
         """Re-open a database previously written by :meth:`save`."""
         disk = DiskVolume.load(path)
-        return cls.attach(disk, config=config)
+        return cls.attach(disk, config=config, obs=obs)
 
     @classmethod
     def attach(
-        cls, disk: DiskVolume, *, config: EOSConfig | None = None
+        cls,
+        disk: DiskVolume,
+        *,
+        config: EOSConfig | None = None,
+        obs: Observability | None = None,
     ) -> "EOSDatabase":
         """Bind a database to an already formatted disk image."""
         volume = Volume.open(disk)
         config = config or EOSConfig(page_size=disk.page_size)
-        db = cls(disk, volume, config)
+        db = cls(disk, volume, config, obs=obs)
         db._read_catalog()
         return db
 
@@ -260,14 +406,17 @@ class EOSDatabase:
 
     def checkpoint(self) -> None:
         """Flush every dirty buffered page to the disk image."""
+        self._ensure_open("checkpoint")
         self.pool.flush_all()
 
     def free_pages(self) -> int:
         """Free pages across all buddy spaces."""
+        self._ensure_open("count free pages")
         return self.buddy.free_pages()
 
     def verify(self) -> None:
         """Verify the allocator and every catalogued object."""
+        self._ensure_open("verify")
         self.buddy.verify()
         for obj in self._objects.values():
             obj.verify()

@@ -275,7 +275,7 @@ class ExodusStore(LargeObjectStore):
         if entry.count * 2 >= self.capacity:
             return
         block_lo = min(around, size - 1) - local
-        neighbours = list(
+        _neighbours = list(
             tree.iter_segments(block_lo, min(size, block_lo + entry.count + 1))
         )
         # Find a right neighbour to merge with.

@@ -2,9 +2,10 @@
 
 ``apply_trace`` replays a trace against any
 :class:`~repro.baselines.base.LargeObjectStore`;
-``run_trace_measured`` does the same inside an I/O delta and returns the
-counts, which is what every comparative experiment reports (who seeks
-how often, who transfers how much — the paper's cost currency).
+``run_trace_measured`` does the same inside the database's
+:meth:`~repro.obs.facade.DatabaseStats.delta` and returns the
+:class:`~repro.obs.facade.StatsDelta` — seeks and transfers (the paper's
+cost currency) at the top level, buffer/allocator counters alongside.
 """
 
 from __future__ import annotations
@@ -14,7 +15,8 @@ from typing import Iterable
 from repro.api import EOSDatabase
 from repro.baselines.base import LargeObjectStore
 from repro.core.config import EOSConfig
-from repro.storage.iostats import IODelta
+from repro.obs.facade import StatsDelta
+from repro.obs.tracer import Observability
 from repro.workloads.generator import Operation
 
 
@@ -25,6 +27,7 @@ def make_database(
     threshold: int = 8,
     adaptive: bool = False,
     space_capacity: int | None = None,
+    obs: Observability | None = None,
 ) -> EOSDatabase:
     """A fresh database with benchmark-friendly defaults."""
     config = EOSConfig(
@@ -35,6 +38,7 @@ def make_database(
         page_size=page_size,
         config=config,
         space_capacity=space_capacity,
+        obs=obs,
     )
 
 
@@ -65,11 +69,8 @@ def run_trace_measured(
     trace: Iterable[Operation],
     *,
     cold_cache: bool = False,
-) -> IODelta:
-    """Replay a trace under the disk's I/O delta; returns the counts."""
-    if cold_cache:
-        db.pool.clear()
-        db.disk.stats.head = None
-    with db.disk.stats.delta() as delta:
+) -> StatsDelta:
+    """Replay a trace under ``db.stats.delta``; returns the counts."""
+    with db.stats.delta(cold=cold_cache) as delta:
         apply_trace(store, handle, trace)
     return delta

@@ -4,10 +4,16 @@ Each benchmark builds an :class:`ExperimentReport`, fills rows, then
 calls :meth:`emit` — which prints the table (visible with ``pytest -s``)
 and writes it to ``benchmarks/results/<experiment>.txt`` so
 EXPERIMENTS.md can reference stable artifacts.
+
+A report with an attached stats source (:meth:`attach_stats`, usually
+the database under test) also writes a ``<experiment>.metrics.json``
+sidecar: the ``db.stats`` snapshot plus the observability registry's
+metrics, when enabled.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, Sequence
 
@@ -35,6 +41,13 @@ class ExperimentReport:
         self.notes: list[str] = []
         self.geometry = geometry
         self.page_size = page_size
+        self._stats_source = None
+
+    def attach_stats(self, source) -> None:
+        """Bind a stats source (anything with a ``stats`` facade, e.g. an
+        :class:`~repro.api.EOSDatabase`); :meth:`emit` then writes its
+        snapshot and metrics to a ``.metrics.json`` sidecar."""
+        self._stats_source = source
 
     def add_row(self, values: Iterable[object]) -> None:
         """Append one table row (cells in column order)."""
@@ -72,4 +85,24 @@ class ExperimentReport:
         path = os.path.join(target_dir, f"{self.experiment_id.lower()}.txt")
         with open(path, "w") as f:
             f.write(text + "\n")
+        self._emit_metrics(target_dir)
         return text
+
+    def _emit_metrics(self, target_dir: str) -> None:
+        source = self._stats_source
+        if source is None:
+            return
+        stats = getattr(source, "stats", None)
+        if stats is None or getattr(source, "is_closed", False):
+            return
+        sidecar = {
+            "experiment": self.experiment_id,
+            "stats": stats.snapshot().as_dict(),
+            "metrics": stats.metrics(),
+        }
+        path = os.path.join(
+            target_dir, f"{self.experiment_id.lower()}.metrics.json"
+        )
+        with open(path, "w") as f:
+            json.dump(sidecar, f, indent=2, sort_keys=True)
+            f.write("\n")

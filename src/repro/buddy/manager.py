@@ -25,6 +25,7 @@ from typing import NamedTuple
 from repro.buddy.space import BuddySpace
 from repro.concurrency.latch import Latch
 from repro.errors import BadSegment, OutOfSpace, SegmentTooLarge
+from repro.obs.tracer import NULL_OBS, Observability
 from repro.storage.buffer import BufferPool
 from repro.storage.page import PageId
 from repro.storage.volume import Volume
@@ -63,11 +64,13 @@ class BuddyManager:
         *,
         use_superdirectory: bool = True,
         write_through: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         self.volume = volume
         self.pool = pool or BufferPool(volume.disk, capacity=volume.n_spaces + 8)
         self.use_superdirectory = use_superdirectory
         self.write_through = write_through
+        self.obs = obs if obs is not None else NULL_OBS
         self.stats = AllocatorStats()
         self.page_size = volume.disk.page_size
         # "Initially, it indicates that each buddy space available in the
@@ -138,23 +141,28 @@ class BuddyManager:
         """
         if n_pages > self.max_segment_pages:
             raise SegmentTooLarge(n_pages, self.max_segment_pages)
-        self.stats.allocations += 1
-        ref = self._try_allocate(n_pages, exact=True)
-        if ref is None:
-            raise OutOfSpace(n_pages)
-        return ref
+        with self.obs.tracer.span("buddy.alloc", pages=n_pages) as span:
+            self.stats.allocations += 1
+            ref = self._try_allocate(n_pages, exact=True)
+            if ref is None:
+                raise OutOfSpace(n_pages)
+            span.set(first_page=ref.first_page)
+            self.obs.metrics.histogram("buddy.alloc.pages").observe(ref.n_pages)
+            return ref
 
     def allocate_up_to(self, n_pages: int) -> SegmentRef:
         """Allocate the largest contiguous run available, at most ``n_pages``."""
         want = min(n_pages, self.max_segment_pages)
-        self.stats.allocations += 1
-        ref = self._try_allocate(want, exact=True)
-        if ref is not None:
+        with self.obs.tracer.span("buddy.alloc", pages=want, up_to=True) as span:
+            self.stats.allocations += 1
+            ref = self._try_allocate(want, exact=True)
+            if ref is None:
+                ref = self._try_allocate(want, exact=False)
+            if ref is None:
+                raise OutOfSpace(n_pages)
+            span.set(first_page=ref.first_page, granted=ref.n_pages)
+            self.obs.metrics.histogram("buddy.alloc.pages").observe(ref.n_pages)
             return ref
-        ref = self._try_allocate(want, exact=False)
-        if ref is None:
-            raise OutOfSpace(n_pages)
-        return ref
 
     def _space_order(self, *, exact: bool) -> list[int]:
         """Spaces to probe, in order.
@@ -215,11 +223,14 @@ class BuddyManager:
                 f"free of [{first_page}, {first_page + n_pages}) crosses out "
                 f"of buddy space {extent.index}"
             )
-        self.stats.frees += 1
-        space = self.load_space(extent.index)
-        space.free(local, n_pages)
-        self._update_guess(extent.index, space)
-        self.store_space(extent.index, space)
+        with self.obs.tracer.span(
+            "buddy.free", first_page=first_page, pages=n_pages
+        ):
+            self.stats.frees += 1
+            space = self.load_space(extent.index)
+            space.free(local, n_pages)
+            self._update_guess(extent.index, space)
+            self.store_space(extent.index, space)
 
     def free_segment(self, ref: SegmentRef) -> None:
         """Free a whole segment previously returned by :meth:`allocate`."""

@@ -30,6 +30,7 @@ from repro.core.search import replace_range as _replace
 from repro.core.segio import SegmentIO
 from repro.core.threshold import ThresholdPolicy
 from repro.core.tree import LargeObjectTree
+from repro.obs.tracer import NULL_OBS, Observability
 from repro.storage.page import PageId
 from repro.util.bitops import ceil_div
 
@@ -72,14 +73,22 @@ class LargeObject:
         *,
         size_hint: int | None = None,
         page_log=None,
+        obs: Observability | None = None,
     ) -> None:
         self.tree = tree
         self.segio = segio
         self.buddy = buddy
         self.size_hint = size_hint
         self.page_log = page_log
+        self.obs = obs if obs is not None else NULL_OBS
         self.policy = ThresholdPolicy(
             tree.config.threshold, tree.config.adaptive_threshold
+        )
+
+    def _span(self, op: str, **attrs):
+        """An ``op.<name>`` span tagged with this object's identity."""
+        return self.obs.tracer.span(
+            f"op.{op}", oid=getattr(self, "oid", None), **attrs
         )
 
     # -- identity -----------------------------------------------------------
@@ -102,7 +111,8 @@ class LargeObject:
 
     def read(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes starting at ``offset`` (Section 4.2)."""
-        return _read(self.tree, self.segio, offset, length)
+        with self._span("read", offset=offset, bytes=length):
+            return _read(self.tree, self.segio, offset, length)
 
     def read_all(self) -> bytes:
         """Read the whole object."""
@@ -119,35 +129,44 @@ class LargeObject:
         hint = self.size_hint
         if hint is not None and self.size() >= hint:
             hint = None
-        _append(
-            self.tree, self.segio, self.buddy, data,
-            size_hint=hint, log=self.page_log,
-        )
+        with self._span("append", bytes=len(data)):
+            _append(
+                self.tree, self.segio, self.buddy, data,
+                size_hint=hint, log=self.page_log,
+            )
 
     def replace(self, offset: int, data: bytes) -> None:
         """Overwrite bytes in place; size is unchanged (Section 4.2)."""
-        _replace(self.tree, self.segio, offset, data, log=self.page_log)
+        with self._span("replace", offset=offset, bytes=len(data)):
+            _replace(self.tree, self.segio, offset, data, log=self.page_log)
 
     def insert(self, offset: int, data: bytes) -> None:
         """Insert bytes at ``offset`` (Section 4.3.1)."""
-        _insert(
-            self.tree, self.segio, self.buddy, offset, data,
-            policy=self.policy, log=self.page_log,
-        )
+        with self._span("insert", offset=offset, bytes=len(data)):
+            _insert(
+                self.tree, self.segio, self.buddy, offset, data,
+                policy=self.policy, log=self.page_log,
+            )
 
     def delete(self, offset: int, length: int) -> None:
         """Delete a byte range (Section 4.3.2)."""
-        _delete(
-            self.tree, self.segio, self.buddy, offset, length, policy=self.policy
-        )
+        with self._span("delete", offset=offset, bytes=length):
+            _delete(
+                self.tree, self.segio, self.buddy, offset, length,
+                policy=self.policy,
+            )
 
     def truncate(self, new_size: int) -> None:
         """Delete from ``new_size`` to the end."""
-        _truncate(self.tree, self.segio, self.buddy, new_size, policy=self.policy)
+        with self._span("truncate", new_size=new_size):
+            _truncate(
+                self.tree, self.segio, self.buddy, new_size, policy=self.policy
+            )
 
     def trim(self) -> int:
         """Return the tail segment's spare pages to free space (4.1)."""
-        return _trim(self.tree, self.buddy)
+        with self._span("trim"):
+            return _trim(self.tree, self.buddy)
 
     def compact(self) -> int:
         """Rewrite the object into freshly allocated exact-size segments.
@@ -162,19 +181,21 @@ class LargeObject:
         size = self.size()
         if size == 0:
             return 0
-        data = self.read_all()
-        # Write the replacement first, then swap and free the old pages —
-        # the same never-overwrite discipline as insert/delete.
-        from repro.core.segio import allocate_and_write
+        with self._span("compact", bytes=size):
+            data = self.read_all()
+            # Write the replacement first, then swap and free the old pages —
+            # the same never-overwrite discipline as insert/delete.
+            from repro.core.segio import allocate_and_write
 
-        new_segments = allocate_and_write(self.segio, self.buddy, data)
-        new_entries = [
-            Entry(count, ref.first_page, ref.n_pages) for ref, count in new_segments
-        ]
-        dropped = self.tree.replace_leaf_range(0, size, new_entries)
-        for entry in dropped:
-            self.buddy.free(entry.child, entry.pages)
-        return len(new_entries)
+            new_segments = allocate_and_write(self.segio, self.buddy, data)
+            new_entries = [
+                Entry(count, ref.first_page, ref.n_pages)
+                for ref, count in new_segments
+            ]
+            dropped = self.tree.replace_leaf_range(0, size, new_entries)
+            for entry in dropped:
+                self.buddy.free(entry.child, entry.pages)
+            return len(new_entries)
 
     def set_threshold(self, threshold: int, *, adaptive: bool | None = None) -> None:
         """Change T for subsequent updates.

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.buddy.manager import BuddyManager, SegmentRef
 from repro.errors import LargeObjectError
+from repro.obs.tracer import NULL_OBS, Observability
 from repro.storage.disk import DiskVolume
 from repro.storage.page import PageId
 from repro.util.bitops import ceil_div
@@ -25,13 +26,16 @@ from repro.util.bitops import ceil_div
 class SegmentIO:
     """Byte-addressed access to leaf segments on the raw disk."""
 
-    def __init__(self, disk: DiskVolume, page_size: int) -> None:
+    def __init__(
+        self, disk: DiskVolume, page_size: int, *, obs: Observability | None = None
+    ) -> None:
         if disk.page_size != page_size:
             raise LargeObjectError(
                 f"config page size {page_size} != disk page size {disk.page_size}"
             )
         self.disk = disk
         self.page_size = page_size
+        self.obs = obs if obs is not None else NULL_OBS
 
     def read_bytes(self, first_page: PageId, byte_lo: int, byte_hi: int) -> bytes:
         """Read bytes [byte_lo, byte_hi) of a segment: one contiguous run."""
@@ -40,7 +44,10 @@ class SegmentIO:
         ps = self.page_size
         page_lo = byte_lo // ps
         page_hi = (byte_hi - 1) // ps
-        span = self.disk.read_pages(first_page + page_lo, page_hi - page_lo + 1)
+        with self.obs.tracer.span(
+            "segio.read", first_page=first_page, pages=page_hi - page_lo + 1
+        ):
+            span = self.disk.read_pages(first_page + page_lo, page_hi - page_lo + 1)
         base = page_lo * ps
         return span[byte_lo - base : byte_hi - base]
 
@@ -52,7 +59,10 @@ class SegmentIO:
         Returns ``(bytes, base_byte_offset)`` so callers can slice by
         segment-relative byte offsets.
         """
-        span = self.disk.read_pages(first_page + page_lo, page_hi - page_lo + 1)
+        with self.obs.tracer.span(
+            "segio.read", first_page=first_page, pages=page_hi - page_lo + 1
+        ):
+            span = self.disk.read_pages(first_page + page_lo, page_hi - page_lo + 1)
         return span, page_lo * self.page_size
 
     def write_segment(self, first_page: PageId, data: bytes, at_page: int = 0) -> None:
@@ -63,7 +73,10 @@ class SegmentIO:
         ps = self.page_size
         n_pages = ceil_div(len(data), ps)
         padded = bytes(data) + bytes(n_pages * ps - len(data))
-        self.disk.write_pages(first_page + at_page, padded)
+        with self.obs.tracer.span(
+            "segio.write", first_page=first_page, pages=n_pages
+        ):
+            self.disk.write_pages(first_page + at_page, padded)
 
     def patch_page(self, page: PageId, offset: int, data: bytes) -> bytes:
         """Read-modify-write one page; returns the pre-image (for logging)."""
@@ -72,9 +85,10 @@ class SegmentIO:
             raise LargeObjectError(
                 f"patch of {len(data)} bytes at offset {offset} overruns a page"
             )
-        old = self.disk.read_page(page)
-        new = old[:offset] + data + old[offset + len(data) :]
-        self.disk.write_page(page, new)
+        with self.obs.tracer.span("segio.patch", page=page, bytes=len(data)):
+            old = self.disk.read_page(page)
+            new = old[:offset] + data + old[offset + len(data) :]
+            self.disk.write_page(page, new)
         return old
 
 

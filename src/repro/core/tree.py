@@ -34,6 +34,7 @@ from repro.core.config import EOSConfig
 from repro.core.node import ENTRY_SIZE, HEADER_SIZE, Entry, Node, fanout, min_entries
 from repro.core.pager import NodePager
 from repro.errors import ByteRangeError, TreeCorrupt
+from repro.obs.tracer import NULL_OBS, Observability
 from repro.storage.page import PageId
 from repro.util.bitops import ceil_div
 
@@ -52,10 +53,18 @@ class PathStep:
 class LargeObjectTree:
     """Structure and bookkeeping of one large object's positional tree."""
 
-    def __init__(self, pager: NodePager, config: EOSConfig, root_page: PageId):
+    def __init__(
+        self,
+        pager: NodePager,
+        config: EOSConfig,
+        root_page: PageId,
+        *,
+        obs: Observability | None = None,
+    ):
         self.pager = pager
         self.config = config
         self.root_page = root_page
+        self.obs = obs if obs is not None else NULL_OBS
         self.fanout = fanout(config.page_size)
         self.min_entries = min_entries(config.page_size)
         if config.max_root_bytes is not None:
@@ -74,10 +83,16 @@ class LargeObjectTree:
     # ------------------------------------------------------------------
 
     @classmethod
-    def create(cls, pager: NodePager, config: EOSConfig) -> "LargeObjectTree":
+    def create(
+        cls,
+        pager: NodePager,
+        config: EOSConfig,
+        *,
+        obs: Observability | None = None,
+    ) -> "LargeObjectTree":
         """Allocate a root page holding an empty object."""
         root_page = pager.allocate()
-        tree = cls(pager, config, root_page)
+        tree = cls(pager, config, root_page, obs=obs)
         pager.write_new(root_page, Node(level=0))
         return tree
 
@@ -106,19 +121,23 @@ class LargeObjectTree:
         the returned int is the byte's offset *within* that segment (the
         paper's "B" after the Section 4.2 loop).
         """
-        path: list[PathStep] = []
-        page = self.root_page
-        node = self.read_root()
-        local = byte
-        while True:
-            if not node.entries:
-                raise ByteRangeError(byte, 0, 0)
-            index, local = node.find_child(local)
-            path.append(PathStep(page, node, index))
-            if node.level == 0:
-                return path, local
-            page = node.entries[index].child
-            node = self.pager.read(page)
+        with self.obs.tracer.span(
+            "tree.descend", root=self.root_page, byte=byte
+        ) as span:
+            path: list[PathStep] = []
+            page = self.root_page
+            node = self.read_root()
+            local = byte
+            while True:
+                if not node.entries:
+                    raise ByteRangeError(byte, 0, 0)
+                index, local = node.find_child(local)
+                path.append(PathStep(page, node, index))
+                if node.level == 0:
+                    span.set(depth=len(path))
+                    return path, local
+                page = node.entries[index].child
+                node = self.pager.read(page)
 
     def leaf_entries(self) -> list[tuple[int, Entry]]:
         """All leaf entries with their global byte offsets (left to right)."""

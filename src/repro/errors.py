@@ -59,6 +59,21 @@ class VolumeLayoutError(StorageError):
     """A volume could not be laid out with the requested parameters."""
 
 
+class DatabaseClosed(StorageError):
+    """An :class:`~repro.api.EOSDatabase` was used after ``close()``.
+
+    Closing flushes the buffer pool and releases its frames; handles
+    manufactured by the database (objects, files) are invalid afterwards.
+    """
+
+    def __init__(self, operation: str = "use") -> None:
+        super().__init__(
+            f"cannot {operation}: this database has been closed "
+            "(it was flushed and its buffer pool released)"
+        )
+        self.operation = operation
+
+
 # ---------------------------------------------------------------------------
 # Buddy system
 # ---------------------------------------------------------------------------

@@ -1,0 +1,73 @@
+"""Structured observability: tracing, metrics, and the stats facade.
+
+The paper's claims are *cost* claims — piece-wise operations proportional
+to the bytes touched, ~1 disk access per allocation, near-transfer-rate
+scans — and this package is how the repository attributes those costs to
+individual operations instead of reading three global counter bags:
+
+* :mod:`repro.obs.tracer` — :class:`Tracer` produces nested spans
+  (``op=append oid=7 bytes=65536`` with child spans for tree descent,
+  buddy allocation and segment I/O), each carrying the seek/transfer
+  delta the disk-head model recorded while the span was open;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` holds named
+  counters, gauges and histograms (modelled-cost latencies, seek
+  distributions, transfer-run lengths);
+* :mod:`repro.obs.sinks` — pluggable receivers: an in-memory ring for
+  tests, a JSON-lines file for offline analysis (rendered by
+  ``python -m repro.tools.tracefmt``), and a human summary;
+* :mod:`repro.obs.facade` — ``db.stats``: one snapshot/reset/delta
+  surface over the disk, buffer-pool and allocator counters.
+
+Tracing is off by default: every component holds a shared
+:data:`NULL_OBS` whose tracer and registry are no-op singletons, so hot
+paths pay one attribute lookup and an empty method call::
+
+    db = EOSDatabase.create(num_pages=8192)
+    ring = RingSink()
+    db.obs.enable(sinks=[ring])
+    obj = db.create_object(b"...")
+    obj.read(0, obj.size())
+    print(SummarySink.render_records(ring.records))
+"""
+
+from repro.obs.facade import DatabaseStats, StatsDelta, StatsSnapshot
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sinks import JsonLinesSink, RingSink, SummarySink
+from repro.obs.summary import aggregate_spans, format_summary, format_tree
+from repro.obs.tracer import (
+    NULL_OBS,
+    NULL_TRACER,
+    NullTracer,
+    Observability,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DatabaseStats",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "RingSink",
+    "Span",
+    "StatsDelta",
+    "StatsSnapshot",
+    "SummarySink",
+    "Tracer",
+    "aggregate_spans",
+    "format_summary",
+    "format_tree",
+]

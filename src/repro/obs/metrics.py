@@ -1,0 +1,225 @@
+"""Named counters, gauges and histograms.
+
+Instruments are created lazily through a :class:`MetricsRegistry` and
+identified by dotted names (``span.op.append.cost_ms``,
+``disk.read_run_pages``).  A registry snapshot is a plain dict of plain
+values, so sinks can serialise it without knowing instrument internals.
+
+When observability is disabled the registry in use is
+:data:`NULL_METRICS`, whose instruments share a single no-op object —
+recording into it costs one method call and touches no state.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+#: Default histogram boundaries.  Values are unit-free: the same ladder
+#: works for modelled milliseconds, seek counts and page-run lengths.
+DEFAULT_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def snapshot(self) -> int:
+        """The current value."""
+        return self.value
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def snapshot(self) -> float:
+        """The current value."""
+        return self.value
+
+    def reset(self) -> None:
+        """Zero the gauge."""
+        self.value = 0.0
+
+
+class Histogram:
+    """A fixed-boundary histogram with count/sum/min/max.
+
+    ``bounds`` are upper-inclusive bucket edges; one overflow bucket
+    catches everything above the last edge.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("a histogram needs at least one bucket boundary")
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Count, sum, min/max/mean and labelled bucket counts."""
+        labels = [f"<={b:g}" for b in self.bounds] + [f">{self.bounds[-1]:g}"]
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 6),
+            "buckets": dict(zip(labels, self.buckets)),
+        }
+
+    def reset(self) -> None:
+        """Zero all buckets and statistics."""
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+
+class MetricsRegistry:
+    """Get-or-create access to named instruments, plus bulk snapshot/reset."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Counter):
+            raise ValueError(f"metric {name!r} already exists with another type")
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Gauge):
+            raise ValueError(f"metric {name!r} already exists with another type")
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name, bounds)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise ValueError(f"metric {name!r} already exists with another type")
+        return instrument
+
+    def snapshot(self) -> dict:
+        """All instruments as plain values, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class _NullInstrument:
+    """One object stands in for every instrument when metrics are off."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """A registry whose instruments discard everything."""
+
+    __slots__ = ()
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        """Always empty."""
+        return {}
+
+    def reset(self) -> None:
+        """Nothing to reset."""
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_METRICS = NullMetrics()

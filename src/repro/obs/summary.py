@@ -1,0 +1,118 @@
+"""Aggregation and rendering of span records.
+
+Shared by :class:`~repro.obs.sinks.SummarySink` and the
+``repro.tools.tracefmt`` CLI: :func:`aggregate_spans` folds a record
+list into per-name totals, :func:`format_summary` renders them as the
+usual fixed-width table, and :func:`format_tree` prints the nesting with
+each span's cumulative I/O.
+"""
+
+from __future__ import annotations
+
+from repro.util.fmt import TextTable
+
+
+def aggregate_spans(records: list[dict]) -> dict[str, dict]:
+    """Per-span-name totals: count, errors, I/O sums, modelled cost.
+
+    Only *self* I/O is summed for seeks/transfers so that nested spans do
+    not double-count their children; ``cost_ms`` sums the cumulative
+    cost of **root** spans only, which makes the table's total the cost
+    of the traced session.
+    """
+    out: dict[str, dict] = {}
+    for record in records:
+        if record.get("kind", "span") != "span":
+            continue
+        agg = out.setdefault(
+            record["name"],
+            {
+                "count": 0, "errors": 0, "seeks": 0, "page_reads": 0,
+                "page_writes": 0, "elapsed_ms": 0.0, "cost_ms": 0.0,
+            },
+        )
+        agg["count"] += 1
+        if record.get("error"):
+            agg["errors"] += 1
+        self_io = record.get("self_io", {})
+        agg["seeks"] += self_io.get("seeks", 0)
+        agg["page_reads"] += self_io.get("page_reads", 0)
+        agg["page_writes"] += self_io.get("page_writes", 0)
+        agg["elapsed_ms"] += record.get("elapsed_ms", 0.0)
+        if record.get("parent") is None:
+            agg["cost_ms"] += record.get("cost_ms", 0.0)
+    return out
+
+
+def format_summary(records: list[dict]) -> str:
+    """Aggregate table: one row per span name, sorted by modelled cost."""
+    aggregated = aggregate_spans(records)
+    table = TextTable(
+        "span summary (self I/O per name; cost_ms totals root spans)",
+        ["span", "count", "errors", "seeks", "pg reads", "pg writes",
+         "elapsed ms", "cost ms"],
+    )
+    for name in sorted(
+        aggregated, key=lambda n: (-aggregated[n]["cost_ms"], n)
+    ):
+        agg = aggregated[name]
+        table.add_row([
+            name, agg["count"], agg["errors"], agg["seeks"],
+            agg["page_reads"], agg["page_writes"],
+            agg["elapsed_ms"], agg["cost_ms"],
+        ])
+    if not aggregated:
+        return "span summary: no spans recorded"
+    return table.render()
+
+
+def _format_attrs(attrs: dict) -> str:
+    return " ".join(f"{k}={v}" for k, v in attrs.items())
+
+
+def format_tree(records: list[dict], *, max_spans: int = 200) -> str:
+    """The span forest, indented by nesting, with per-span I/O deltas."""
+    spans = [r for r in records if r.get("kind", "span") == "span"]
+    children: dict[int | None, list[dict]] = {}
+    by_id = {r["span"]: r for r in spans}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan (ring overflow): promote to root
+        children.setdefault(parent, []).append(record)
+
+    lines: list[str] = []
+
+    def walk(record: dict, depth: int) -> None:
+        if len(lines) >= max_spans:
+            return
+        io = record.get("io", {})
+        attrs = _format_attrs(record.get("attrs", {}))
+        error = f"  ERROR={record['error']}" if record.get("error") else ""
+        lines.append(
+            "  " * depth
+            + f"{record['name']}"
+            + (f" [{attrs}]" if attrs else "")
+            + f"  io={io.get('seeks', 0)}s/{io.get('page_reads', 0)}r/"
+            + f"{io.get('page_writes', 0)}w"
+            + f"  cost={record.get('cost_ms', 0.0):.2f}ms"
+            + error
+        )
+        for child in children.get(record["span"], []):
+            walk(child, depth + 1)
+
+    roots = children.get(None, [])
+    previous_trace = None
+    for root in roots:
+        if len(lines) >= max_spans:
+            break
+        if root["trace"] != previous_trace:
+            lines.append(f"trace {root['trace']}:")
+            previous_trace = root["trace"]
+        walk(root, 1)
+    total = len(spans)
+    if total > max_spans:
+        lines.append(f"... {total - max_spans} more spans")
+    if not lines:
+        return "trace: no spans recorded"
+    return "\n".join(lines)

@@ -31,6 +31,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.errors import LogCorrupt
+from repro.obs.tracer import NULL_OBS, Observability
 
 
 class OpKind(enum.Enum):
@@ -71,9 +72,10 @@ _RECORD_HEADER = struct.Struct("<QQBQQQII")  # lsn txn kind root offset undoes l
 class WriteAheadLog:
     """An append-only operation log with monotonically increasing LSNs."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, obs: Observability | None = None) -> None:
         self.records: list[LogRecord] = []
         self._next_lsn = 1
+        self.obs = obs if obs is not None else NULL_OBS
 
     def append(
         self,
@@ -100,6 +102,11 @@ class WriteAheadLog:
                 old_data=old_data,
                 undoes=undoes,
             )
+        )
+        metrics = self.obs.metrics
+        metrics.counter("recovery.log.records").inc()
+        metrics.counter("recovery.log.bytes").inc(
+            _RECORD_HEADER.size + len(data) + len(old_data)
         )
         return lsn
 

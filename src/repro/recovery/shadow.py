@@ -29,14 +29,18 @@ from __future__ import annotations
 from repro.core.node import Node
 from repro.core.pager import InPlacePager, NodePager
 from repro.errors import RecoveryError
+from repro.obs.tracer import NULL_OBS, Observability
 from repro.storage.page import PageId
 
 
 class ShadowPager(NodePager):
     """Copy-on-write index paging with a single root switch point."""
 
-    def __init__(self, base: InPlacePager) -> None:
+    def __init__(
+        self, base: InPlacePager, *, obs: Observability | None = None
+    ) -> None:
         self.base = base
+        self.obs = obs if obs is not None else NULL_OBS
         self._active = False
         self._new_pages: set[PageId] = set()
         self._deferred_frees: set[PageId] = set()
@@ -59,14 +63,20 @@ class ShadowPager(NodePager):
         """Atomically switch to the new tree: one in-place root write."""
         if not self._active:
             raise RecoveryError("no shadow unit to commit")
-        if self._pending_root is not None:
-            page, node = self._pending_root
-            node.lsn = lsn
-            self.base.write_root(page, node)
-        # "...leaving the old one intact until it is no longer needed for
-        # recovery" — which is now.
-        for page in self._deferred_frees:
-            self.base.free(page)
+        with self.obs.tracer.span(
+            "shadow.commit",
+            lsn=lsn,
+            relocated=len(self._new_pages),
+            freed=len(self._deferred_frees),
+        ):
+            if self._pending_root is not None:
+                page, node = self._pending_root
+                node.lsn = lsn
+                self.base.write_root(page, node)
+            # "...leaving the old one intact until it is no longer needed
+            # for recovery" — which is now.
+            for page in self._deferred_frees:
+                self.base.free(page)
         self._reset()
 
     def abort_unit(self) -> set[PageId]:
@@ -124,6 +134,7 @@ class ShadowPager(NodePager):
         self.base.write_new(relocated, node)
         self._new_pages.add(relocated)
         self._deferred_frees.add(page)
+        self.obs.metrics.counter("shadow.relocations").inc()
         return relocated
 
     def write_new(self, page: PageId, node: Node) -> PageId:

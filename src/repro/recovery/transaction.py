@@ -183,7 +183,9 @@ class TransactionalObject:
         manager = txn.manager
         # Rebind the object's tree onto the shadow pager and the
         # deferring allocator; leaf I/O and config stay shared.
-        self.tree = LargeObjectTree(manager.shadow, obj.config, obj.root_page)
+        self.tree = LargeObjectTree(
+            manager.shadow, obj.config, obj.root_page, obs=manager.db.obs
+        )
         self.base = obj
         self.manager = manager
 
@@ -268,25 +270,31 @@ class TransactionalObject:
 
     def _plain(self) -> LargeObject:
         """The object bound to the current pagers (shadow-aware reads)."""
-        return LargeObject(self.tree, self.base.segio, self.manager.allocator)
+        return LargeObject(
+            self.tree, self.base.segio, self.manager.allocator,
+            obs=self.manager.db.obs,
+        )
 
     def _shadowed(self, operation, lsn: int) -> None:
         manager = self.manager
-        manager.allocator.current_txn = self.txn.txn_id
-        manager.shadow.begin_unit()
-        try:
-            operation(self._plain())
-        except BaseException:
-            manager.shadow.abort_unit()
-            manager.allocator.abort_unit()
-            raise
-        if manager.crash_before_root_write:
-            # Fault injection: the unit never reaches its root switch.
-            manager.shadow.crash_unit()
-            manager.allocator.crash_unit()
-            raise SimulatedCrash(lsn)
-        manager.shadow.commit_unit(lsn)
-        manager.allocator.commit_unit()
+        with manager.db.obs.tracer.span(
+            "txn.unit", txn=self.txn.txn_id, lsn=lsn
+        ):
+            manager.allocator.current_txn = self.txn.txn_id
+            manager.shadow.begin_unit()
+            try:
+                operation(self._plain())
+            except BaseException:
+                manager.shadow.abort_unit()
+                manager.allocator.abort_unit()
+                raise
+            if manager.crash_before_root_write:
+                # Fault injection: the unit never reaches its root switch.
+                manager.shadow.crash_unit()
+                manager.allocator.crash_unit()
+                raise SimulatedCrash(lsn)
+            manager.shadow.commit_unit(lsn)
+            manager.allocator.commit_unit()
 
 
 class SimulatedCrash(Exception):
@@ -302,8 +310,8 @@ class RecoveryManager:
 
     def __init__(self, db: EOSDatabase) -> None:
         self.db = db
-        self.log = WriteAheadLog()
-        self.shadow = ShadowPager(db.pager)
+        self.log = WriteAheadLog(obs=db.obs)
+        self.shadow = ShadowPager(db.pager, obs=db.obs)
         self.locks = LockManager()
         self.allocator = TransactionalAllocator(db.buddy, self.locks)
         self.crash_before_root_write = False
@@ -359,8 +367,8 @@ class RecoveryManager:
         return results
 
     def _object_for(self, root_page: int) -> LargeObject:
-        tree = LargeObjectTree(self.shadow, self.db.config, root_page)
-        return LargeObject(tree, self.db.segio, self.allocator)
+        tree = LargeObjectTree(self.shadow, self.db.config, root_page, obs=self.db.obs)
+        return LargeObject(tree, self.db.segio, self.allocator, obs=self.db.obs)
 
     def _apply_inverse(self, obj: LargeObject, record, clr_lsn: int) -> None:
         inverse = {

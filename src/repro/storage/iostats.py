@@ -89,6 +89,9 @@ class IOStats:
     # Physical page the head would be positioned after the last transfer,
     # or None before any I/O (the first access always seeks).
     head: int | None = field(default=None, repr=False)
+    # Optional per-transfer hook (an object with ``on_transfer``),
+    # installed by repro.obs when observability is enabled.
+    observer: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def page_transfers(self) -> int:
@@ -105,7 +108,8 @@ class IOStats:
     def _record(self, first_page: int, n_pages: int, *, is_write: bool) -> None:
         if n_pages <= 0:
             return
-        if self.head != first_page:
+        seeked = self.head != first_page
+        if seeked:
             self.seeks += 1
         self.head = first_page + n_pages
         if is_write:
@@ -114,6 +118,10 @@ class IOStats:
         else:
             self.page_reads += n_pages
             self.read_calls += 1
+        if self.observer is not None:
+            self.observer.on_transfer(
+                first_page, n_pages, is_write=is_write, seeked=seeked
+            )
 
     def snapshot(self) -> IOSnapshot:
         """An immutable copy of the current counters."""

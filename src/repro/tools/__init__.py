@@ -1,12 +1,23 @@
-"""Operator tools: structure dumps and whole-database checking.
+"""Operator tools: structure dumps, whole-database checking, trace rendering.
 
 * :mod:`repro.tools.inspect` — render buddy-space maps and object trees
   as text (also a CLI: ``python -m repro.tools.inspect image.db``);
 * :mod:`repro.tools.fsck` — cross-check the allocator against every
-  catalogued object: no leaks, no double-claims, no dangling segments.
+  catalogued object: no leaks, no double-claims, no dangling segments;
+* :mod:`repro.tools.tracefmt` — render a JSON-lines span trace as a
+  tree and summary table (``python -m repro.tools.tracefmt trace.jsonl``).
 """
 
 from repro.tools.fsck import FsckReport, fsck
 from repro.tools.inspect import dump_object, dump_space, dump_volume
+from repro.tools.tracefmt import load_trace, render_trace
 
-__all__ = ["FsckReport", "fsck", "dump_object", "dump_space", "dump_volume"]
+__all__ = [
+    "FsckReport",
+    "fsck",
+    "dump_object",
+    "dump_space",
+    "dump_volume",
+    "load_trace",
+    "render_trace",
+]

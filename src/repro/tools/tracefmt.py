@@ -1,0 +1,115 @@
+"""Render a JSON-lines trace file as a span tree and summary table.
+
+CLI::
+
+    python -m repro.tools.tracefmt trace.jsonl
+    python -m repro.tools.tracefmt trace.jsonl --summary-only
+    python -m repro.tools.tracefmt trace.jsonl --metrics
+
+Reads the output of :class:`~repro.obs.sinks.JsonLinesSink`: one JSON
+object per line, spans marked ``"kind": "span"`` plus at most a few
+``"kind": "metrics"`` snapshot lines.  Unparseable lines are counted and
+reported, not fatal — a trace truncated by a crash still renders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.obs.summary import format_summary, format_tree
+
+
+def load_trace(path: str | os.PathLike) -> tuple[list[dict], dict | None, int]:
+    """Parse a JSON-lines trace file.
+
+    Returns ``(span_records, last_metrics_snapshot, bad_line_count)``.
+    """
+    spans: list[dict] = []
+    metrics: dict | None = None
+    bad = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                continue
+            if not isinstance(record, dict):
+                bad += 1
+                continue
+            kind = record.get("kind", "span")
+            if kind == "metrics":
+                metrics = record.get("metrics")
+            elif kind == "span":
+                spans.append(record)
+    return spans, metrics, bad
+
+
+def render_trace(
+    path: str | os.PathLike,
+    *,
+    tree: bool = True,
+    summary: bool = True,
+    metrics: bool = False,
+    max_spans: int = 200,
+) -> str:
+    """The formatted report for one trace file."""
+    spans, metrics_snapshot, bad = load_trace(path)
+    parts: list[str] = []
+    if tree:
+        parts.append(format_tree(spans, max_spans=max_spans))
+    if summary:
+        parts.append(format_summary(spans))
+    if metrics:
+        if metrics_snapshot:
+            parts.append(
+                "metrics:\n"
+                + json.dumps(metrics_snapshot, indent=2, sort_keys=True)
+            )
+        else:
+            parts.append("metrics: none recorded")
+    if bad:
+        parts.append(f"({bad} unparseable line(s) skipped)")
+    return "\n\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.tools.tracefmt``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.tracefmt",
+        description="render a JSON-lines span trace",
+    )
+    parser.add_argument("trace", help="path to a JsonLinesSink output file")
+    parser.add_argument(
+        "--summary-only", action="store_true",
+        help="skip the span tree, print only the aggregate table",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="also print the trace's final metrics snapshot",
+    )
+    parser.add_argument(
+        "--max-spans", type=int, default=200,
+        help="limit the tree to this many spans (default 200)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = render_trace(
+            args.trace,
+            tree=not args.summary_only,
+            metrics=args.metrics,
+            max_spans=args.max_spans,
+        )
+    except OSError as exc:
+        parser.exit(2, f"{parser.prog}: error: cannot read {args.trace}: {exc.strerror}\n")
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

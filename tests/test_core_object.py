@@ -310,8 +310,6 @@ class TestDelete:
         expected = bytearray(data)
         for i in range(30):
             obj.insert((i * 613) % len(expected), pattern(40, seed=i))
-            blob = pattern(40, seed=i)
-            expected[(i * 613) % (len(expected) - 39) if False else 0:0] = b""
         # (inserts tracked separately below for clarity)
         db2 = make_db(num_pages=4000)
         obj2 = db2.create_object(data, size_hint=len(data))

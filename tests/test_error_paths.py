@@ -43,7 +43,7 @@ class TestCorruptInputs:
             pack_directory(128, 16, [0, 0], b"\x0f" * 4)  # needs k+1 entries
 
     def test_directory_count_overflow(self):
-        k = 8  # page size 128 -> 9 entries
+        # page size 128 -> k = 8 -> 9 entries
         counts = [0] * 9
         counts[0] = 70000  # > u16
         with pytest.raises(DirectoryCorrupt):

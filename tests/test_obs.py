@@ -1,0 +1,549 @@
+"""Tests for the observability layer: spans, metrics, stats, lifecycle.
+
+The load-bearing acceptance check lives in
+``TestSpanIOAccounting.test_span_io_sums_to_global_totals``: with
+tracing enabled, an append+read session's per-span I/O deltas must sum
+exactly to the global :class:`~repro.storage.iostats.IOStats` totals —
+every seek and page transfer is attributed to some span, none is
+double-counted.
+"""
+
+import json
+
+import pytest
+
+from repro import EOSConfig, EOSDatabase
+from repro.errors import DatabaseClosed
+from repro.obs import (
+    NULL_METRICS,
+    NULL_OBS,
+    NULL_TRACER,
+    JsonLinesSink,
+    MetricsRegistry,
+    RingSink,
+    SummarySink,
+    Tracer,
+    aggregate_spans,
+    format_tree,
+)
+from repro.tools.tracefmt import load_trace, render_trace
+
+PAGE = 512
+
+
+def make_db(**kwargs):
+    return EOSDatabase.create(
+        num_pages=4096,
+        page_size=PAGE,
+        config=EOSConfig(page_size=PAGE, threshold=4),
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Span mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestSpanNesting:
+    def test_parenting_follows_call_structure(self):
+        ring = RingSink()
+        tracer = Tracer(sinks=[ring])
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("middle2"):
+                pass
+        by_name = {r["name"]: r for r in ring.records}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["middle"]["parent"] == by_name["outer"]["span"]
+        assert by_name["inner"]["parent"] == by_name["middle"]["span"]
+        assert by_name["middle2"]["parent"] == by_name["outer"]["span"]
+        # All four belong to one trace; a fresh root starts a new one.
+        assert len({r["trace"] for r in ring.records}) == 1
+        with tracer.span("next_root"):
+            pass
+        assert ring.records[-1]["trace"] != by_name["outer"]["trace"]
+
+    def test_children_emit_before_parents(self):
+        ring = RingSink()
+        tracer = Tracer(sinks=[ring])
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        assert [r["name"] for r in ring.records] == ["child", "parent"]
+
+    def test_error_recorded_on_exception(self):
+        ring = RingSink()
+        tracer = Tracer(sinks=[ring])
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert ring.records[0]["error"] == "ValueError"
+
+    def test_span_attrs_and_set(self):
+        ring = RingSink()
+        tracer = Tracer(sinks=[ring])
+        with tracer.span("op", oid=7) as span:
+            span.set(granted=3)
+        assert ring.records[0]["attrs"] == {"oid": 7, "granted": 3}
+
+
+class TestSpanIOAccounting:
+    def _trace_session(self, tmp_path):
+        """An append+read session traced to both a ring and a file."""
+        ring = RingSink()
+        path = tmp_path / "trace.jsonl"
+        db = make_db()
+        db.obs.enable([ring, JsonLinesSink(path)])
+        db.stats.reset()
+        obj = db.create_object()
+        obj.append(bytes(i % 251 for i in range(64 * 1024)))
+        obj.read(10_000, 20_000)
+        obj.read(0, obj.size())
+        totals = db.disk.stats.snapshot()
+        db.obs.close()
+        return ring.records, totals, path
+
+    def test_span_io_sums_to_global_totals(self, tmp_path):
+        records, totals, path = self._trace_session(tmp_path)
+        assert records, "the session produced no spans"
+        # Root spans' cumulative deltas partition the session's I/O...
+        roots = [r for r in records if r["parent"] is None]
+        for key, total in (
+            ("seeks", totals.seeks),
+            ("page_reads", totals.page_reads),
+            ("page_writes", totals.page_writes),
+        ):
+            assert sum(r["io"][key] for r in roots) == total
+            # ...and so do all spans' self deltas (no double counting).
+            assert sum(r["self_io"][key] for r in records) == total
+        assert totals.page_reads > 0 and totals.page_writes > 0
+
+    def test_jsonl_trace_round_trips_and_renders(self, tmp_path):
+        records, totals, path = self._trace_session(tmp_path)
+        spans, metrics, bad = load_trace(path)
+        assert bad == 0
+        assert len(spans) == len(records)
+        # The file carries the final metrics snapshot too.
+        assert metrics is not None and "span.op.append" in metrics
+        # Summed from the file alone, the totals still match.
+        roots = [r for r in spans if r["parent"] is None]
+        assert sum(r["io"]["seeks"] for r in roots) == totals.seeks
+        # And tracefmt renders both views without choking.
+        text = render_trace(path, metrics=True)
+        assert "op.append" in text and "span summary" in text
+        assert "trace 1:" in text
+
+    def test_op_spans_nest_the_layers(self, tmp_path):
+        records, _, _ = self._trace_session(tmp_path)
+        by_id = {r["span"]: r for r in records}
+        append = next(r for r in records if r["name"] == "op.append")
+        descendants = set()
+        frontier = {append["span"]}
+        while frontier:
+            descendants |= frontier
+            frontier = {
+                r["span"] for r in records if r["parent"] in frontier
+            }
+        names = {by_id[s]["name"] for s in descendants}
+        assert "segio.write" in names
+        assert "buddy.alloc" in names
+
+    def test_elapsed_and_cost_are_recorded(self, tmp_path):
+        records, _, _ = self._trace_session(tmp_path)
+        scan = next(r for r in records if r["name"] == "op.read")
+        assert scan["elapsed_ms"] >= 0
+        assert scan["cost_ms"] > 0  # it really read pages
+
+    def test_mis_nested_exit_unwinds(self):
+        ring = RingSink()
+        tracer = Tracer(sinks=[ring])
+        outer = tracer.span("outer")
+        outer.__enter__()
+        inner = tracer.span("inner")
+        inner.__enter__()
+        # Exiting the outer span first finishes the inner one too.
+        outer.__exit__(None, None, None)
+        assert {r["name"] for r in ring.records} == {"outer", "inner"}
+        assert tracer._stack == []
+
+
+class TestDisabledTracer:
+    def test_null_singletons_are_shared(self):
+        span_a = NULL_TRACER.span("anything", x=1)
+        span_b = NULL_TRACER.span("else")
+        assert span_a is span_b
+        with span_a as entered:
+            assert entered.set(y=2) is span_a
+
+    def test_disabled_database_records_nothing(self):
+        db = make_db()
+        assert db.obs.tracer is NULL_TRACER
+        assert db.obs.metrics is NULL_METRICS
+        obj = db.create_object(b"x" * 4096)
+        assert obj.read_all() == b"x" * 4096
+        assert db.stats.metrics() == {}
+        assert db.disk.stats.observer is None
+
+    def test_null_obs_refuses_enable(self):
+        with pytest.raises(RuntimeError):
+            NULL_OBS.enable()
+
+    def test_enable_disable_mid_life(self):
+        db = make_db()
+        obj = db.create_object(b"y" * 2048)
+        ring = RingSink()
+        db.obs.enable([ring])
+        obj.read(0, 1024)
+        assert any(r["name"] == "op.read" for r in ring.records)
+        seen = len(ring.records)
+        db.obs.disable()
+        obj.read(0, 1024)
+        assert len(ring.records) == seen  # nothing new after disable
+        assert db.obs.tracer is NULL_TRACER
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(0.75)
+        h = registry.histogram("h", bounds=(1, 10))
+        for value in (0, 1, 5, 100):
+            h.observe(value)
+        snap = registry.snapshot()
+        assert snap["c"] == 5
+        assert snap["g"] == 0.75
+        assert snap["h"]["count"] == 4
+        assert snap["h"]["min"] == 0 and snap["h"]["max"] == 100
+        assert snap["h"]["buckets"] == {"<=1": 2, "<=10": 1, ">10": 1}
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError):
+            registry.gauge("name")
+
+    def test_reset_keeps_registrations(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(9)
+        registry.reset()
+        assert registry.snapshot()["c"] == 0
+
+    def test_disk_observer_feeds_run_histograms(self):
+        db = make_db()
+        db.obs.enable()
+        db.stats.reset()
+        obj = db.create_object()
+        obj.append(bytes(8 * PAGE))
+        db.pool.clear()
+        db.disk.stats.head = None
+        obj.read(0, 8 * PAGE)
+        snap = db.stats.metrics()
+        assert snap["disk.read_run_pages"]["count"] >= 1
+        assert snap["disk.write_run_pages"]["count"] >= 1
+        assert snap["disk.seeks"] == db.disk.stats.seeks
+        assert snap["buddy.alloc.pages"]["count"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# The db.stats facade
+# ---------------------------------------------------------------------------
+
+
+class TestStatsFacade:
+    def test_snapshot_and_subtraction(self):
+        db = make_db()
+        before = db.stats.snapshot()
+        obj = db.create_object(bytes(16 * PAGE))
+        obj.read(0, 8 * PAGE)
+        after = db.stats.snapshot()
+        delta = after - before
+        assert delta.page_writes >= 16
+        assert delta.page_reads >= 1
+        assert delta.alloc.allocations >= 1
+        assert delta.seeks == after.io.seeks - before.io.seeks
+        d = delta.as_dict()
+        assert d["io"]["page_writes"] == delta.page_writes
+        assert 0.0 <= d["buffer"]["hit_ratio"] <= 1.0
+
+    def test_delta_context_manager(self):
+        db = make_db()
+        obj = db.create_object(bytes(32 * PAGE))
+        db.checkpoint()
+        with db.stats.delta(cold=True) as d:
+            obj.read(0, 32 * PAGE)
+        # Cold: the pool was dropped, the head position forgotten.
+        assert d.page_reads >= 32
+        assert d.seeks >= 1
+        assert d.page_transfers == d.page_reads + d.page_writes
+        # Warm re-read of the same range: leaf I/O repeats (segments
+        # bypass the pool) but index reads now hit the buffer.
+        with db.stats.delta() as warm:
+            obj.read(0, 32 * PAGE)
+        assert warm.buffer.hits >= 1
+
+    def test_reset_zeroes_all_layers(self):
+        db = make_db()
+        obj = db.create_object(bytes(8 * PAGE))
+        obj.read(0, PAGE)
+        db.stats.reset()
+        snap = db.stats.snapshot()
+        assert snap.page_transfers == 0
+        assert snap.buffer.accesses == 0
+        assert snap.alloc.allocations == 0
+
+    def test_old_attribute_paths_still_work(self):
+        db = make_db()
+        db.create_object(bytes(4 * PAGE))
+        assert db.disk.stats.page_writes > 0
+        assert db.pool.stats.misses >= 0
+        assert db.buddy.stats.allocations >= 1
+
+    def test_facade_updates_gauges_when_enabled(self):
+        db = make_db()
+        db.obs.enable()
+        db.create_object(bytes(4 * PAGE))
+        db.stats.snapshot()
+        snap = db.stats.metrics()
+        assert "buffer.hit_ratio" in snap
+        assert snap["buffer.resident_pages"] >= 0
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self):
+        with make_db() as db:
+            obj = db.create_object(b"data")
+            assert obj.read_all() == b"data"
+        assert db.is_closed
+        with pytest.raises(DatabaseClosed):
+            db.create_object(b"more")
+        with pytest.raises(DatabaseClosed):
+            db.checkpoint()
+        with pytest.raises(DatabaseClosed) as info:
+            db.get_object(1)
+        assert "closed" in str(info.value)
+
+    def test_close_is_idempotent(self):
+        db = make_db()
+        db.close()
+        db.close()
+        assert db.is_closed
+
+    def test_closed_database_cannot_reenter_context(self):
+        db = make_db()
+        db.close()
+        with pytest.raises(DatabaseClosed):
+            with db:
+                pass
+
+    def test_close_flushes_dirty_pages(self, tmp_path):
+        db = make_db()
+        obj = db.create_object(bytes(i % 199 for i in range(4 * PAGE)))
+        oid = obj.oid
+        db.save(tmp_path / "img.db")  # catalog written while open
+        expected = obj.read_all()
+        db.close()
+        # The image file reflects the pre-close save; reattaching the
+        # in-memory disk works too because close flushed the pool.
+        db2 = EOSDatabase.attach(db.disk, config=db.config)
+        assert db2.get_object(oid).read_all() == expected
+
+    def test_close_finalises_sinks(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with make_db() as db:
+            db.obs.enable([JsonLinesSink(path)])
+            db.create_object(b"z" * PAGE)
+        lines = path.read_text().splitlines()
+        assert any(json.loads(x)["kind"] == "metrics" for x in lines)
+
+    def test_exception_still_closes(self):
+        db = make_db()
+        with pytest.raises(RuntimeError):
+            with db:
+                raise RuntimeError("user code failed")
+        assert db.is_closed
+
+
+# ---------------------------------------------------------------------------
+# File catalog persistence (the bugfix)
+# ---------------------------------------------------------------------------
+
+
+class TestFileCatalogPersistence:
+    def test_files_survive_save_and_open(self, tmp_path):
+        path = tmp_path / "files.db"
+        db = make_db()
+        archive = db.create_file("archive", threshold=16)
+        workspace = db.create_file("workspace", threshold=2, adaptive=True)
+        a1 = archive.create_object(b"a" * 2000)
+        a2 = archive.create_object(b"b" * 3000)
+        w1 = workspace.create_object(b"c" * 1000)
+        plain = db.create_object(b"plain")
+        db.save(path)
+
+        db2 = EOSDatabase.open_file(path)
+        archive2 = db2.get_file("archive")
+        assert archive2.threshold == 16 and archive2.adaptive is False
+        assert {o.oid for o in archive2.objects()} == {a1.oid, a2.oid}
+        workspace2 = db2.get_file("workspace")
+        assert workspace2.threshold == 2 and workspace2.adaptive is True
+        assert [o.oid for o in workspace2.objects()] == [w1.oid]
+        # Restored members carry the file's threshold hint again.
+        member = db2.get_object(w1.oid)
+        assert member.policy.base == 2 and member.policy.adaptive is True
+        # Non-file objects are untouched.
+        assert db2.get_object(plain.oid).read_all() == b"plain"
+
+    def test_deleted_members_drop_from_saved_file(self, tmp_path):
+        path = tmp_path / "files.db"
+        db = make_db()
+        f = db.create_file("f", threshold=8)
+        keep = f.create_object(b"keep")
+        drop = f.create_object(b"drop")
+        db.delete_object(drop)
+        db.save(path)
+        db2 = EOSDatabase.open_file(path)
+        assert [o.oid for o in db2.get_file("f").objects()] == [keep.oid]
+
+    @staticmethod
+    def _patch_header(path, offset, patch):
+        """Rewrite bytes of page 0 in a saved image."""
+        from repro.storage.disk import DiskVolume
+
+        disk = DiskVolume.load(path)
+        header = bytearray(disk.read_page(0))
+        header[offset : offset + len(patch)] = patch
+        disk.write_page(0, bytes(header))
+        disk.save(path)
+
+    def test_pre_file_section_image_opens_clean(self, tmp_path):
+        # An image whose catalog was written without the file section
+        # (all zeros there) must open with no files and no error.
+        path = tmp_path / "old.db"
+        db = make_db()
+        db.create_object(b"legacy")
+        db.create_file("ignored", threshold=4)
+        db.save(path)
+        # Zero everything after the object entries: count + 1 entry.
+        offset = db._CATALOG_OFFSET + 2 + db._CATALOG_ENTRY.size
+        self._patch_header(path, offset, bytes(PAGE - offset))
+        db2 = EOSDatabase.open_file(path)
+        assert len(db2.objects()) == 1
+        with pytest.raises(Exception):
+            db2.get_file("ignored")
+
+    def test_garbage_file_section_is_ignored(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        db = make_db()
+        db.create_object(b"x")
+        db.save(path)
+        offset = db._CATALOG_OFFSET + 2 + db._CATALOG_ENTRY.size
+        self._patch_header(path, offset, b"\xff" * 64)  # implausible count
+        db2 = EOSDatabase.open_file(path)
+        assert db2._files == {}
+        assert len(db2.objects()) == 1
+
+    def test_oversize_catalog_rejected(self):
+        db = make_db()
+        f = db.create_file("big", threshold=4)
+        f._oids = []  # keep the object entries small; inflate the name
+        db._files["x" * 300] = type(f)(db, "x" * 300, 4, False)
+        with pytest.raises(Exception):
+            db._write_catalog()
+
+
+# ---------------------------------------------------------------------------
+# Summary rendering and sinks
+# ---------------------------------------------------------------------------
+
+
+class TestSummariesAndSinks:
+    def _records(self):
+        ring = RingSink()
+        tracer = Tracer(sinks=[ring])
+        with tracer.span("op.append", oid=1):
+            with tracer.span("buddy.alloc", pages=4):
+                pass
+        with tracer.span("op.read", oid=1):
+            pass
+        return ring.records
+
+    def test_aggregate_and_tree(self):
+        records = self._records()
+        agg = aggregate_spans(records)
+        assert agg["op.append"]["count"] == 1
+        assert agg["buddy.alloc"]["count"] == 1
+        tree = format_tree(records)
+        assert "op.append" in tree and "  buddy.alloc" not in tree.split("\n")[0]
+
+    def test_summary_sink_renders(self):
+        sink = SummarySink()
+        for record in self._records():
+            sink.on_span(record)
+        text = sink.render(tree=True)
+        assert "op.append" in text and "span summary" in text
+
+    def test_ring_sink_caps_capacity(self):
+        ring = RingSink(capacity=3)
+        tracer = Tracer(sinks=[ring])
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(ring) == 3
+        assert ring.records[-1]["name"] == "s9"
+
+    def test_closed_jsonl_sink_raises(self, tmp_path):
+        sink = JsonLinesSink(tmp_path / "x.jsonl")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.on_span({"kind": "span"})
+
+    def test_tracefmt_tolerates_garbage_lines(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        good = json.dumps({"kind": "span", "trace": 1, "span": 1,
+                           "parent": None, "name": "op.read", "attrs": {}})
+        path.write_text(good + "\n{truncated by a cra")
+        spans, metrics, bad = load_trace(path)
+        assert len(spans) == 1 and bad == 1
+        assert "unparseable" in render_trace(path)
+
+
+class TestRecoveryInstrumentation:
+    def test_txn_span_and_log_counters(self):
+        from repro.recovery import RecoveryManager
+
+        db = make_db()
+        ring = RingSink()
+        db.obs.enable([ring])
+        # Fragment until the tree is at least two levels deep, so a
+        # transactional insert must shadow a non-root index page.
+        obj = db.create_object(bytes(4 * PAGE))
+        obj.set_threshold(1)
+        while obj.stats().height < 2:
+            obj.insert(0, b"z" * 32)
+        manager = RecoveryManager(db)
+        txn = manager.begin()
+        tobj = txn.open(obj)
+        tobj.insert(100, b"tx bytes")
+        txn.commit()
+        names = {r["name"] for r in ring.records}
+        assert "txn.unit" in names
+        assert "shadow.commit" in names
+        snap = db.stats.metrics()
+        assert snap["recovery.log.records"] == len(manager.log)
+        assert snap["recovery.log.bytes"] > 0
+        assert snap["shadow.relocations"] >= 1
