@@ -1,0 +1,95 @@
+"""The object server: serve a database over TCP and talk to it.
+
+Run with::
+
+    python examples/object_server.py
+
+Starts an in-process :class:`~repro.server.ServerThread` on an
+ephemeral port, then drives it from plain blocking clients: a CRUD
+round trip, three concurrent writers interleaving appends on one
+shared object, and a look at the request metrics the server records
+through the observability registry.
+"""
+
+import struct
+import threading
+
+from repro.api import EOSDatabase
+from repro.server import EOSClient, ServerThread
+
+
+def crud_roundtrip(port):
+    with EOSClient(port=port) as c:
+        print(f"  ping: {c.ping(b'hello')!r} echoed")
+        oid = c.create(b"The quick brown fox", size_hint=4096)
+        c.append(oid, b" jumps over the lazy dog")
+        c.insert(oid, 19, b" really")
+        size = c.size(oid)
+        text = c.read(oid, 0, size)
+        print(f"  oid {oid}: {size} bytes -> {text.decode()!r}")
+        stat = c.stat(oid)
+        print(
+            f"  stat: {stat.segments} segment(s), height {stat.height}, "
+            f"root page {stat.root_page}"
+        )
+        assert text == b"The quick brown fox really jumps over the lazy dog"
+        return oid
+
+
+def concurrent_appenders(port, n_writers=3, rounds=8):
+    """Each writer appends tagged 32-byte chunks to one shared object."""
+    with EOSClient(port=port) as c:
+        shared = c.create(size_hint=n_writers * rounds * 32)
+
+    def writer(wid):
+        with EOSClient(port=port) as c:
+            for seq in range(rounds):
+                chunk = struct.pack("<II", wid, seq) + bytes(24)
+                c.append(shared, chunk)
+
+    threads = [
+        threading.Thread(target=writer, args=(w,)) for w in range(n_writers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    with EOSClient(port=port) as c:
+        blob = c.read(shared, 0, c.size(shared))
+    # Appends serialized on the object's root lock: every chunk landed
+    # whole, none torn, none lost.
+    tags = sorted(
+        struct.unpack_from("<II", blob, off) for off in range(0, len(blob), 32)
+    )
+    assert tags == sorted(
+        (w, s) for w in range(n_writers) for s in range(rounds)
+    )
+    print(
+        f"  {n_writers} writers x {rounds} appends -> {len(blob)} bytes, "
+        f"all {len(tags)} chunks intact"
+    )
+
+
+def main() -> None:
+    db = EOSDatabase.create(num_pages=4096, page_size=512)
+    db.obs.enable()  # per-request spans, counters, latency histogram
+    with ServerThread(db, port=0) as srv:
+        print(f"serving on 127.0.0.1:{srv.port}")
+        crud_roundtrip(srv.port)
+        concurrent_appenders(srv.port)
+
+        metrics = db.stats.metrics()
+        lat = metrics["server.latency_ms"]
+        print(
+            f"  served {metrics['server.requests']} requests "
+            f"({metrics['span.server.request']} traced spans), "
+            f"mean latency {lat['sum'] / lat['count']:.2f} ms"
+        )
+    assert srv.leaked_tasks == []
+    db.close()
+    print("server stopped cleanly, no tasks leaked")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 
 from repro.buddy.directory import max_capacity
 from repro.buddy.manager import BuddyManager
@@ -90,6 +91,10 @@ class EOSDatabase:
         self._files: dict[str, "ObjectFile"] = {}
         self._next_oid = 1
         self._closed = False
+        #: Serialises the oid-addressed ``op_*`` entry points; reentrant so
+        #: holders may call further ops (the serving layer wraps a span
+        #: around an op while already holding it).
+        self.op_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -214,6 +219,83 @@ class EOSDatabase:
         """All catalogued objects, in creation order."""
         self._ensure_open("list objects")
         return list(self._objects.values())
+
+    # ------------------------------------------------------------------
+    # Thread-safe operation entry points (the serving layer's surface)
+    # ------------------------------------------------------------------
+    #
+    # The object handles above are not thread-safe — they share the
+    # buffer pool, allocator and tracer.  The ``op_*`` methods are: each
+    # is one whole operation, addressed by oid, executed under
+    # ``op_lock``.  This is what `repro.server`'s request scheduler
+    # calls from its worker threads; byte-range concurrency control
+    # (readers in parallel, overlapping writers serialized) happens
+    # above this layer, in the scheduler's LockManager.
+
+    def op_create(self, data: bytes = b"", *, size_hint: int | None = None) -> int:
+        """Create an object; returns its oid."""
+        with self.op_lock:
+            obj = self.create_object(data, size_hint=size_hint)
+            return obj.oid  # type: ignore[attr-defined]
+
+    def op_append(self, oid: int, data: bytes) -> int:
+        """Append to the object; returns its new size."""
+        with self.op_lock:
+            obj = self.get_object(oid)
+            obj.append(data)
+            return obj.size()
+
+    def op_read(self, oid: int, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``."""
+        with self.op_lock:
+            return self.get_object(oid).read(offset, length)
+
+    def op_write(self, oid: int, offset: int, data: bytes) -> int:
+        """Overwrite bytes in place; returns the (unchanged) size."""
+        with self.op_lock:
+            obj = self.get_object(oid)
+            obj.replace(offset, data)
+            return obj.size()
+
+    def op_insert(self, oid: int, offset: int, data: bytes) -> int:
+        """Insert bytes at ``offset``; returns the new size."""
+        with self.op_lock:
+            obj = self.get_object(oid)
+            obj.insert(offset, data)
+            return obj.size()
+
+    def op_delete(self, oid: int, offset: int, length: int) -> int:
+        """Delete a byte range; returns the new size."""
+        with self.op_lock:
+            obj = self.get_object(oid)
+            obj.delete(offset, length)
+            return obj.size()
+
+    def op_size(self, oid: int) -> int:
+        """The object's size in bytes."""
+        with self.op_lock:
+            return self.get_object(oid).size()
+
+    def op_stat(self, oid: int) -> dict:
+        """Space accounting plus the root page, as plain values."""
+        with self.op_lock:
+            obj = self.get_object(oid)
+            stats = obj.stats()
+            return {
+                "size_bytes": stats.size_bytes,
+                "segments": stats.segments,
+                "leaf_pages": stats.leaf_pages,
+                "index_pages": stats.index_pages,
+                "height": stats.height,
+                "root_page": obj.root_page,
+            }
+
+    def op_list(self) -> list[tuple[int, int]]:
+        """Every catalogued object as ``(oid, size)``, in creation order."""
+        with self.op_lock:
+            return [
+                (oid, obj.size()) for oid, obj in sorted(self._objects.items())
+            ]
 
     # ------------------------------------------------------------------
     # Files (per-file threshold hints)

@@ -21,14 +21,17 @@ Two lock families, exactly the two the paper names:
   placing IR locks on ancestors; :meth:`segment_blocked` answers whether
   an allocation candidate is still pinned down by an uncommitted free.
 
-Single-process simulation: conflicts raise
-:class:`~repro.errors.LockConflict` immediately (no blocking); tests
-interleave transactions logically.
+Conflicts raise :class:`~repro.errors.LockConflict` immediately (no
+blocking) — callers that want to wait retry, as the server's request
+scheduler does.  The table itself is thread-safe: every check-then-
+record runs under one internal mutex, so concurrent acquirers (server
+worker threads, threaded tests) cannot both slip past a conflict check.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import LockConflict
@@ -81,6 +84,9 @@ class LockManager:
     range_locks: dict[int, list[RangeLock]] = field(default_factory=dict)
     segment_locks: dict[int, list[SegmentLock]] = field(default_factory=dict)
     acquisitions: int = 0
+    _mutex: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Object locks (root-granularity = whole-range)
@@ -99,14 +105,15 @@ class LockManager:
         if lo >= hi:
             hi = lo + 1
         wanted = RangeLock(root_page, lo, hi, mode)
-        for other_txn, locks in self.range_locks.items():
-            if other_txn == txn_id:
-                continue
-            for held in locks:
-                if held.overlaps(wanted) and not _compatible(held.mode, mode):
-                    raise LockConflict(wanted, other_txn)
-        self.range_locks.setdefault(txn_id, []).append(wanted)
-        self.acquisitions += 1
+        with self._mutex:
+            for other_txn, locks in self.range_locks.items():
+                if other_txn == txn_id:
+                    continue
+                for held in locks:
+                    if held.overlaps(wanted) and not _compatible(held.mode, mode):
+                        raise LockConflict(wanted, other_txn)
+            self.range_locks.setdefault(txn_id, []).append(wanted)
+            self.acquisitions += 1
 
     # ------------------------------------------------------------------
     # Segment release locks (the [Lehm89] hierarchy)
@@ -118,19 +125,20 @@ class LockManager:
         """Lock a freed segment and IR-lock its buddy-tree ancestors."""
         if not is_power_of_two(size) or start % size:
             raise ValueError(f"segment ({start}, {size}) is not buddy-aligned")
-        mine = self.segment_locks.setdefault(txn_id, [])
-        self._check_segment_conflict(txn_id, start, size)
-        mine.append(SegmentLock(start, size, LockMode.RELEASE))
-        self.acquisitions += 1
-        # Ancestors: successively larger enclosing buddy segments.
-        parent_size = size * 2
-        while parent_size <= max_size:
-            parent_start = start - (start % parent_size)
-            mine.append(
-                SegmentLock(parent_start, parent_size, LockMode.INTENTION_RELEASE)
-            )
-            parent_size *= 2
-        self.acquisitions += 1
+        with self._mutex:
+            mine = self.segment_locks.setdefault(txn_id, [])
+            self._check_segment_conflict(txn_id, start, size)
+            mine.append(SegmentLock(start, size, LockMode.RELEASE))
+            self.acquisitions += 1
+            # Ancestors: successively larger enclosing buddy segments.
+            parent_size = size * 2
+            while parent_size <= max_size:
+                parent_start = start - (start % parent_size)
+                mine.append(
+                    SegmentLock(parent_start, parent_size, LockMode.INTENTION_RELEASE)
+                )
+                parent_size *= 2
+            self.acquisitions += 1
 
     def _check_segment_conflict(self, txn_id: int, start: int, size: int) -> None:
         end = start + size
@@ -148,17 +156,18 @@ class LockManager:
         release lock — "they remain unallocated until the holding
         transaction releases the locks"."""
         end = start + size
-        for other_txn, locks in self.segment_locks.items():
-            if other_txn == txn_id:
-                continue
-            for held in locks:
-                if held.mode is not LockMode.RELEASE:
+        with self._mutex:
+            for other_txn, locks in self.segment_locks.items():
+                if other_txn == txn_id:
                     continue
-                # A candidate conflicts if it overlaps the released
-                # segment (descendant or ancestor alike).
-                if held.start < end and start < held.start + held.size:
-                    return True
-        return False
+                for held in locks:
+                    if held.mode is not LockMode.RELEASE:
+                        continue
+                    # A candidate conflicts if it overlaps the released
+                    # segment (descendant or ancestor alike).
+                    if held.start < end and start < held.start + held.size:
+                        return True
+            return False
 
     # ------------------------------------------------------------------
     # Introspection / teardown
@@ -166,12 +175,14 @@ class LockManager:
 
     def held_by(self, txn_id: int) -> tuple[list[RangeLock], list[SegmentLock]]:
         """The (range, segment) locks a transaction currently holds."""
-        return (
-            list(self.range_locks.get(txn_id, [])),
-            list(self.segment_locks.get(txn_id, [])),
-        )
+        with self._mutex:
+            return (
+                list(self.range_locks.get(txn_id, [])),
+                list(self.segment_locks.get(txn_id, [])),
+            )
 
     def release_all(self, txn_id: int) -> None:
         """Drop every lock a transaction holds (commit/abort)."""
-        self.range_locks.pop(txn_id, None)
-        self.segment_locks.pop(txn_id, None)
+        with self._mutex:
+            self.range_locks.pop(txn_id, None)
+            self.segment_locks.pop(txn_id, None)

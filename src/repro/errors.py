@@ -215,3 +215,33 @@ class LogCorrupt(RecoveryError):
 
 class TransactionError(RecoveryError):
     """A transaction was used after commit/abort, or nested improperly."""
+
+
+# ---------------------------------------------------------------------------
+# Object server
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for errors raised by the object server and its client."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame failed to decode (bad magic, truncated, oversized)."""
+
+
+class ServerOverloaded(ServerError):
+    """The server refused a request under admission control.
+
+    Sent instead of queueing without bound: either the in-flight request
+    cap or the write-queue depth was reached.  Clients should back off
+    and retry; the connection itself stays usable.
+    """
+
+
+class RequestTimeout(ServerError):
+    """A request exceeded the server's per-request time budget."""
+
+
+class ConnectionClosed(ServerError):
+    """The peer went away mid-conversation (half a frame, or EOF)."""

@@ -1,0 +1,27 @@
+"""The serving layer: a TCP object server and its client.
+
+* :mod:`repro.server.protocol` — the length-prefixed binary wire format
+  (opcodes, error marshalling onto :mod:`repro.errors`);
+* :mod:`repro.server.server` — the asyncio server: per-connection
+  sessions, byte-range lock scheduling, admission control;
+* :mod:`repro.server.client` — the blocking client library;
+* :mod:`repro.server.runner` — run a server on a background thread
+  (tests, benchmarks, ``servectl bench-smoke --spawn``).
+
+CLI: ``python -m repro.tools.servectl serve`` / ``ping`` / ``put`` /
+``get`` / ``bench-smoke``.
+"""
+
+from repro.server.client import EOSClient
+from repro.server.protocol import Opcode, RemoteStat, Status
+from repro.server.runner import ServerThread
+from repro.server.server import EOSServer
+
+__all__ = [
+    "EOSClient",
+    "EOSServer",
+    "Opcode",
+    "RemoteStat",
+    "ServerThread",
+    "Status",
+]

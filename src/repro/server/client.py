@@ -1,0 +1,172 @@
+"""The blocking client: one socket, one request in flight.
+
+:class:`EOSClient` speaks the frame protocol of
+:mod:`repro.server.protocol` over a plain TCP socket.  Calls block until
+the response arrives; server-side errors re-raise as the matching class
+from the :mod:`repro.errors` hierarchy, so remote and in-process code
+handle failures identically::
+
+    with EOSClient("127.0.0.1", 7433) as c:
+        oid = c.create(b"hello", size_hint=1 << 20)
+        c.append(oid, b" world")
+        assert c.read(oid, 0, 11) == b"hello world"
+
+The client is not thread-safe — a connection carries one conversation.
+Concurrent callers each open their own client (connections are what the
+server scales by).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ConnectionClosed, ProtocolError
+from repro.server import protocol
+from repro.server.protocol import Opcode, RemoteStat, Status
+
+
+class EOSClient:
+    """A blocking connection to an :class:`~repro.server.server.EOSServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7433,
+        *,
+        timeout: float | None = 30.0,
+        max_payload: int = protocol.MAX_PAYLOAD,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_payload = max_payload
+        self._sock: socket.socket | None = None
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "EOSClient":
+        """Open the TCP connection (idempotent); returns self."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "EOSClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Framing
+    # ------------------------------------------------------------------
+
+    def _recv_exact(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                self.close()
+                raise ConnectionClosed(
+                    f"server closed the connection ({remaining} of {n} bytes "
+                    "outstanding)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def call(self, opcode: Opcode, payload: bytes = b"") -> bytes:
+        """One request/response exchange; returns the response payload."""
+        sock = self.connect()._sock
+        assert sock is not None
+        request_id = self._next_id
+        self._next_id += 1
+        sock.sendall(protocol.encode_request(opcode, request_id, payload))
+        header = protocol.decode_header(
+            self._recv_exact(protocol.HEADER.size), max_payload=self.max_payload
+        )
+        if header.kind != protocol.KIND_RESPONSE:
+            raise ProtocolError("expected a response frame")
+        if header.request_id not in (request_id, 0):
+            raise ProtocolError(
+                f"response id {header.request_id} does not match request "
+                f"{request_id}"
+            )
+        body = self._recv_exact(header.length)
+        if header.code != Status.OK:
+            raise protocol.exception_from(
+                header.code, body.decode("utf-8", "replace")
+            )
+        return body
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ping(self, data: bytes = b"") -> bytes:
+        """Round-trip ``data`` through the server."""
+        return self.call(Opcode.PING, data)
+
+    def create(self, data: bytes = b"", *, size_hint: int | None = None) -> int:
+        """Create an object (optionally with initial content); returns its oid."""
+        return protocol.unpack_u64(
+            self.call(Opcode.CREATE, protocol.pack_create(data, size_hint))
+        )
+
+    def append(self, oid: int, data: bytes) -> int:
+        """Append bytes; returns the object's new size."""
+        return protocol.unpack_u64(
+            self.call(Opcode.APPEND, protocol.pack_oid_data(oid, data))
+        )
+
+    def read(self, oid: int, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``."""
+        return self.call(
+            Opcode.READ, protocol.pack_oid_offset_length(oid, offset, length)
+        )
+
+    def write(self, oid: int, offset: int, data: bytes) -> int:
+        """Overwrite bytes in place; returns the (unchanged) size."""
+        return protocol.unpack_u64(
+            self.call(Opcode.WRITE, protocol.pack_oid_offset_data(oid, offset, data))
+        )
+
+    def insert(self, oid: int, offset: int, data: bytes) -> int:
+        """Insert bytes at ``offset``; returns the new size."""
+        return protocol.unpack_u64(
+            self.call(Opcode.INSERT, protocol.pack_oid_offset_data(oid, offset, data))
+        )
+
+    def delete(self, oid: int, offset: int, length: int) -> int:
+        """Delete a byte range; returns the new size."""
+        return protocol.unpack_u64(
+            self.call(Opcode.DELETE, protocol.pack_oid_offset_length(oid, offset, length))
+        )
+
+    def size(self, oid: int) -> int:
+        """The object's size in bytes."""
+        return protocol.unpack_u64(self.call(Opcode.SIZE, protocol.pack_oid(oid)))
+
+    def stat(self, oid: int) -> RemoteStat:
+        """Space accounting plus the root page."""
+        return protocol.unpack_stat(self.call(Opcode.STAT, protocol.pack_oid(oid)))
+
+    def list_objects(self) -> list[tuple[int, int]]:
+        """Every object on the server as ``(oid, size)``."""
+        return protocol.unpack_listing(self.call(Opcode.LIST))

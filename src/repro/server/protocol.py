@@ -1,0 +1,386 @@
+"""The wire protocol: length-prefixed binary frames over a byte stream.
+
+Every message — request or response — is one *frame*::
+
+    magic    4 bytes   b"EOS1"
+    kind     u8        0 = request, 1 = response
+    code     u8        request: opcode        response: status
+    id       u32       request id, echoed verbatim in the response
+    length   u32       payload length in bytes
+    payload  <length>  opcode-specific encoding (little-endian structs)
+
+Frames are self-delimiting, so a connection is just a sequence of them;
+the server answers each request with exactly one response carrying the
+same ``id``.  Payloads are capped (:data:`MAX_PAYLOAD` by default) so a
+corrupt or hostile length field cannot make either side buffer without
+bound — an oversized length is a :class:`~repro.errors.ProtocolError`,
+not an allocation.
+
+Errors travel as a response whose status names a class in the
+:mod:`repro.errors` hierarchy and whose payload is the UTF-8 message;
+:func:`exception_from` rebuilds an instance of the mapped class on the
+client so ``except ObjectNotFound:`` works across the wire exactly as it
+does in-process.
+
+Request payload encodings (sizes in bytes):
+
+=========  =====================================  ======================
+opcode     request payload                        response payload
+=========  =====================================  ======================
+PING       opaque echo bytes                      the same bytes
+CREATE     u64 size_hint (0 = none) + data        u64 oid
+APPEND     u64 oid + data                         u64 new size
+READ       u64 oid, u64 offset, u64 length        the bytes read
+WRITE      u64 oid, u64 offset + data             u64 size (unchanged)
+INSERT     u64 oid, u64 offset + data             u64 new size
+DELETE     u64 oid, u64 offset, u64 length        u64 new size
+SIZE       u64 oid                                u64 size
+STAT       u64 oid                                u64 size + u32 ×5
+                                                  (segments, leaf pages,
+                                                  index pages, height,
+                                                  root page)
+LIST       (empty)                                u32 count + count ×
+                                                  (u64 oid, u64 size)
+=========  =====================================  ======================
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import (
+    ByteRangeError,
+    ConnectionClosed,
+    DatabaseClosed,
+    LockConflict,
+    ObjectNotFound,
+    OutOfSpace,
+    ProtocolError,
+    ReproError,
+    RequestTimeout,
+    ServerError,
+    ServerOverloaded,
+    StorageError,
+)
+
+MAGIC = b"EOS1"
+HEADER = struct.Struct("<4sBBII")
+
+#: Default cap on one frame's payload (requests and responses alike).
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+KIND_REQUEST = 0
+KIND_RESPONSE = 1
+
+
+class Opcode(enum.IntEnum):
+    PING = 1
+    CREATE = 2
+    APPEND = 3
+    READ = 4
+    WRITE = 5
+    INSERT = 6
+    DELETE = 7
+    SIZE = 8
+    STAT = 9
+    LIST = 10
+
+
+#: Opcodes that mutate the database (admission control's write queue).
+WRITE_OPCODES = frozenset(
+    {Opcode.CREATE, Opcode.APPEND, Opcode.WRITE, Opcode.INSERT, Opcode.DELETE}
+)
+
+
+class Status(enum.IntEnum):
+    OK = 0
+    SERVER_ERROR = 1        # anything without a more precise mapping
+    PROTOCOL_ERROR = 2
+    OVERLOADED = 3
+    TIMEOUT = 4
+    OBJECT_NOT_FOUND = 5
+    BYTE_RANGE = 6
+    STORAGE = 7             # disk-level failures (including DiskFault)
+    OUT_OF_SPACE = 8
+    LOCK_CONFLICT = 9
+    DATABASE_CLOSED = 10
+
+
+# Ordered most-specific-first: the first isinstance match wins when a
+# server-side exception is marshalled onto the wire.
+_STATUS_OF: tuple[tuple[type[Exception], Status], ...] = (
+    (ServerOverloaded, Status.OVERLOADED),
+    (RequestTimeout, Status.TIMEOUT),
+    (ProtocolError, Status.PROTOCOL_ERROR),
+    (ObjectNotFound, Status.OBJECT_NOT_FOUND),
+    (ByteRangeError, Status.BYTE_RANGE),
+    (OutOfSpace, Status.OUT_OF_SPACE),
+    (LockConflict, Status.LOCK_CONFLICT),
+    (DatabaseClosed, Status.DATABASE_CLOSED),
+    (StorageError, Status.STORAGE),
+)
+
+_CLASS_OF: dict[Status, type[ReproError]] = {
+    Status.SERVER_ERROR: ServerError,
+    Status.PROTOCOL_ERROR: ProtocolError,
+    Status.OVERLOADED: ServerOverloaded,
+    Status.TIMEOUT: RequestTimeout,
+    Status.OBJECT_NOT_FOUND: ObjectNotFound,
+    Status.BYTE_RANGE: ByteRangeError,
+    Status.OUT_OF_SPACE: OutOfSpace,
+    Status.LOCK_CONFLICT: LockConflict,
+    Status.DATABASE_CLOSED: DatabaseClosed,
+    Status.STORAGE: StorageError,
+}
+
+
+def status_for_exception(exc: BaseException) -> Status:
+    """The wire status an exception marshals to."""
+    for cls, status in _STATUS_OF:
+        if isinstance(exc, cls):
+            return status
+    return Status.SERVER_ERROR
+
+
+def exception_from(status: int, message: str) -> ReproError:
+    """Rebuild the client-side exception for an error response.
+
+    Some classes in the hierarchy have structured constructors
+    (:class:`ByteRangeError` takes offset/length/size), so instances are
+    made without calling ``__init__`` — the message carries everything
+    the remote side knew.
+    """
+    try:
+        cls = _CLASS_OF.get(Status(status), ServerError)
+    except ValueError:
+        cls = ServerError
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, message)
+    return exc
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Header:
+    """A decoded frame header (payload not yet read)."""
+
+    kind: int
+    code: int
+    request_id: int
+    length: int
+
+
+def encode_frame(kind: int, code: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One complete frame, header plus payload."""
+    return HEADER.pack(MAGIC, kind, code, request_id, len(payload)) + payload
+
+
+def encode_request(opcode: Opcode, request_id: int, payload: bytes = b"") -> bytes:
+    """A request frame carrying ``opcode``."""
+    return encode_frame(KIND_REQUEST, int(opcode), request_id, payload)
+
+
+def encode_response(status: Status, request_id: int, payload: bytes = b"") -> bytes:
+    """A response frame carrying ``status``."""
+    return encode_frame(KIND_RESPONSE, int(status), request_id, payload)
+
+
+def encode_error(exc: BaseException, request_id: int) -> bytes:
+    """The error response frame for a server-side exception."""
+    message = str(exc) or exc.__class__.__name__
+    return encode_response(
+        status_for_exception(exc), request_id, message.encode("utf-8", "replace")
+    )
+
+
+def decode_header(data: bytes, *, max_payload: int = MAX_PAYLOAD) -> Header:
+    """Validate and decode :data:`HEADER.size` bytes of frame header."""
+    if len(data) != HEADER.size:
+        raise ProtocolError(
+            f"frame header is {HEADER.size} bytes, got {len(data)}"
+        )
+    magic, kind, code, request_id, length = HEADER.unpack(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if kind not in (KIND_REQUEST, KIND_RESPONSE):
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if length > max_payload:
+        raise ProtocolError(
+            f"payload of {length} bytes exceeds the {max_payload}-byte cap"
+        )
+    return Header(kind, code, request_id, length)
+
+
+# ---------------------------------------------------------------------------
+# Request payload codecs
+# ---------------------------------------------------------------------------
+
+_U64 = struct.Struct("<Q")
+_OID_OFF = struct.Struct("<QQ")
+_OID_OFF_LEN = struct.Struct("<QQQ")
+_STAT = struct.Struct("<QIIIII")
+
+
+def _unpack_prefix(fmt: struct.Struct, payload: bytes, what: str) -> tuple:
+    if len(payload) < fmt.size:
+        raise ProtocolError(
+            f"{what}: payload of {len(payload)} bytes is shorter than the "
+            f"{fmt.size}-byte fixed part"
+        )
+    return fmt.unpack_from(payload)
+
+
+def pack_create(data: bytes, size_hint: int | None) -> bytes:
+    """CREATE request payload: u64 size hint (0 = none) + initial data."""
+    return _U64.pack(size_hint or 0) + data
+
+
+def unpack_create(payload: bytes) -> tuple[bytes, int | None]:
+    """Split a CREATE payload into (data, size_hint-or-None)."""
+    (hint,) = _unpack_prefix(_U64, payload, "create")
+    return payload[_U64.size:], (hint or None)
+
+
+def pack_oid(oid: int) -> bytes:
+    """A bare u64 oid payload (SIZE/STAT requests)."""
+    return _U64.pack(oid)
+
+
+def unpack_oid(payload: bytes) -> int:
+    """Decode a bare u64 oid payload."""
+    if len(payload) != _U64.size:
+        raise ProtocolError(f"expected an 8-byte oid payload, got {len(payload)}")
+    return _U64.unpack(payload)[0]
+
+
+def pack_oid_data(oid: int, data: bytes) -> bytes:
+    """APPEND request payload: u64 oid + the bytes to append."""
+    return _U64.pack(oid) + data
+
+
+def unpack_oid_data(payload: bytes) -> tuple[int, bytes]:
+    """Split an APPEND payload into (oid, data)."""
+    (oid,) = _unpack_prefix(_U64, payload, "append")
+    return oid, payload[_U64.size:]
+
+
+def pack_oid_offset_data(oid: int, offset: int, data: bytes) -> bytes:
+    """WRITE/INSERT request payload: u64 oid, u64 offset + data."""
+    return _OID_OFF.pack(oid, offset) + data
+
+
+def unpack_oid_offset_data(payload: bytes) -> tuple[int, int, bytes]:
+    """Split a WRITE/INSERT payload into (oid, offset, data)."""
+    oid, offset = _unpack_prefix(_OID_OFF, payload, "write/insert")
+    return oid, offset, payload[_OID_OFF.size:]
+
+
+def pack_oid_offset_length(oid: int, offset: int, length: int) -> bytes:
+    """READ/DELETE request payload: u64 oid, u64 offset, u64 length."""
+    return _OID_OFF_LEN.pack(oid, offset, length)
+
+
+def unpack_oid_offset_length(payload: bytes) -> tuple[int, int, int]:
+    """Decode a READ/DELETE payload into (oid, offset, length)."""
+    if len(payload) != _OID_OFF_LEN.size:
+        raise ProtocolError(
+            f"expected a 24-byte (oid, offset, length) payload, got {len(payload)}"
+        )
+    return _OID_OFF_LEN.unpack(payload)
+
+
+# ---------------------------------------------------------------------------
+# Response payload codecs
+# ---------------------------------------------------------------------------
+
+
+def pack_u64(value: int) -> bytes:
+    """A u64 response payload (oid, size)."""
+    return _U64.pack(value)
+
+
+def unpack_u64(payload: bytes) -> int:
+    """Decode a u64 response payload."""
+    if len(payload) != _U64.size:
+        raise ProtocolError(f"expected an 8-byte integer payload, got {len(payload)}")
+    return _U64.unpack(payload)[0]
+
+
+@dataclass(frozen=True)
+class RemoteStat:
+    """The STAT response: one object's space accounting, plus its root."""
+
+    size_bytes: int
+    segments: int
+    leaf_pages: int
+    index_pages: int
+    height: int
+    root_page: int
+
+
+def pack_stat(stat: RemoteStat) -> bytes:
+    """The STAT response payload for a :class:`RemoteStat`."""
+    return _STAT.pack(
+        stat.size_bytes, stat.segments, stat.leaf_pages,
+        stat.index_pages, stat.height, stat.root_page,
+    )
+
+
+def unpack_stat(payload: bytes) -> RemoteStat:
+    """Decode a STAT response payload into a :class:`RemoteStat`."""
+    if len(payload) != _STAT.size:
+        raise ProtocolError(f"expected a {_STAT.size}-byte stat payload")
+    return RemoteStat(*_STAT.unpack(payload))
+
+
+def pack_listing(entries: list[tuple[int, int]]) -> bytes:
+    """The LIST response payload: u32 count + (u64 oid, u64 size) each."""
+    out = bytearray(struct.pack("<I", len(entries)))
+    for oid, size in entries:
+        out += _OID_OFF.pack(oid, size)
+    return bytes(out)
+
+
+def unpack_listing(payload: bytes) -> list[tuple[int, int]]:
+    """Decode a LIST response payload into [(oid, size), ...]."""
+    (count,) = _unpack_prefix(struct.Struct("<I"), payload, "list")
+    need = 4 + count * _OID_OFF.size
+    if len(payload) != need:
+        raise ProtocolError(
+            f"list payload of {len(payload)} bytes does not hold {count} entries"
+        )
+    out = []
+    offset = 4
+    for _ in range(count):
+        oid, size = _OID_OFF.unpack_from(payload, offset)
+        offset += _OID_OFF.size
+        out.append((oid, size))
+    return out
+
+
+__all__ = [
+    "MAGIC",
+    "HEADER",
+    "MAX_PAYLOAD",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "Opcode",
+    "Status",
+    "WRITE_OPCODES",
+    "Header",
+    "RemoteStat",
+    "ConnectionClosed",
+    "encode_frame",
+    "encode_request",
+    "encode_response",
+    "encode_error",
+    "decode_header",
+    "status_for_exception",
+    "exception_from",
+]

@@ -1,0 +1,96 @@
+"""Run an :class:`~repro.server.server.EOSServer` on a background thread.
+
+The server is asyncio; tests, benchmarks and the CLI's self-contained
+smoke mode are synchronous.  :class:`ServerThread` bridges the two: it
+runs the server's event loop on a daemon thread, hands back the bound
+port once accepting, and on :meth:`stop` shuts the server down cleanly
+and reports any asyncio tasks still alive on the loop — a leak detector
+for the serving layer itself::
+
+    with ServerThread(db, max_inflight=8) as srv:
+        with EOSClient(port=srv.port) as c:
+            c.ping()
+    # exiting stops the server; srv.leaked_tasks is [] on a clean run
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.api import EOSDatabase
+from repro.errors import ServerError
+from repro.server.server import EOSServer
+
+
+class ServerThread:
+    """An EOSServer running on its own event loop in a daemon thread."""
+
+    def __init__(self, db: EOSDatabase, **server_kwargs) -> None:
+        self.server = EOSServer(db, **server_kwargs)
+        self.leaked_tasks: list[str] = []
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid once :meth:`start` returns)."""
+        return self.server.port
+
+    # ------------------------------------------------------------------
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        """Start the loop thread and wait until the server is accepting."""
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="eos-server",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServerError("server failed to start within the timeout")
+        if self._startup_error is not None:
+            raise ServerError(f"server failed to start: {self._startup_error}")
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+        # Anything still scheduled on the loop at this point outlived the
+        # server's own shutdown — a leak.
+        current = asyncio.current_task()
+        self.leaked_tasks = [
+            repr(task)
+            for task in asyncio.all_tasks()
+            if task is not current and not task.done()
+        ]
+
+    def stop(self, timeout: float = 10.0) -> list[str]:
+        """Shut the server down; returns reprs of any leaked tasks."""
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise ServerError("server thread did not stop within the timeout")
+            self._thread = None
+        return self.leaked_tasks
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

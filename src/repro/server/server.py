@@ -1,0 +1,364 @@
+"""The asyncio object server.
+
+One :class:`EOSServer` serves one :class:`~repro.api.EOSDatabase` over
+TCP.  Each connection is a session: a sequence of request frames (see
+:mod:`repro.server.protocol`), answered in order.  Concurrency comes
+from connections, not pipelining — a session has at most one request in
+flight, which keeps per-connection state to a read loop.
+
+Request scheduling
+------------------
+Every request passes three stages:
+
+1. **Admission control** — decided synchronously, before any queueing.
+   If ``max_inflight`` requests are already being served, or the request
+   is a write and ``max_write_queue`` writes are already queued or
+   running, the server answers :class:`~repro.errors.ServerOverloaded`
+   immediately.  Nothing is buffered for a rejected request, so overload
+   degrades into fast, explicit rejections rather than growing queues
+   and eventual timeouts.
+
+2. **Lock acquisition** — object ops route through a
+   :class:`~repro.concurrency.LockManager`: reads take S byte-range
+   locks, in-place writes take X byte-range locks, and size-changing ops
+   (append/insert/delete) take X root locks, so concurrent readers
+   proceed while writers to the same byte range serialize.  The lock
+   table is try-acquire, so the scheduler retries on conflict, parking
+   the request on an event that release pulses.
+
+3. **Execution** — the op runs in a worker thread through the
+   database's thread-safe ``op_*`` entry points, keeping the event loop
+   free to accept, reject and answer other sessions.  The whole request
+   runs under a ``request_timeout`` budget; when it expires the client
+   gets :class:`~repro.errors.RequestTimeout` instead of silence.
+
+Observability: every request is a ``server.request`` span (opcode and
+oid attributes, error class on failure), with counters for requests,
+bytes in/out and rejections, and a latency histogram — all through the
+database's :class:`~repro.obs.tracer.Observability` bundle, so the
+serving layer shows up in the same traces and metric snapshots as the
+storage stack beneath it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Awaitable, Callable
+
+from repro.api import EOSDatabase
+from repro.concurrency import LockManager, LockMode
+from repro.errors import (
+    LockConflict,
+    ProtocolError,
+    ReproError,
+    RequestTimeout,
+    ServerOverloaded,
+)
+from repro.server import protocol
+from repro.server.protocol import Opcode, RemoteStat, Status
+
+
+class EOSServer:
+    """Serve one database over TCP with admission control and locking."""
+
+    def __init__(
+        self,
+        db: EOSDatabase,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int = 64,
+        max_write_queue: int = 16,
+        request_timeout: float = 30.0,
+        max_payload: int = protocol.MAX_PAYLOAD,
+        locks: LockManager | None = None,
+        op_hook: Callable[[Opcode], Awaitable[None]] | None = None,
+    ) -> None:
+        self.db = db
+        self.host = host
+        self.port = port  # 0 until start() binds an ephemeral port
+        self.max_inflight = max_inflight
+        self.max_write_queue = max_write_queue
+        self.request_timeout = request_timeout
+        self.max_payload = max_payload
+        self.locks = locks if locks is not None else LockManager()
+        #: Test seam: awaited at the start of every request's execution
+        #: stage, inside the in-flight window (used to pin requests in
+        #: flight so admission control can be exercised deterministically).
+        self.op_hook = op_hook
+        self.inflight = 0
+        self.write_queued = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._released = asyncio.Event()
+        self._next_txn = 1
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 = ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (servectl's serve loop)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drop every session, and wait for their tasks."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+        if self._conn_tasks:
+            for task in list(self._conn_tasks):
+                task.cancel()
+            await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            # Removed only once the task is truly done, so stop() can
+            # await the final wait_closed() step too.
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._writers.add(writer)
+        try:
+            await self._session(reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            pass  # peer went away; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics = self.db.obs.metrics
+        while True:
+            raw = await reader.readexactly(protocol.HEADER.size)
+            try:
+                header = protocol.decode_header(raw, max_payload=self.max_payload)
+                if header.kind != protocol.KIND_REQUEST:
+                    raise ProtocolError("expected a request frame")
+                opcode = Opcode(header.code)
+            except (ProtocolError, ValueError) as exc:
+                # The stream is unframed from here on; answer and hang up.
+                if not isinstance(exc, ProtocolError):
+                    exc = ProtocolError(f"unknown opcode {header.code}")
+                writer.write(protocol.encode_error(exc, 0))
+                await writer.drain()
+                return
+            payload = await reader.readexactly(header.length)
+            metrics.counter("server.bytes_in").inc(protocol.HEADER.size + header.length)
+
+            # Stage 1: admission control, before anything is queued.
+            rejection = self._admission_check(opcode)
+            if rejection is not None:
+                metrics.counter("server.rejections").inc()
+                writer.write(protocol.encode_error(rejection, header.request_id))
+                await writer.drain()
+                continue
+
+            response = await self._serve_request(opcode, header.request_id, payload)
+            metrics.counter("server.bytes_out").inc(len(response))
+            writer.write(response)
+            await writer.drain()
+
+    def _admission_check(self, opcode: Opcode) -> ServerOverloaded | None:
+        if self.inflight >= self.max_inflight:
+            return ServerOverloaded(
+                f"server at capacity ({self.inflight} requests in flight, "
+                f"cap {self.max_inflight}); retry later"
+            )
+        if opcode in protocol.WRITE_OPCODES and self.write_queued >= self.max_write_queue:
+            return ServerOverloaded(
+                f"write queue full ({self.write_queued} writes pending, "
+                f"cap {self.max_write_queue}); retry later"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Request scheduling
+    # ------------------------------------------------------------------
+
+    async def _serve_request(
+        self, opcode: Opcode, request_id: int, payload: bytes
+    ) -> bytes:
+        metrics = self.db.obs.metrics
+        txn_id = self._next_txn
+        self._next_txn += 1
+        self.inflight += 1
+        is_write = opcode in protocol.WRITE_OPCODES
+        if is_write:
+            self.write_queued += 1
+        metrics.gauge("server.inflight").set(self.inflight)
+        t0 = time.perf_counter()
+        try:
+            result = await asyncio.wait_for(
+                self._execute(opcode, payload, txn_id), self.request_timeout
+            )
+            response = protocol.encode_response(Status.OK, request_id, result)
+        except asyncio.TimeoutError:
+            response = protocol.encode_error(
+                RequestTimeout(
+                    f"request exceeded the {self.request_timeout:g}s budget"
+                ),
+                request_id,
+            )
+        except ReproError as exc:
+            response = protocol.encode_error(exc, request_id)
+        except Exception as exc:  # never let one request kill the session
+            response = protocol.encode_error(
+                ReproError(f"{exc.__class__.__name__}: {exc}"), request_id
+            )
+        finally:
+            self.locks.release_all(txn_id)
+            self._pulse_released()
+            self.inflight -= 1
+            if is_write:
+                self.write_queued -= 1
+            metrics.gauge("server.inflight").set(self.inflight)
+            metrics.counter("server.requests").inc()
+            metrics.counter(f"server.requests.{opcode.name.lower()}").inc()
+            metrics.histogram("server.latency_ms").observe(
+                (time.perf_counter() - t0) * 1000.0
+            )
+        return response
+
+    def _pulse_released(self) -> None:
+        """Wake every request parked on a lock conflict."""
+        event = self._released
+        self._released = asyncio.Event()
+        event.set()
+
+    async def _acquire(self, txn_id: int, acquire: Callable[[], None]) -> None:
+        """Retry a try-acquire until it succeeds, parking between tries.
+
+        The overall request timeout (``wait_for`` in the caller) bounds
+        the wait; cancellation releases the transaction's locks in the
+        caller's ``finally``.
+        """
+        while True:
+            try:
+                acquire()
+                return
+            except LockConflict:
+                await self._released.wait()
+
+    async def _execute(self, opcode: Opcode, payload: bytes, txn_id: int) -> bytes:
+        if self.op_hook is not None:
+            await self.op_hook(opcode)
+        db = self.db
+        locks = self.locks
+        loop = asyncio.get_running_loop()
+
+        async def run(op: Callable[[], object]) -> object:
+            # The span covers exactly the op, opened in the worker thread
+            # under the database's op lock so span nesting stays sound.
+            def locked() -> object:
+                with db.op_lock:
+                    with db.obs.tracer.span(
+                        "server.request", opcode=opcode.name.lower()
+                    ):
+                        return op()
+
+            return await loop.run_in_executor(None, locked)
+
+        if opcode is Opcode.PING:
+            return payload
+        if opcode is Opcode.CREATE:
+            data, size_hint = protocol.unpack_create(payload)
+            oid = await run(lambda: db.op_create(data, size_hint=size_hint))
+            return protocol.pack_u64(oid)
+        if opcode is Opcode.APPEND:
+            oid, data = protocol.unpack_oid_data(payload)
+            await self._acquire(
+                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X)
+            )
+            size = await run(lambda: db.op_append(oid, data))
+            return protocol.pack_u64(size)
+        if opcode is Opcode.READ:
+            oid, offset, length = protocol.unpack_oid_offset_length(payload)
+            if length > self.max_payload:
+                raise ProtocolError(
+                    f"read of {length} bytes exceeds the "
+                    f"{self.max_payload}-byte response cap"
+                )
+            await self._acquire(
+                txn_id,
+                lambda: locks.acquire_range(
+                    txn_id, oid, offset, offset + length, LockMode.S
+                ),
+            )
+            return await run(lambda: db.op_read(oid, offset, length))
+        if opcode is Opcode.WRITE:
+            oid, offset, data = protocol.unpack_oid_offset_data(payload)
+            await self._acquire(
+                txn_id,
+                lambda: locks.acquire_range(
+                    txn_id, oid, offset, offset + len(data), LockMode.X
+                ),
+            )
+            size = await run(lambda: db.op_write(oid, offset, data))
+            return protocol.pack_u64(size)
+        if opcode is Opcode.INSERT:
+            oid, offset, data = protocol.unpack_oid_offset_data(payload)
+            await self._acquire(
+                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X)
+            )
+            size = await run(lambda: db.op_insert(oid, offset, data))
+            return protocol.pack_u64(size)
+        if opcode is Opcode.DELETE:
+            oid, offset, length = protocol.unpack_oid_offset_length(payload)
+            await self._acquire(
+                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X)
+            )
+            size = await run(lambda: db.op_delete(oid, offset, length))
+            return protocol.pack_u64(size)
+        if opcode is Opcode.SIZE:
+            oid = protocol.unpack_oid(payload)
+            await self._acquire(
+                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S)
+            )
+            return protocol.pack_u64(await run(lambda: db.op_size(oid)))
+        if opcode is Opcode.STAT:
+            oid = protocol.unpack_oid(payload)
+            await self._acquire(
+                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S)
+            )
+            stat = await run(lambda: db.op_stat(oid))
+            return protocol.pack_stat(RemoteStat(**stat))
+        if opcode is Opcode.LIST:
+            listing = await run(db.op_list)
+            return protocol.pack_listing(listing)
+        raise ProtocolError(f"opcode {opcode} not implemented")

@@ -2,10 +2,13 @@
 
 :class:`FaultyDisk` wraps a :class:`~repro.storage.disk.DiskVolume` and
 fails (raising :class:`DiskFault`) after a configured number of page
-writes — the classic "power loss mid-flush" model.  Writes up to the
-fault point are durable, the failing write is *not* applied (whole-page
-atomicity, the assumption Section 4.5's single-root-write commit relies
-on), and everything after the fault raises until :meth:`heal` is called.
+writes — the classic "power loss mid-flush" model — or, separately,
+after a configured number of page reads (a media error on the return
+path: the data is intact, but the device stops answering).  Writes up to
+the fault point are durable, the failing transfer is *not* applied or
+returned (whole-page atomicity, the assumption Section 4.5's single-
+root-write commit relies on), and everything after the fault raises
+until :meth:`heal` is called.
 
 Tests use it to show that wherever the crash lands inside an update,
 the committed state remains exactly the old version or exactly the new
@@ -24,33 +27,59 @@ class DiskFault(StorageError):
 
 
 class FaultyDisk:
-    """A DiskVolume proxy that dies after ``fail_after_writes`` writes.
+    """A DiskVolume proxy that dies after N writes and/or N reads.
 
-    Reads always succeed (the platters survive the crash).  The proxy
-    exposes the same transfer interface as :class:`DiskVolume`, so it
-    can be swapped in wherever a disk is expected.
+    By default reads always succeed (the platters survive a write-path
+    crash); arming ``fail_after_reads`` models the read path failing
+    too.  The proxy exposes the same transfer interface as
+    :class:`DiskVolume`, so it can be swapped in wherever a disk is
+    expected.
     """
 
     def __init__(self, inner: DiskVolume) -> None:
         self.inner = inner
         self.fail_after_writes: int | None = None
+        self.fail_after_reads: int | None = None
         self.writes_seen = 0
-        self.faulted = False
+        self.reads_seen = 0
+        self.faulted = False       # write path down (power loss)
+        self.read_faulted = False  # read path down (media error)
 
     # -- fault control -------------------------------------------------------
 
-    def arm(self, fail_after_writes: int) -> None:
-        """Fail the (N+1)-th page-write call from now on."""
-        if fail_after_writes < 0:
+    def arm(
+        self,
+        fail_after_writes: int | None = None,
+        *,
+        fail_after_reads: int | None = None,
+    ) -> None:
+        """Fail the (N+1)-th page-write and/or page-read call from now on.
+
+        Either budget may be armed alone; arming replaces any previous
+        arming and clears standing faults.  The two paths fail
+        independently: a write fault (power loss) leaves reads working —
+        the platters survive — and a read fault (media error) leaves
+        writes working.
+        """
+        if fail_after_writes is None and fail_after_reads is None:
+            raise ValueError("arm at least one of writes/reads")
+        if fail_after_writes is not None and fail_after_writes < 0:
             raise ValueError("fail_after_writes must be >= 0")
+        if fail_after_reads is not None and fail_after_reads < 0:
+            raise ValueError("fail_after_reads must be >= 0")
         self.fail_after_writes = fail_after_writes
+        self.fail_after_reads = fail_after_reads
         self.writes_seen = 0
+        self.reads_seen = 0
         self.faulted = False
+        self.read_faulted = False
 
     def heal(self) -> None:
-        """Clear the fault (the machine rebooted; the device is fine)."""
+        """Clear the faults (the machine rebooted; the device is fine)."""
         self.fail_after_writes = None
+        self.fail_after_reads = None
         self.faulted = False
+        self.read_faulted = False
 
     def _check_write(self) -> None:
         if self.faulted:
@@ -62,6 +91,17 @@ class FaultyDisk:
                     f"simulated power loss at write #{self.writes_seen + 1}"
                 )
             self.writes_seen += 1
+
+    def _check_read(self) -> None:
+        if self.read_faulted:
+            raise DiskFault("read path offline after media error")
+        if self.fail_after_reads is not None:
+            if self.reads_seen >= self.fail_after_reads:
+                self.read_faulted = True
+                raise DiskFault(
+                    f"simulated media error at read #{self.reads_seen + 1}"
+                )
+            self.reads_seen += 1
 
     # -- DiskVolume interface --------------------------------------------------
 
@@ -82,11 +122,13 @@ class FaultyDisk:
         return self.inner.stats
 
     def read_page(self, page: PageId) -> bytes:
-        """Reads always succeed."""
+        """Read one page, or die at an armed read-fault point."""
+        self._check_read()
         return self.inner.read_page(page)
 
     def read_pages(self, first_page: PageId, n_pages: int) -> bytes:
-        """Reads always succeed."""
+        """Read a run, or die at an armed read-fault point."""
+        self._check_read()
         return self.inner.read_pages(first_page, n_pages)
 
     def write_page(self, page: PageId, image) -> None:

@@ -1,6 +1,6 @@
 """Whole-database consistency checking ("fsck" for EOS volumes).
 
-Cross-checks three independent sources of truth:
+Cross-checks four independent sources of truth:
 
 1. every buddy space's directory (count array vs. allocation map,
    maximal coalescing, encoding well-formedness);
@@ -8,7 +8,13 @@ Cross-checks three independent sources of truth:
 3. the *page ledger*: each allocatable page must be either free in its
    buddy space or claimed by exactly one owner (a segment, an index
    page, or an object root).  Pages allocated but claimed by nobody are
-   leaks; pages claimed by two owners are corruption.
+   leaks; pages claimed by two owners are corruption;
+4. the page-0 *file catalog*: the persisted file section must be
+   structurally decodable, file names must be unique, and every member
+   oid must resolve to an object entry in the same persisted catalog.
+   (The in-memory loader tolerates and silently drops bad records —
+   fsck is where they get *reported*.)  A volume never saved has an
+   all-zero catalog region, which parses as empty and stays clean.
 
 CLI::
 
@@ -18,6 +24,7 @@ CLI::
 from __future__ import annotations
 
 import argparse
+import struct
 from dataclasses import dataclass, field
 
 from repro.api import EOSDatabase
@@ -31,11 +38,14 @@ class FsckReport:
 
     objects_checked: int = 0
     spaces_checked: int = 0
+    files_checked: int = 0
     pages_free: int = 0
     pages_claimed: int = 0
     leaked_pages: list[int] = field(default_factory=list)
     double_claimed: list[int] = field(default_factory=list)
     claims_of_free_pages: list[int] = field(default_factory=list)
+    duplicate_file_names: list[str] = field(default_factory=list)
+    dangling_file_members: list[tuple[str, int]] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -45,6 +55,8 @@ class FsckReport:
             or self.leaked_pages
             or self.double_claimed
             or self.claims_of_free_pages
+            or self.duplicate_file_names
+            or self.dangling_file_members
         )
 
     def summary(self) -> str:
@@ -52,8 +64,8 @@ class FsckReport:
         status = "CLEAN" if self.clean else "CORRUPT"
         lines = [
             f"fsck: {status} — {self.objects_checked} objects, "
-            f"{self.spaces_checked} spaces, {self.pages_claimed} pages "
-            f"claimed, {self.pages_free} free",
+            f"{self.spaces_checked} spaces, {self.files_checked} files, "
+            f"{self.pages_claimed} pages claimed, {self.pages_free} free",
         ]
         if self.leaked_pages:
             lines.append(f"  leaked pages ({len(self.leaked_pages)}): "
@@ -63,6 +75,18 @@ class FsckReport:
         if self.claims_of_free_pages:
             lines.append(
                 f"  claimed-but-free pages: {self.claims_of_free_pages[:10]}"
+            )
+        if self.duplicate_file_names:
+            lines.append(
+                f"  duplicate file names: {self.duplicate_file_names[:10]}"
+            )
+        if self.dangling_file_members:
+            lines.append(
+                "  dangling file members: "
+                + ", ".join(
+                    f"{name!r} -> oid {oid}"
+                    for name, oid in self.dangling_file_members[:10]
+                )
             )
         lines.extend(f"  error: {e}" for e in self.errors)
         return "\n".join(lines)
@@ -135,7 +159,54 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
     report.pages_claimed = len(claims)
     if expect_no_leaks:
         report.leaked_pages = sorted(allocated - set(claims))
+
+    # 3. The persisted page-0 catalog's file section.
+    _check_file_catalog(db, report)
     return report
+
+
+def _check_file_catalog(db: EOSDatabase, report: FsckReport) -> None:
+    """Validate the file section of the page-0 catalog (PR 1's format).
+
+    Parses the raw header page rather than ``db._files`` because the
+    loader *drops* records it cannot use — the persisted bytes are the
+    only place a dangling member oid or duplicate name is still visible.
+    Both checks are internal to the persisted snapshot: member oids are
+    resolved against the object entries written alongside them.
+    """
+    header = db.disk.read_page(0)
+    offset = EOSDatabase._CATALOG_OFFSET
+    try:
+        (n_objects,) = struct.unpack_from("<H", header, offset)
+        offset += 2
+        persisted_oids = set()
+        for _ in range(n_objects):
+            oid, _root = EOSDatabase._CATALOG_ENTRY.unpack_from(header, offset)
+            offset += EOSDatabase._CATALOG_ENTRY.size
+            persisted_oids.add(oid)
+        (n_files,) = struct.unpack_from("<H", header, offset)
+        offset += 2
+        seen_names: set[str] = set()
+        for _ in range(n_files):
+            (name_len,) = struct.unpack_from("<B", header, offset)
+            offset += 1
+            if offset + name_len > len(header):
+                raise struct.error("file name overruns the header page")
+            name = header[offset : offset + name_len].decode("utf-8")
+            offset += name_len
+            _threshold, _adaptive, n_oids = struct.unpack_from("<IBH", header, offset)
+            offset += 7
+            if name in seen_names:
+                report.duplicate_file_names.append(name)
+            seen_names.add(name)
+            for _ in range(n_oids):
+                (oid,) = struct.unpack_from("<Q", header, offset)
+                offset += 8
+                if oid not in persisted_oids:
+                    report.dangling_file_members.append((name, oid))
+            report.files_checked += 1
+    except (struct.error, UnicodeDecodeError) as exc:
+        report.errors.append(f"file catalog: {exc}")
 
 
 def main(argv: list[str] | None = None) -> int:

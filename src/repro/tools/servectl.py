@@ -1,0 +1,339 @@
+"""Operate the object server from the command line.
+
+Subcommands::
+
+    python -m repro.tools.servectl serve --port 7433 --pages 20000
+    python -m repro.tools.servectl ping --port 7433
+    python -m repro.tools.servectl put --port 7433 somefile
+    python -m repro.tools.servectl get --port 7433 1 --offset 0 --length 64
+    python -m repro.tools.servectl list --port 7433
+    python -m repro.tools.servectl bench-smoke --port 7433 --clients 4 --ops 50
+    python -m repro.tools.servectl bench-smoke --spawn   # self-contained
+
+``serve`` runs a fresh in-memory database (or ``--image`` to serve a
+saved volume) until interrupted.  ``bench-smoke`` drives concurrent
+clients through an append/read/insert mix and verifies every byte; with
+``--spawn`` it also starts the server in-process on a background thread
+and fails (exit 1) if any asyncio task leaks across server shutdown —
+that mode is what CI runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import struct
+import sys
+import threading
+import time
+
+from repro.api import EOSDatabase
+from repro.errors import ReproError
+from repro.server.client import EOSClient
+from repro.server.server import EOSServer
+
+DEFAULT_PORT = 7433
+
+
+def _make_database(args: argparse.Namespace) -> EOSDatabase:
+    if getattr(args, "image", None):
+        db = EOSDatabase.open_file(args.image)
+    else:
+        db = EOSDatabase.create(num_pages=args.pages, page_size=args.page_size)
+    db.obs.enable()  # metrics on; no sinks unless asked
+    return db
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a server in the foreground until interrupted."""
+    db = _make_database(args)
+    server = EOSServer(
+        db,
+        args.host,
+        args.port,
+        max_inflight=args.max_inflight,
+        max_write_queue=args.max_write_queue,
+        request_timeout=args.timeout,
+    )
+
+    async def main() -> None:
+        await server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"(inflight cap {server.max_inflight}, "
+              f"write queue {server.max_write_queue})", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        db.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# ping / put / get / list
+# ---------------------------------------------------------------------------
+
+
+def cmd_ping(args: argparse.Namespace) -> int:
+    """Round-trip one PING and print the latency."""
+    with EOSClient(args.host, args.port, timeout=args.timeout) as client:
+        t0 = time.perf_counter()
+        client.ping(b"servectl")
+        ms = (time.perf_counter() - t0) * 1000.0
+    print(f"pong from {args.host}:{args.port} in {ms:.2f} ms")
+    return 0
+
+
+def cmd_put(args: argparse.Namespace) -> int:
+    """Create an object from a file (or stdin); print its oid."""
+    if args.file == "-":
+        data = sys.stdin.buffer.read()
+    else:
+        with open(args.file, "rb") as f:
+            data = f.read()
+    with EOSClient(args.host, args.port, timeout=args.timeout) as client:
+        oid = client.create(data, size_hint=len(data) or None)
+    print(oid)
+    return 0
+
+
+def cmd_get(args: argparse.Namespace) -> int:
+    """Print an object's bytes (or a slice) to stdout."""
+    with EOSClient(args.host, args.port, timeout=args.timeout) as client:
+        length = args.length
+        if length is None:
+            length = client.size(args.oid) - args.offset
+        data = client.read(args.oid, args.offset, max(length, 0))
+    if args.output:
+        with open(args.output, "wb") as f:
+            f.write(data)
+    else:
+        sys.stdout.buffer.write(data)
+        sys.stdout.buffer.flush()
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """Print every object as ``oid<TAB>size``."""
+    with EOSClient(args.host, args.port, timeout=args.timeout) as client:
+        listing = client.list_objects()
+    for oid, size in listing:
+        print(f"{oid}\t{size}")
+    print(f"({len(listing)} objects)", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# bench-smoke
+# ---------------------------------------------------------------------------
+
+_CHUNK = struct.Struct("<II")  # (client id, sequence) tag per 64-byte chunk
+_CHUNK_BYTES = 64
+
+
+def _chunk(client_id: int, seq: int) -> bytes:
+    tag = _CHUNK.pack(client_id, seq)
+    return tag + bytes((client_id * 31 + seq + i) % 251 for i in range(_CHUNK_BYTES - _CHUNK.size))
+
+
+def run_smoke(
+    host: str, port: int, clients: int, ops: int, *, timeout: float = 30.0
+) -> tuple[int, float, list[str]]:
+    """Concurrent append/read/insert smoke; returns (requests, secs, errors)."""
+    errors: list[str] = []
+    requests = [0] * clients
+    with EOSClient(host, port, timeout=timeout) as admin:
+        shared_oid = admin.create(size_hint=clients * ops * _CHUNK_BYTES)
+
+    def worker(client_id: int) -> None:
+        n = 0
+        try:
+            with EOSClient(host, port, timeout=timeout) as c:
+                private_oid = c.create(size_hint=ops * _CHUNK_BYTES)
+                n += 1
+                expect = bytearray()
+                for seq in range(ops):
+                    piece = _chunk(client_id, seq)
+                    c.append(private_oid, piece)
+                    expect += piece
+                    n += 1
+                    c.append(shared_oid, piece)
+                    n += 1
+                # A mid-object insert, then verify every private byte.
+                marker = _chunk(client_id, ops)
+                c.insert(private_oid, len(expect) // 2, marker)
+                expect[len(expect) // 2 : len(expect) // 2] = marker
+                n += 1
+                got = c.read(private_oid, 0, len(expect))
+                n += 1
+                if got != bytes(expect):
+                    raise ReproError(
+                        f"client {client_id}: private object bytes diverged"
+                    )
+        except Exception as exc:
+            errors.append(f"client {client_id}: {exc.__class__.__name__}: {exc}")
+        finally:
+            requests[client_id] = n
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout * clients)
+    elapsed = time.perf_counter() - t0
+
+    # The shared object saw every client's appends: same chunks, any order.
+    with EOSClient(host, port, timeout=timeout) as admin:
+        blob = admin.read(shared_oid, 0, admin.size(shared_oid))
+    if not errors:
+        seen = sorted(
+            _CHUNK.unpack_from(blob, i) for i in range(0, len(blob), _CHUNK_BYTES)
+        )
+        expected = sorted(
+            (cid, seq) for cid in range(clients) for seq in range(ops)
+        )
+        if seen != expected:
+            errors.append("shared object: interleaved appends lost or torn")
+    return sum(requests) + 3, elapsed, errors
+
+
+def cmd_bench_smoke(args: argparse.Namespace) -> int:
+    """Run the self-checking concurrent smoke load; exit 1 on failure."""
+    spawned = None
+    db = None
+    host, port = args.host, args.port
+    if args.spawn:
+        from repro.server.runner import ServerThread
+
+        db = EOSDatabase.create(num_pages=args.pages, page_size=args.page_size)
+        db.obs.enable()
+        spawned = ServerThread(db, host="127.0.0.1", port=0)
+        spawned.start()
+        host, port = "127.0.0.1", spawned.port
+        print(f"spawned in-process server on port {port}")
+
+    try:
+        total, elapsed, errors = run_smoke(
+            host, port, args.clients, args.ops, timeout=args.timeout
+        )
+    finally:
+        leaked: list[str] = []
+        if spawned is not None:
+            leaked = spawned.stop()
+            if db is not None:
+                spans = db.obs.metrics.counter("server.requests").value
+                print(f"server handled {spans} requests")
+                db.close()
+
+    rate = total / elapsed if elapsed else float("inf")
+    print(f"bench-smoke: {total} requests, {args.clients} clients, "
+          f"{elapsed:.3f}s ({rate:.0f} req/s)")
+    for err in errors:
+        print(f"  FAIL {err}", file=sys.stderr)
+    if leaked:
+        print(f"  FAIL {len(leaked)} leaked asyncio task(s):", file=sys.stderr)
+        for task in leaked:
+            print(f"    {task}", file=sys.stderr)
+    return 1 if errors or leaked else 0
+
+
+# ---------------------------------------------------------------------------
+# argument plumbing
+# ---------------------------------------------------------------------------
+
+
+def _add_endpoint(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="client-side socket timeout in seconds")
+
+
+def _add_volume(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pages", type=int, default=20_000,
+                        help="pages for a fresh in-memory volume")
+    parser.add_argument("--page-size", type=int, default=4096)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The servectl argument parser (also used by the docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.servectl",
+        description="operate the EOS object server",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve", help="run a server until interrupted")
+    _add_endpoint(p)
+    _add_volume(p)
+    p.add_argument("--image", help="serve a volume written by EOSDatabase.save()")
+    p.add_argument("--max-inflight", type=int, default=64)
+    p.add_argument("--max-write-queue", type=int, default=16)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("ping", help="round-trip a frame")
+    _add_endpoint(p)
+    p.set_defaults(func=cmd_ping)
+
+    p = sub.add_parser("put", help="store a file (or - for stdin); prints the oid")
+    _add_endpoint(p)
+    p.add_argument("file")
+    p.set_defaults(func=cmd_put)
+
+    p = sub.add_parser("get", help="read an object to stdout (or -o FILE)")
+    _add_endpoint(p)
+    p.add_argument("oid", type=int)
+    p.add_argument("--offset", type=int, default=0)
+    p.add_argument("--length", type=int, default=None,
+                   help="bytes to read (default: to the end)")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_get)
+
+    p = sub.add_parser("list", help="list objects as oid<TAB>size")
+    _add_endpoint(p)
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser(
+        "bench-smoke",
+        help="concurrent append/read/insert smoke test; exit 1 on any failure",
+    )
+    _add_endpoint(p)
+    _add_volume(p)
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--ops", type=int, default=25,
+                   help="append rounds per client")
+    p.add_argument("--spawn", action="store_true",
+                   help="start an in-process server first and check for "
+                        "leaked asyncio tasks on shutdown")
+    p.set_defaults(func=cmd_bench_smoke)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.tools.servectl``."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"servectl: error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"servectl: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

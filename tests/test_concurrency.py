@@ -1,5 +1,8 @@
 """Tests for latches and the hierarchical segment release locks."""
 
+import threading
+import time
+
 import pytest
 
 from repro.concurrency import Latch, LockManager, LockMode
@@ -121,3 +124,129 @@ class TestSegmentReleaseLocks:
         locks = LockManager()
         with pytest.raises(ValueError):
             locks.acquire_release_lock(1, start=3, size=2, max_size=16)
+
+
+class TestLockManagerUnderContention:
+    """Real threads hammering one table — what the server's scheduler does.
+
+    The single-threaded tests above check the compatibility matrix; these
+    check the *table*: check-then-record must be atomic under races, all
+    readers must be able to hold overlapping S locks at once, and a
+    failed op's ``release_all`` must leave nothing behind.
+    """
+
+    def test_concurrent_readers_all_hold_simultaneously(self):
+        locks = LockManager()
+        n = 8
+        barrier = threading.Barrier(n)
+        holding = []
+        peak = []
+        gate = threading.Lock()
+        failures = []
+
+        def reader(txn):
+            try:
+                barrier.wait(timeout=5)
+                locks.acquire_range(txn, 10, 0, 1000, LockMode.S)
+                with gate:
+                    holding.append(txn)
+                    peak.append(len(holding))
+                time.sleep(0.02)  # everyone overlaps in here
+                with gate:
+                    holding.remove(txn)
+                locks.release_all(txn)
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert not failures
+        # Shared locks never conflicted: all 8 readers were in the locked
+        # region at the same time at some point.
+        assert max(peak) == n
+        assert locks.held_by(0)[0] == []
+
+    def test_writer_serializes_against_reader_range(self):
+        locks = LockManager()
+        locks.acquire_range(1, 10, 0, 100, LockMode.S)
+        order = []
+
+        def writer():
+            # Retry-until-acquired, exactly the server scheduler's loop.
+            while True:
+                try:
+                    locks.acquire_range(2, 10, 50, 60, LockMode.X)
+                    break
+                except LockConflict:
+                    time.sleep(0.001)
+            order.append("writer-acquired")
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.03)  # writer must be spinning against our S lock
+        order.append("reader-released")
+        locks.release_all(1)
+        t.join(5)
+        assert order == ["reader-released", "writer-acquired"]
+        # A disjoint range was never blocked.
+        locks.acquire_range(3, 10, 200, 300, LockMode.X)
+
+    def test_atomic_check_then_record_under_races(self):
+        """Many writers fight for one range; exactly one may win at a time."""
+        locks = LockManager()
+        inside = []
+        gate = threading.Lock()
+        failures = []
+
+        def writer(txn):
+            try:
+                for _ in range(25):
+                    while True:
+                        try:
+                            locks.acquire_range(txn, 10, 0, 10, LockMode.X)
+                            break
+                        except LockConflict:
+                            pass
+                    with gate:
+                        inside.append(txn)
+                        assert len(inside) == 1, "two X holders at once"
+                        inside.remove(txn)
+                    locks.release_all(txn)
+            except Exception as exc:
+                failures.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not failures
+
+    def test_release_all_after_failed_op(self):
+        """An op that dies mid-transaction must not leave the range wedged."""
+        locks = LockManager()
+        result = []
+
+        def doomed_op():
+            try:
+                locks.acquire_range(7, 10, 0, 100, LockMode.X)
+                locks.acquire_release_lock(7, start=0, size=4, max_size=16)
+                raise RuntimeError("mid-op failure")
+            except RuntimeError:
+                result.append("failed")
+            finally:
+                locks.release_all(7)
+
+        t = threading.Thread(target=doomed_op)
+        t.start()
+        t.join(5)
+        assert result == ["failed"]
+        ranges, segments = locks.held_by(7)
+        assert ranges == [] and segments == []
+        # Both lock families are free again for other transactions.
+        locks.acquire_range(8, 10, 0, 100, LockMode.X)
+        assert not locks.segment_blocked(8, start=0, size=4)
+        locks.acquire_release_lock(8, start=0, size=4, max_size=16)

@@ -244,3 +244,77 @@ class TestTools:
         assert "segment @ page" in capsys.readouterr().out
         assert fsck_main([path]) == 0
         assert "CLEAN" in capsys.readouterr().out
+
+class TestFsckFileCatalog:
+    """fsck's raw parse of the persisted page-0 file section."""
+
+    def build_saved(self, tmp_path, names=("docs",)):
+        db = make_db()
+        for name in names:
+            handle = db.create_file(name, threshold=4)
+            handle.create_object(payload(1000), size_hint=1000)
+        db.save(str(tmp_path / "vol.db"))
+        return db
+
+    @staticmethod
+    def file_section_offset(db):
+        """Offset of the first file record's name-length byte in page 0."""
+        import struct
+
+        header = db.disk.read_page(0)
+        offset = EOSDatabase._CATALOG_OFFSET
+        (n_objects,) = struct.unpack_from("<H", header, offset)
+        return offset + 2 + n_objects * EOSDatabase._CATALOG_ENTRY.size + 2
+
+    @staticmethod
+    def patch_page0(db, offset, data):
+        header = bytearray(db.disk.read_page(0))
+        header[offset : offset + len(data)] = data
+        db.disk.poke(0, bytes(header))
+
+    def test_clean_catalog_counts_files(self, tmp_path):
+        db = self.build_saved(tmp_path, names=("docs", "media"))
+        report = fsck(db)
+        assert report.clean, report.summary()
+        assert report.files_checked == 2
+        assert "2 files" in report.summary()
+
+    def test_detects_dangling_member_oid(self, tmp_path):
+        import struct
+
+        db = self.build_saved(tmp_path)
+        # First member oid sits after: namelen byte, name, <IBH> triple.
+        off = self.file_section_offset(db) + 1 + len("docs") + 7
+        self.patch_page0(db, off, struct.pack("<Q", 9999))
+        report = fsck(db)
+        assert not report.clean
+        assert report.dangling_file_members == [("docs", 9999)]
+        assert "dangling file members" in report.summary()
+
+    def test_detects_duplicate_file_names(self, tmp_path):
+        db = self.build_saved(tmp_path, names=("aa", "ab"))
+        # Rewrite the second record's name to collide with the first.
+        second = self.file_section_offset(db) + 1 + len("aa") + 7 + 8
+        self.patch_page0(db, second + 1, b"aa")
+        report = fsck(db)
+        assert not report.clean
+        assert report.duplicate_file_names == ["aa"]
+        assert "duplicate file names" in report.summary()
+
+    def test_undecodable_section_is_an_error_not_a_crash(self, tmp_path):
+        import struct
+
+        db = self.build_saved(tmp_path)
+        # An absurd file count makes the parse run off the page.
+        off = self.file_section_offset(db) - 2
+        self.patch_page0(db, off, struct.pack("<H", 60000))
+        report = fsck(db)
+        assert not report.clean
+        assert any("file catalog" in e for e in report.errors)
+
+    def test_never_saved_volume_parses_clean(self):
+        db = make_db()
+        db.create_file("live-only").create_object(payload(100))
+        report = fsck(db)  # page 0's catalog region is still all zeros
+        assert report.clean
+        assert report.files_checked == 0

@@ -142,6 +142,39 @@ class TestFaultyDisk:
         with pytest.raises(DiskFault):
             disk.write_page(2, bytes(PAGE))
 
+    def test_read_fault_countdown(self):
+        disk = FaultyDisk(DiskVolume(num_pages=8, page_size=PAGE))
+        disk.write_page(1, b"a" * PAGE)
+        disk.arm(fail_after_reads=2)
+        disk.read_page(1)
+        disk.read_pages(1, 1)  # a run counts as one transfer call
+        with pytest.raises(DiskFault):
+            disk.read_page(1)
+        with pytest.raises(DiskFault):  # the read path stays down
+            disk.read_pages(1, 1)
+
+    def test_read_fault_leaves_writes_working(self):
+        disk = FaultyDisk(DiskVolume(num_pages=8, page_size=PAGE))
+        disk.arm(fail_after_reads=0)
+        with pytest.raises(DiskFault):
+            disk.read_page(0)
+        disk.write_page(0, b"w" + bytes(PAGE - 1))  # media error, not power loss
+        assert disk.peek(0)[0:1] == b"w"
+
+    def test_heal_restores_reads(self):
+        disk = FaultyDisk(DiskVolume(num_pages=8, page_size=PAGE))
+        disk.write_page(1, b"a" * PAGE)
+        disk.arm(fail_after_reads=0)
+        with pytest.raises(DiskFault):
+            disk.read_page(1)
+        disk.heal()
+        assert disk.read_page(1) == b"a" * PAGE
+
+    def test_arm_requires_a_budget(self):
+        disk = FaultyDisk(DiskVolume(num_pages=8, page_size=PAGE))
+        with pytest.raises(ValueError):
+            disk.arm()
+
 
 class TestCrashAtomicityUnderDiskFaults:
     """Wherever the power fails during a shadowed update, the object is

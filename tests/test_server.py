@@ -1,0 +1,370 @@
+"""Integration tests for the object server: sessions, scheduling,
+admission control, fault behaviour, and the end-to-end acceptance run."""
+
+import asyncio
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.api import EOSDatabase
+from repro.errors import (
+    ByteRangeError,
+    ObjectNotFound,
+    RequestTimeout,
+    ServerOverloaded,
+    StorageError,
+)
+from repro.server import EOSClient, ServerThread, protocol
+from repro.server.protocol import Status
+from repro.storage.disk import DiskVolume
+from repro.storage.faults import FaultyDisk
+
+PAGE = 512
+
+
+def make_db(num_pages=8192):
+    db = EOSDatabase.create(num_pages=num_pages, page_size=PAGE)
+    db.obs.enable()
+    return db
+
+
+@pytest.fixture
+def served():
+    """A database served on an ephemeral port; asserts a leak-free stop."""
+    db = make_db()
+    srv = ServerThread(db, port=0).start()
+    yield db, srv
+    assert srv.stop() == [], "asyncio tasks leaked across server shutdown"
+    db.close()
+
+
+class TestSessions:
+    def test_ping_roundtrip(self, served):
+        _, srv = served
+        with EOSClient(port=srv.port) as c:
+            assert c.ping(b"hello?") == b"hello?"
+
+    def test_full_op_surface(self, served):
+        db, srv = served
+        with EOSClient(port=srv.port) as c:
+            oid = c.create(b"hello", size_hint=4096)
+            assert c.append(oid, b" world") == 11
+            assert c.read(oid, 0, 11) == b"hello world"
+            assert c.write(oid, 0, b"HELLO") == 11
+            assert c.insert(oid, 5, b"!!") == 13
+            assert c.read(oid, 0, 13) == b"HELLO!! world"
+            assert c.delete(oid, 5, 2) == 11
+            assert c.size(oid) == 11
+            stat = c.stat(oid)
+            assert stat.size_bytes == 11
+            assert stat.height >= 1
+            assert stat.root_page == db.get_object(oid).root_page
+            other = c.create(b"x" * 2000)
+            listing = dict(c.list_objects())
+            assert listing[oid] == 11
+            assert listing[other] == 2000
+
+    def test_remote_errors_rebuild_locally(self, served):
+        _, srv = served
+        with EOSClient(port=srv.port) as c:
+            with pytest.raises(ObjectNotFound):
+                c.size(999)
+            oid = c.create(b"tiny")
+            with pytest.raises(ByteRangeError):
+                c.read(oid, 0, 1000)
+            # The session survives both errors.
+            assert c.read(oid, 0, 4) == b"tiny"
+
+    def test_many_requests_one_session(self, served):
+        _, srv = served
+        with EOSClient(port=srv.port) as c:
+            oid = c.create(size_hint=PAGE * 40)
+            blob = bytes(i % 251 for i in range(PAGE * 10))
+            for i in range(0, len(blob), PAGE):
+                c.append(oid, blob[i : i + PAGE])
+            assert c.read(oid, 0, len(blob)) == blob
+
+    def test_garbage_frame_gets_protocol_error_reply(self, served):
+        _, srv = served
+        with socket.create_connection(("127.0.0.1", srv.port), timeout=5) as s:
+            s.sendall(b"GARBAGE-THAT-IS-NOT-A-FRAME!!!")
+            raw = s.recv(4096)
+        header = protocol.decode_header(raw[: protocol.HEADER.size])
+        assert header.kind == protocol.KIND_RESPONSE
+        assert Status(header.code) is Status.PROTOCOL_ERROR
+
+    def test_unknown_opcode_gets_protocol_error(self, served):
+        _, srv = served
+        with socket.create_connection(("127.0.0.1", srv.port), timeout=5) as s:
+            s.sendall(protocol.encode_frame(protocol.KIND_REQUEST, 200, 1))
+            raw = s.recv(4096)
+        header = protocol.decode_header(raw[: protocol.HEADER.size])
+        assert Status(header.code) is Status.PROTOCOL_ERROR
+
+
+def _gated_hook(gate):
+    """An op hook that parks every request while ``gate['closed']``."""
+
+    async def hook(opcode):
+        while gate["closed"]:
+            await asyncio.sleep(0.005)
+
+    return hook
+
+
+def _saturate(port, oid, n, gate, server):
+    """Park ``n`` read requests in flight; returns (threads, errors)."""
+    errors = []
+
+    def held_read(i):
+        try:
+            with EOSClient(port=port, timeout=60.0) as c:
+                c.read(oid, 0, 4)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(f"held client {i}: {exc}")
+
+    threads = [
+        threading.Thread(target=held_read, args=(i,), daemon=True)
+        for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    deadline = time.monotonic() + 10
+    while server.inflight < n:
+        assert time.monotonic() < deadline, (
+            f"only {server.inflight}/{n} requests in flight"
+        )
+        time.sleep(0.005)
+    return threads, errors
+
+
+class TestAdmissionControl:
+    def test_ninth_client_rejected_not_timed_out(self):
+        db = make_db()
+        gate = {"closed": True}
+        srv = ServerThread(
+            db, port=0, max_inflight=8, op_hook=_gated_hook(gate)
+        ).start()
+        try:
+            gate["closed"] = False
+            with EOSClient(port=srv.port) as admin:
+                oid = admin.create(b"shared")
+            gate["closed"] = True
+            threads, errors = _saturate(srv.port, oid, 8, gate, srv.server)
+            t0 = time.monotonic()
+            with EOSClient(port=srv.port) as ninth:
+                with pytest.raises(ServerOverloaded):
+                    ninth.read(oid, 0, 4)
+            assert time.monotonic() - t0 < 5.0, "rejection was not immediate"
+            gate["closed"] = False
+            for t in threads:
+                t.join(30)
+            assert errors == []
+        finally:
+            gate["closed"] = False
+            assert srv.stop() == []
+            db.close()
+
+    def test_write_queue_backpressure(self):
+        db = make_db()
+        gate = {"closed": True}
+        srv = ServerThread(
+            db, port=0, max_inflight=8, max_write_queue=1,
+            op_hook=_gated_hook(gate),
+        ).start()
+        try:
+            gate["closed"] = False
+            with EOSClient(port=srv.port) as admin:
+                oid = admin.create(b"shared")
+            gate["closed"] = True
+            errors = []
+
+            def held_append():
+                try:
+                    with EOSClient(port=srv.port, timeout=60.0) as c:
+                        c.append(oid, b"q")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(str(exc))
+
+            t = threading.Thread(target=held_append, daemon=True)
+            t.start()
+            deadline = time.monotonic() + 10
+            while srv.server.write_queued < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            # A second write is refused: the write queue is bounded, and
+            # backpressure is an explicit reply, not silent buffering.
+            with EOSClient(port=srv.port) as c:
+                with pytest.raises(ServerOverloaded):
+                    c.append(oid, b"r")
+            gate["closed"] = False
+            t.join(30)
+            assert errors == []
+            # Reads were never subject to the write queue.
+            with EOSClient(port=srv.port) as c:
+                assert c.read(oid, 0, 6) == b"shared"
+        finally:
+            gate["closed"] = False
+            assert srv.stop() == []
+            db.close()
+
+    def test_request_timeout_reply(self):
+        db = make_db()
+        gate = {"closed": True}
+        srv = ServerThread(
+            db, port=0, request_timeout=0.2, op_hook=_gated_hook(gate)
+        ).start()
+        try:
+            gate["closed"] = False
+            with EOSClient(port=srv.port) as admin:
+                oid = admin.create(b"slow")
+            gate["closed"] = True
+            with EOSClient(port=srv.port, timeout=30.0) as c:
+                with pytest.raises(RequestTimeout):
+                    c.read(oid, 0, 4)
+                # The budget applies per request; the session lives on.
+                gate["closed"] = False
+                assert c.read(oid, 0, 4) == b"slow"
+        finally:
+            gate["closed"] = False
+            assert srv.stop() == []
+            db.close()
+
+
+class TestDiskFaults:
+    def _served_faulty_db(self, tmp_path):
+        base = make_db(num_pages=4096)
+        oid = base.op_create(bytes(range(256)) * 64)  # 16 KB, multi-segment
+        path = str(tmp_path / "faulty.db")
+        base.save(path)
+        base.close()
+        faulty = FaultyDisk(DiskVolume.load(path))
+        db = EOSDatabase.attach(faulty)
+        db.obs.enable()
+        return db, faulty, oid
+
+    def test_mid_read_fault_is_a_clean_error_not_a_hang(self, tmp_path):
+        db, faulty, oid = self._served_faulty_db(tmp_path)
+        srv = ServerThread(db, port=0, request_timeout=10.0).start()
+        try:
+            with EOSClient(port=srv.port, timeout=10.0) as c:
+                whole = c.read(oid, 0, 16384)
+                assert len(whole) == 16384
+                # The very next disk read dies mid-request.
+                faulty.arm(fail_after_reads=0)
+                t0 = time.monotonic()
+                with pytest.raises(StorageError):
+                    c.read(oid, 0, 16384)
+                # A marshalled error, within the request budget — the
+                # connection did not hang until the socket gave up.
+                assert time.monotonic() - t0 < 5.0
+                # Same session: the device heals, service resumes.
+                faulty.heal()
+                assert c.read(oid, 0, 16384) == whole
+                assert c.ping(b"still here") == b"still here"
+        finally:
+            assert srv.stop() == []
+            db.close()
+
+
+CLIENTS = 8
+ROUNDS = 6
+CHUNK = struct.Struct("<II")
+
+
+def _piece(cid, seq):
+    tag = CHUNK.pack(cid, seq)
+    return tag + bytes((cid * 17 + seq + i) % 251 for i in range(56))
+
+
+class TestEndToEnd:
+    """The acceptance run: 8 concurrent clients on shared and private
+    objects, every byte verified, spans/metrics nonzero, and a 9th
+    client past the in-flight cap gets ServerOverloaded."""
+
+    def test_eight_clients_then_overload(self):
+        db = make_db(num_pages=16384)
+        gate = {"closed": False}
+        srv = ServerThread(
+            db, port=0, max_inflight=CLIENTS, op_hook=_gated_hook(gate)
+        ).start()
+        errors = []
+        try:
+            with EOSClient(port=srv.port) as admin:
+                shared = admin.create(size_hint=CLIENTS * ROUNDS * 64)
+
+            def worker(cid):
+                try:
+                    with EOSClient(port=srv.port, timeout=60.0) as c:
+                        private = c.create(size_hint=(ROUNDS + 1) * 64)
+                        expect = bytearray()
+                        for seq in range(ROUNDS):
+                            piece = _piece(cid, seq)
+                            c.append(private, piece)
+                            expect += piece
+                            c.append(shared, piece)
+                        marker = _piece(cid, ROUNDS)
+                        mid = len(expect) // 2
+                        c.insert(private, mid, marker)
+                        expect[mid:mid] = marker
+                        got = c.read(private, 0, len(expect))
+                        if got != bytes(expect):
+                            raise AssertionError(
+                                f"client {cid}: private bytes diverged"
+                            )
+                except Exception as exc:
+                    errors.append(f"client {cid}: {exc}")
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            assert errors == []
+
+            # Shared object: all appends landed, chunk-atomic, none torn.
+            with EOSClient(port=srv.port) as admin:
+                blob = admin.read(shared, 0, admin.size(shared))
+            assert len(blob) == CLIENTS * ROUNDS * 64
+            seen = sorted(
+                CHUNK.unpack_from(blob, i) for i in range(0, len(blob), 64)
+            )
+            assert seen == sorted(
+                (cid, seq) for cid in range(CLIENTS) for seq in range(ROUNDS)
+            )
+
+            # Observability: nonzero per-request spans and counters.
+            metrics = db.stats.metrics()
+            expected_requests = 3 + CLIENTS * (2 * ROUNDS + 3)
+            assert metrics["server.requests"] == expected_requests
+            assert metrics["span.server.request"] == expected_requests
+            assert metrics["server.latency_ms"]["count"] == expected_requests
+            assert metrics["server.bytes_in"] > 0
+            assert metrics["server.bytes_out"] > 0
+            assert db.stats.snapshot().page_writes > 0
+
+            # A 9th client past the in-flight cap is rejected, fast.
+            gate["closed"] = True
+            held, held_errors = _saturate(
+                srv.port, shared, CLIENTS, gate, srv.server
+            )
+            t0 = time.monotonic()
+            with EOSClient(port=srv.port) as ninth:
+                with pytest.raises(ServerOverloaded):
+                    ninth.read(shared, 0, 4)
+            assert time.monotonic() - t0 < 5.0
+            assert db.stats.metrics()["server.rejections"] >= 1
+            gate["closed"] = False
+            for t in held:
+                t.join(30)
+            assert held_errors == []
+        finally:
+            gate["closed"] = False
+            assert srv.stop() == []
+            db.close()
