@@ -1,0 +1,38 @@
+"""Static and dynamic invariant analysis for the EOS reproduction.
+
+EOS's correctness rests on disciplines the type system cannot see:
+every buffer-pool pin must be matched by an unpin on all exception
+paths, all page I/O must flow through the pager/buffer/segio substrate
+(the B-tree and the buddy directory share one page substrate, paper
+Section 3), and the buddy directory must stay internally consistent
+after every alloc/free (Section 2.2/3).  This package enforces those
+disciplines twice over:
+
+* **statically** — an AST linter with repo-specific rules EOS001-EOS005
+  (:mod:`repro.analysis.lintcore`, :mod:`repro.analysis.rules`), run as
+  ``python -m repro.tools.lint``;
+* **dynamically** — opt-in runtime sanitizers
+  (:mod:`repro.analysis.pinleak`, :mod:`repro.analysis.lockorder`,
+  :mod:`repro.analysis.buddycheck`), enabled per
+  :class:`~repro.core.config.EOSConfig` flag or the ``EOS_SANITIZE``
+  environment variable (see :mod:`repro.analysis.sanitize`).
+"""
+
+from repro.analysis.buddycheck import SpaceCheck, check_space
+from repro.analysis.lintcore import Finding, lint_paths, render_json, render_text
+from repro.analysis.lockorder import LockOrderSanitizer
+from repro.analysis.pinleak import PinLeakSanitizer
+from repro.analysis.sanitize import SanitizerSettings, sanitizers_from_env
+
+__all__ = [
+    "Finding",
+    "LockOrderSanitizer",
+    "PinLeakSanitizer",
+    "SanitizerSettings",
+    "SpaceCheck",
+    "check_space",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "sanitizers_from_env",
+]

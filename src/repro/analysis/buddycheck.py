@@ -1,0 +1,105 @@
+"""The buddy-directory invariant checker — one core, two consumers.
+
+A buddy-space directory page is internally redundant: the count array
+and the allocation map describe the same free list twice, and the
+coalescing rules promise a canonical form (paper Section 2.2/3.2).
+This module validates all of it and returns *findings* rather than
+raising, so the same core serves:
+
+* the **runtime sanitizer** — :class:`~repro.buddy.manager.BuddyManager`
+  revalidates a space right after each alloc/free in debug mode and
+  raises :class:`~repro.errors.InvariantViolation` on any finding;
+* the **on-disk fsck** — :func:`repro.tools.fsck.fsck` runs the same
+  checks on every directory page of a saved volume and reports findings
+  instead of raising.
+
+Checked invariants:
+
+1. map well-formedness and full coverage — segments tile the space with
+   no gaps or overlapping extents (delegated to ``BuddySpace.verify``);
+2. utilization accounting — the count array and the map agree on the
+   free list (also ``verify``), so ``free_pages()`` is trustworthy;
+3. free-list pairing — no two free buddies of equal size coexist:
+   deallocation coalesces eagerly ("the buddy of a segment can easily
+   be found by simply taking the exclusive OR of the segment address
+   with its size"), so an unmerged pair means a free path skipped its
+   merge and the space will fragment permanently.
+
+The module deliberately avoids importing :mod:`repro.buddy` — the
+manager imports *us*, and the checker only needs the ``verify()`` /
+``max_segment_pages`` surface of a space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass
+class SpaceCheck:
+    """Findings for one buddy space.
+
+    ``segments`` is the decoded segment list when the map decoded at
+    all (consumers like fsck walk it); ``None`` when even decoding
+    failed.  ``problems`` is empty iff every invariant held.
+    """
+
+    segments: list | None = None
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def check_space(space) -> SpaceCheck:
+    """Validate one :class:`~repro.buddy.space.BuddySpace` in memory."""
+    check = SpaceCheck()
+    try:
+        check.segments = space.verify()
+    except ReproError as exc:
+        check.problems.append(str(exc))
+        return check
+    # Free-list pairing: eager XOR coalescing must leave no mergeable
+    # buddy pair behind.  Segments at the maximum type cannot merge
+    # further (the directory page bounds the segment size).
+    free = {
+        (seg.start, seg.size) for seg in check.segments if not seg.allocated
+    }
+    for start, size in sorted(free):
+        if size >= space.max_segment_pages:
+            continue
+        buddy = start ^ size
+        if buddy > start and (buddy, size) in free:
+            check.problems.append(
+                f"free buddies at pages {start} and {buddy} (size {size}) "
+                f"were left unmerged; coalescing is eager, so a free path "
+                f"skipped its merge"
+            )
+    return check
+
+
+def check_manager(manager) -> list[str]:
+    """Validate every space of a :class:`~repro.buddy.manager.BuddyManager`.
+
+    Also cross-checks the superdirectory: guesses start optimistic and
+    are corrected downward on first contact, so a guess *below* the
+    space's actual best free segment means an update was lost and the
+    allocator will skip a space that could serve requests.
+    """
+    problems: list[str] = []
+    guesses = manager.superdirectory()
+    for index in range(manager.volume.n_spaces):
+        space = manager.load_space(index)
+        check = check_space(space)
+        problems.extend(f"space {index}: {p}" for p in check.problems)
+        if check.ok and guesses[index] < space.max_free_type():
+            problems.append(
+                f"space {index}: superdirectory guesses max free type "
+                f"{guesses[index]} but the directory holds a free segment of "
+                f"type {space.max_free_type()} (lost update; the allocator "
+                f"will wrongly skip this space)"
+            )
+    return problems

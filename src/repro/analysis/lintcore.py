@@ -1,0 +1,186 @@
+"""The invariant-lint framework: findings, pragmas, file walking, output.
+
+Rules live in :mod:`repro.analysis.rules`; this module supplies the
+machinery they share:
+
+* :class:`Finding` — one violation, with machine-readable JSON form;
+* **pragmas** — ``# eos-lint: disable=EOS00x`` (or a comma-separated
+  list) on a line suppresses those rules for that line; the same pragma
+  within the first five lines of a file suppresses them file-wide.
+  Every rule must be disablable — an invariant lint that cannot be
+  overruled in a justified place becomes an invariant people delete;
+* **module identity** — rules like EOS002 (substrate confinement) and
+  EOS005 (buddy-state confinement) decide by *where* code lives.  A
+  file's module path is its path from the last ``repro/`` component
+  (``.../src/repro/core/tree.py`` -> ``core/tree.py``); files outside a
+  ``repro`` package get no substrate privileges;
+* :func:`lint_paths` — walk files/directories and run every rule;
+* :func:`render_text` / :func:`render_json` — the two output formats of
+  ``python -m repro.tools.lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+_PRAGMA_RE = re.compile(r"#\s*eos-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_PRAGMA_LINES = 5  # a pragma this early applies to the whole file
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict:
+        """The finding as a JSON-serializable dict."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+#: A rule: (tree, module_path, source_lines) -> findings.  ``module_path``
+#: is the repro-relative posix path ('' when the file is outside repro).
+Rule = Callable[[ast.AST, str, list[str]], list[Finding]]
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(code: str) -> Callable[[Rule], Rule]:
+    """Decorator: add a rule to the registry under its EOS00x code."""
+
+    def wrap(rule: Rule) -> Rule:
+        _RULES[code] = rule
+        return rule
+
+    return wrap
+
+
+def registered_rules() -> dict[str, Rule]:
+    """All registered rules, keyed by code (loads the rules module)."""
+    # Importing the rules module populates the registry on first use.
+    from repro.analysis import rules  # noqa: F401
+
+    return dict(_RULES)
+
+
+def module_path(path: Path) -> str:
+    """The path relative to the innermost ``repro`` package, or ''."""
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1 :])
+    return ""
+
+
+def pragma_disabled(source_lines: list[str]) -> tuple[set[str], dict[int, set[str]]]:
+    """Parse pragmas: (file-wide disabled codes, per-line disabled codes)."""
+    file_wide: set[str] = set()
+    per_line: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if not match:
+            continue
+        codes = {code.strip().upper() for code in match.group(1).split(",")}
+        codes.discard("")
+        per_line[lineno] = codes
+        if lineno <= _FILE_PRAGMA_LINES:
+            file_wide |= codes
+    return file_wide, per_line
+
+
+def lint_source(
+    source: str, path: Path, *, rules: dict[str, Rule] | None = None
+) -> list[Finding]:
+    """Lint one file's text; pragma filtering applied."""
+    if rules is None:
+        rules = registered_rules()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "EOS000", str(path), exc.lineno or 1, exc.offset or 0,
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    mod = module_path(path)
+    file_wide, per_line = pragma_disabled(lines)
+    findings: list[Finding] = []
+    for code, rule in sorted(rules.items()):
+        if code in file_wide:
+            continue
+        for finding in rule(tree, mod, lines):
+            if code in per_line.get(finding.line, ()):
+                continue
+            findings.append(
+                Finding(code, str(path), finding.line, finding.col, finding.message)
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of .py files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, rules: dict[str, Rule] | None = None
+) -> list[Finding]:
+    """Lint every .py file under ``paths``."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(
+            lint_source(path.read_text(encoding="utf-8"), path, rules=rules)
+        )
+    return findings
+
+
+def render_text(findings: list[Finding]) -> str:
+    """One finding per line, plus a trailing count (or 'clean')."""
+    if not findings:
+        return "eos-lint: clean"
+    lines = [str(finding) for finding in findings]
+    lines.append(f"eos-lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Machine-readable report: findings, per-rule counts, clean flag."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return json.dumps(
+        {
+            "findings": [finding.to_dict() for finding in findings],
+            "counts": counts,
+            "clean": not findings,
+        },
+        indent=2,
+    )

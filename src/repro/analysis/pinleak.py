@@ -1,0 +1,106 @@
+"""Pin-leak sanitizer for the buffer pool.
+
+A pin without a matching unpin is the slowest-burning bug in the
+system: nothing fails at the leak site — the page just becomes
+unevictable, and much later some unrelated operation dies with
+:class:`~repro.errors.AllPagesPinned` (or ``close()`` refuses to clear
+the pool), with no clue where the pin came from.  The sanitizer records
+a stack at every pin and pops one at every unpin, so whoever is still
+holding pins at ``close()``/teardown is reported *with its origin*.
+
+The lint rule EOS001 catches the statically visible cases; this catches
+the rest (pins leaked through dynamic paths the linter cannot prove).
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+
+from repro.errors import PinLeak
+
+#: Frames kept per pin origin.  Deep enough to show the operation that
+#: pinned (op -> tree -> pager -> pool), shallow enough to stay cheap.
+_STACK_LIMIT = 16
+
+
+@dataclass(frozen=True)
+class PinRecord:
+    """One outstanding pin: the page and where it was taken."""
+
+    page: int
+    origin: str  # formatted stack, innermost call last
+
+    def __str__(self) -> str:
+        return f"page {self.page} pinned at:\n{self.origin}"
+
+
+class PinLeakSanitizer:
+    """Track pin origins; report the ones never released.
+
+    Attached to a :class:`~repro.storage.buffer.BufferPool` (see
+    :meth:`BufferPool.attach_pin_sanitizer`), which calls
+    :meth:`record_pin` / :meth:`record_unpin` from ``fetch`` /
+    ``fetch_new`` / ``unpin``.  Thread-safe: the server pins from worker
+    threads.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        # page -> origin stacks, one per outstanding pin (LIFO).
+        self._pins: dict[int, list[str]] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record_pin(self, page: int) -> None:
+        """Capture the pinning call stack for ``page``."""
+        # Drop the two innermost frames: this method and the pool's
+        # fetch/fetch_new — the caller of the pool is the interesting one.
+        stack = traceback.extract_stack(limit=_STACK_LIMIT)[:-2]
+        origin = "".join(traceback.format_list(stack)).rstrip()
+        with self._mutex:
+            self._pins.setdefault(page, []).append(origin)
+
+    def record_unpin(self, page: int) -> None:
+        """Pop the most recent pin origin for ``page`` (LIFO)."""
+        with self._mutex:
+            stacks = self._pins.get(page)
+            if stacks:
+                stacks.pop()
+                if not stacks:
+                    del self._pins[page]
+
+    # -- reporting -----------------------------------------------------------
+
+    def leaks(self) -> list[PinRecord]:
+        """Every outstanding pin, with its origin stack."""
+        with self._mutex:
+            return [
+                PinRecord(page, origin)
+                for page, stacks in sorted(self._pins.items())
+                for origin in stacks
+            ]
+
+    def report(self) -> str:
+        """Human-readable leak report (empty string when clean)."""
+        leaks = self.leaks()
+        if not leaks:
+            return ""
+        header = f"{len(leaks)} leaked buffer-pool pin(s):"
+        return "\n".join([header, *(str(leak) for leak in leaks)])
+
+    def assert_no_leaks(self) -> None:
+        """Raise :class:`~repro.errors.PinLeak` if any pin is outstanding.
+
+        Called by ``EOSDatabase.close()`` and usable directly from test
+        teardown.
+        """
+        report = self.report()
+        if report:
+            raise PinLeak(report)
+
+    def reset(self) -> None:
+        """Forget all outstanding pins (after a deliberate pool reset)."""
+        with self._mutex:
+            self._pins.clear()

@@ -1,0 +1,63 @@
+"""Opt-in gating for the runtime sanitizers.
+
+Sanitizers are debug-mode checks: they cost time (stack capture on
+every pin, a directory revalidation on every alloc/free) and therefore
+stay off unless asked for.  There are two ways to ask:
+
+* per instance — :class:`~repro.core.config.EOSConfig` carries
+  ``sanitize_pins`` / ``sanitize_locks`` / ``sanitize_buddy`` flags,
+  honoured by :class:`~repro.api.EOSDatabase`;
+* globally — the ``EOS_SANITIZE`` environment variable, honoured by
+  every :class:`~repro.storage.buffer.BufferPool`,
+  :class:`~repro.concurrency.locks.LockManager` and
+  :class:`~repro.buddy.manager.BuddyManager` at construction, so a
+  whole test run can be sanitized without touching code::
+
+      EOS_SANITIZE=all pytest ...          # everything
+      EOS_SANITIZE=pins,locks pytest ...   # a subset
+
+Accepted values: ``all`` or ``1`` (everything), or a comma-separated
+subset of ``pins``, ``locks``, ``buddy``.  Anything else is ignored
+(sanitizers must never break production by typo).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+ENV_VAR = "EOS_SANITIZE"
+
+_KNOWN = frozenset({"pins", "locks", "buddy"})
+
+
+@dataclass(frozen=True)
+class SanitizerSettings:
+    """Which sanitizers are switched on."""
+
+    pins: bool = False
+    locks: bool = False
+    buddy: bool = False
+
+    @property
+    def any(self) -> bool:
+        return self.pins or self.locks or self.buddy
+
+
+def sanitizers_from_env(value: str | None = None) -> SanitizerSettings:
+    """Parse ``EOS_SANITIZE`` (or an explicit ``value``) into settings.
+
+    Re-read on every call so tests can flip the variable per test; the
+    parse is a few string operations, not worth caching.
+    """
+    if value is None:
+        value = os.environ.get(ENV_VAR, "")
+    value = value.strip().lower()
+    if not value:
+        return SanitizerSettings()
+    if value in ("all", "1", "true", "yes"):
+        return SanitizerSettings(pins=True, locks=True, buddy=True)
+    wanted = {part.strip() for part in value.split(",")} & _KNOWN
+    return SanitizerSettings(
+        pins="pins" in wanted, locks="locks" in wanted, buddy="buddy" in wanted
+    )

@@ -84,6 +84,12 @@ class EOSDatabase:
         self.obs = obs
         self.pool = BufferPool(disk, capacity=pool_capacity)
         self.buddy = BuddyManager(volume, self.pool, obs=self.obs)
+        # Per-instance sanitizers (the EOS_SANITIZE env var enables the
+        # same checks globally; see repro.analysis.sanitize).
+        if config.sanitize_pins:
+            self.pool.attach_pin_sanitizer()
+        if config.sanitize_buddy:
+            self.buddy.attach_invariant_sanitizer()
         self.pager = InPlacePager(self.pool, self.buddy, config.page_size)
         self.segio = SegmentIO(disk, config.page_size, obs=self.obs)
         self.stats = DatabaseStats(self)
@@ -130,6 +136,8 @@ class EOSDatabase:
         BuddyManager.format(volume)
         # Rebuild the manager so its superdirectory starts fresh.
         db.buddy = BuddyManager(volume, db.pool, obs=db.obs)
+        if config.sanitize_buddy:
+            db.buddy.attach_invariant_sanitizer()
         db.pager = InPlacePager(db.pool, db.buddy, config.page_size)
         return db
 
@@ -155,6 +163,10 @@ class EOSDatabase:
         """
         if self._closed:
             return
+        if self.pool.pin_sanitizer is not None:
+            # Report leaked pins with their origin stacks *before*
+            # clear() dies on the bare pin count with no clue attached.
+            self.pool.pin_sanitizer.assert_no_leaks()
         self.pool.clear()
         self.obs.close()
         self._closed = True

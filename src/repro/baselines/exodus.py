@@ -245,7 +245,7 @@ class ExodusStore(LargeObjectStore):
         span, base = self.segio.read_span(entry.child, page_lo, page_hi)
         patched = bytearray(span)
         patched[local - base : local - base + len(data)] = data
-        self.segio.disk.write_pages(entry.child + page_lo, bytes(patched))
+        self.segio.write_segment(entry.child, bytes(patched), at_page=page_lo)
 
     def _split_bytes(self, data: bytes) -> list[bytes]:
         """Split bytes across blocks, each at least half full (B-tree style)."""

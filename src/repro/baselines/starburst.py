@@ -203,7 +203,9 @@ class StarburstStore(LargeObjectStore):
                 patched[local_lo - base : local_hi - base] = data[
                     lo - offset : hi - offset
                 ]
-                self.segio.disk.write_pages(seg.first_page + page_lo, bytes(patched))
+                self.segio.write_segment(
+                    seg.first_page, bytes(patched), at_page=page_lo
+                )
             position += seg.bytes
             if position >= offset + len(data):
                 break

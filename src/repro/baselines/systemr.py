@@ -149,7 +149,7 @@ class SystemRStore(LargeObjectStore):
         for i, image in enumerate(images):
             next_page = pages[i + 1] if i + 1 < len(pages) else 0
             image[0:4] = next_page.to_bytes(4, "little")
-            self.segio.disk.write_page(pages[i], image)
+            self.segio.write_page(pages[i], image)
         handle.pages = pages
         handle.size = len(data)
 
@@ -160,7 +160,7 @@ class SystemRStore(LargeObjectStore):
         remaining = handle.size
         page_id = handle.pages[0] if handle.pages else 0
         while page_id and remaining > 0:
-            image = self.segio.disk.read_page(page_id)
+            image = self.segio.read_page(page_id)
             cursor = _PAGE_HEADER
             for _ in range(self.minisegs_per_page):
                 if remaining <= 0:

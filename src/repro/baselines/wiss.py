@@ -106,7 +106,7 @@ class WissStore(LargeObjectStore):
             lo = max(offset, position)
             hi = min(offset + length, position + s.bytes)
             if lo < hi:
-                page = self.segio.disk.read_page(s.page)
+                page = self.segio.read_page(s.page)
                 chunks.append(page[lo - position : hi - position])
             position += s.bytes
             if position >= offset + length:
@@ -153,7 +153,7 @@ class WissStore(LargeObjectStore):
             # Split the slice: keep its prefix, move the suffix into the
             # inserted-byte stream.
             s = handle.slices[index]
-            page = self.segio.disk.read_page(s.page)
+            page = self.segio.read_page(s.page)
             suffix = page[local : s.bytes]
             s.bytes = local
             data = data + suffix
@@ -190,10 +190,9 @@ class WissStore(LargeObjectStore):
                 self.allocator.free(s.page, 1)
                 continue
             # Compact the survivors within the slice's page.
-            page = self.segio.disk.read_page(s.page)
+            page = self.segio.read_page(s.page)
             survivors = page[:keep_head] + page[s.bytes - keep_tail : s.bytes]
-            padded = survivors + bytes(self.page_size - len(survivors))
-            self.segio.disk.write_page(s.page, padded)
+            self.segio.write_page(s.page, survivors)
             s.bytes = len(survivors)
             out.append(s)
         handle.slices = out

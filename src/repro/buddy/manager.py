@@ -22,9 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import NamedTuple
 
+from repro.analysis.buddycheck import check_space
+from repro.analysis.sanitize import sanitizers_from_env
 from repro.buddy.space import BuddySpace
 from repro.concurrency.latch import Latch
-from repro.errors import BadSegment, OutOfSpace, SegmentTooLarge
+from repro.errors import BadSegment, InvariantViolation, OutOfSpace, SegmentTooLarge
 from repro.obs.tracer import NULL_OBS, Observability
 from repro.storage.buffer import BufferPool
 from repro.storage.page import PageId
@@ -83,6 +85,23 @@ class BuddyManager:
         # The superdirectory is latched, not transaction-locked, "otherwise
         # it would quickly become a hot spot".
         self.superdirectory_latch = Latch("superdirectory")
+        # Debug-mode invariant checking: revalidate a space's directory
+        # right after every alloc/free (see repro.analysis.buddycheck).
+        self.check_invariants = sanitizers_from_env().buddy
+
+    def attach_invariant_sanitizer(self) -> None:
+        """Enable post-operation directory revalidation on this manager."""
+        self.check_invariants = True
+
+    def _check_after(self, operation: str, index: int, space: BuddySpace) -> None:
+        # The in-memory space is checked (not a reload) so the sanitizer
+        # perturbs no I/O accounting and sees exactly what will be stored.
+        check = check_space(space)
+        if not check.ok:
+            problems = "; ".join(check.problems)
+            raise InvariantViolation(
+                f"buddy space {index} inconsistent after {operation}: {problems}"
+            )
 
     # ------------------------------------------------------------------
     # Formatting and directory paging
@@ -101,21 +120,14 @@ class BuddyManager:
         """Fetch a space's directory page and decode it."""
         self.stats.directory_loads += 1
         extent = self.volume.spaces[index]
-        image = self.pool.fetch(extent.directory_page)
-        try:
+        with self.pool.page(extent.directory_page) as image:
             return BuddySpace.from_page(self.page_size, image)
-        finally:
-            self.pool.unpin(extent.directory_page)
 
     def store_space(self, index: int, space: BuddySpace) -> None:
         """Write a space's directory back through the buffer pool."""
         extent = self.volume.spaces[index]
-        image = self.pool.fetch(extent.directory_page)
-        try:
+        with self.pool.page(extent.directory_page, dirty=True) as image:
             image[:] = space.to_page()
-            self.pool.mark_dirty(extent.directory_page)
-        finally:
-            self.pool.unpin(extent.directory_page)
         if self.write_through:
             self.pool.flush_page(extent.directory_page)
 
@@ -203,6 +215,8 @@ class BuddyManager:
                 self._update_guess(index, space)
                 continue
             self._update_guess(index, space)
+            if self.check_invariants:
+                self._check_after("allocate", index, space)
             self.store_space(index, space)
             extent = self.volume.spaces[index]
             return SegmentRef(extent.to_physical(start), got)
@@ -230,6 +244,8 @@ class BuddyManager:
             space = self.load_space(extent.index)
             space.free(local, n_pages)
             self._update_guess(extent.index, space)
+            if self.check_invariants:
+                self._check_after("free", extent.index, space)
             self.store_space(extent.index, space)
 
     def free_segment(self, ref: SegmentRef) -> None:

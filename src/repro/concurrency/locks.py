@@ -34,6 +34,8 @@ import enum
 import threading
 from dataclasses import dataclass, field
 
+from repro.analysis.lockorder import LockOrderSanitizer
+from repro.analysis.sanitize import sanitizers_from_env
 from repro.errors import LockConflict
 from repro.util.bitops import is_power_of_two
 
@@ -77,6 +79,10 @@ class SegmentLock:
     mode: LockMode
 
 
+def _order_sanitizer_from_env() -> LockOrderSanitizer | None:
+    return LockOrderSanitizer() if sanitizers_from_env().locks else None
+
+
 @dataclass
 class LockManager:
     """A lock table keyed by transaction id."""
@@ -87,6 +93,19 @@ class LockManager:
     _mutex: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    # Acquired-before recorder (see repro.analysis.lockorder); None when
+    # the sanitizer is off.
+    order_sanitizer: LockOrderSanitizer | None = field(
+        default_factory=_order_sanitizer_from_env, repr=False, compare=False
+    )
+
+    def attach_order_sanitizer(
+        self, mode: str = "raise"
+    ) -> LockOrderSanitizer:
+        """Enable lock-order recording on this manager."""
+        if self.order_sanitizer is None:
+            self.order_sanitizer = LockOrderSanitizer(mode)
+        return self.order_sanitizer
 
     # ------------------------------------------------------------------
     # Object locks (root-granularity = whole-range)
@@ -114,6 +133,10 @@ class LockManager:
                         raise LockConflict(wanted, other_txn)
             self.range_locks.setdefault(txn_id, []).append(wanted)
             self.acquisitions += 1
+        if self.order_sanitizer is not None:
+            # Ordering is a property of the resource (the object), not
+            # of each byte range, so all ranges share the object's key.
+            self.order_sanitizer.record_acquire(txn_id, ("object", root_page))
 
     # ------------------------------------------------------------------
     # Segment release locks (the [Lehm89] hierarchy)
@@ -139,6 +162,10 @@ class LockManager:
                 )
                 parent_size *= 2
             self.acquisitions += 1
+        if self.order_sanitizer is not None:
+            # All release locks share one key: the hierarchy is one
+            # resource for ordering purposes (IR locks never conflict).
+            self.order_sanitizer.record_acquire(txn_id, ("segments",))
 
     def _check_segment_conflict(self, txn_id: int, start: int, size: int) -> None:
         end = start + size
@@ -186,3 +213,5 @@ class LockManager:
         with self._mutex:
             self.range_locks.pop(txn_id, None)
             self.segment_locks.pop(txn_id, None)
+        if self.order_sanitizer is not None:
+            self.order_sanitizer.record_release_all(txn_id)

@@ -39,6 +39,13 @@ class EOSConfig:
     # [Bili91a] extension: coalesce adjacent unsafe segments when the
     # parent index node would otherwise split.
     adaptive_threshold: bool = False
+    # Debug-mode runtime sanitizers (see repro.analysis).  Off by
+    # default: they cost a stack capture per pin / a directory
+    # revalidation per alloc-free.  The EOS_SANITIZE environment
+    # variable enables them globally regardless of these flags.
+    sanitize_pins: bool = False
+    sanitize_locks: bool = False
+    sanitize_buddy: bool = False
 
     def __post_init__(self) -> None:
         if self.page_size < 32:

@@ -73,18 +73,13 @@ class InPlacePager(NodePager):
                 raise TreeCorrupt(f"page {page} failed to decode: {exc}") from exc
 
     def write(self, page: PageId, node: Node) -> PageId:
-        image = self.pool.fetch(page)
-        try:
+        with self.pool.page(page, dirty=True) as image:
             image[:] = node.to_page(self.page_size)
-            self.pool.mark_dirty(page)
-        finally:
-            self.pool.unpin(page)
         return page
 
     def write_new(self, page: PageId, node: Node) -> PageId:
         """Install a node on a freshly allocated page (no disk read)."""
-        self.pool.fetch_new(page, node.to_page(self.page_size))
-        self.pool.unpin(page, dirty=True)
+        self.pool.put_new(page, node.to_page(self.page_size))
         return page
 
     def allocate(self) -> PageId:

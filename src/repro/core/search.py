@@ -92,4 +92,4 @@ def replace_range(
                 post = bytes(patched[i * ps : (i + 1) * ps])
                 if pre != post:
                     log(entry.child + page_lo + i, pre, post)
-        segio.disk.write_pages(entry.child + page_lo, bytes(patched))
+        segio.write_segment(entry.child, bytes(patched), at_page=page_lo)

@@ -78,6 +78,21 @@ class SegmentIO:
         ):
             self.disk.write_pages(first_page + at_page, padded)
 
+    def read_page(self, page: PageId) -> bytes:
+        """Read one whole page (for the page-granular baseline schemes)."""
+        with self.obs.tracer.span("segio.read", first_page=page, pages=1):
+            return self.disk.read_page(page)
+
+    def write_page(self, page: PageId, data: bytes) -> None:
+        """Write one page, zero-padding a partial image."""
+        if len(data) > self.page_size:
+            raise LargeObjectError(
+                f"page write of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        padded = bytes(data) + bytes(self.page_size - len(data))
+        with self.obs.tracer.span("segio.write", first_page=page, pages=1):
+            self.disk.write_page(page, padded)
+
     def patch_page(self, page: PageId, offset: int, data: bytes) -> bytes:
         """Read-modify-write one page; returns the pre-image (for logging)."""
         ps = self.page_size

@@ -218,6 +218,45 @@ class TransactionError(RecoveryError):
 
 
 # ---------------------------------------------------------------------------
+# Analysis: runtime sanitizers
+# ---------------------------------------------------------------------------
+
+
+class SanitizerError(ReproError):
+    """Base class for violations reported by the runtime sanitizers.
+
+    Sanitizers (:mod:`repro.analysis`) are opt-in debug checks; these
+    errors mean an *invariant* was broken, not that an operation failed.
+    """
+
+
+class PinLeak(SanitizerError):
+    """A buffer-pool pin was never released.
+
+    Raised by the pin-leak sanitizer at ``close()`` (or on demand) with
+    the origin stack of every pin still outstanding.
+    """
+
+
+class LockOrderViolation(SanitizerError):
+    """Two transactions acquired the same locks in opposite orders.
+
+    The lock-order sanitizer builds the acquired-before graph across
+    transactions; a cycle means the locking protocol admits a deadlock
+    (or, with the try-acquire table, a retry livelock).
+    """
+
+
+class InvariantViolation(SanitizerError):
+    """A structural invariant failed a sanitizer's revalidation.
+
+    Raised by the buddy-invariant checker when a directory is internally
+    inconsistent right after an alloc/free — the earliest possible
+    detection point for allocator corruption.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Object server
 # ---------------------------------------------------------------------------
 

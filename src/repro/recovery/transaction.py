@@ -313,6 +313,8 @@ class RecoveryManager:
         self.log = WriteAheadLog(obs=db.obs)
         self.shadow = ShadowPager(db.pager, obs=db.obs)
         self.locks = LockManager()
+        if db.config.sanitize_locks:
+            self.locks.attach_order_sanitizer()
         self.allocator = TransactionalAllocator(db.buddy, self.locks)
         self.crash_before_root_write = False
         self._next_txn = 1

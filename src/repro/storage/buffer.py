@@ -25,6 +25,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.analysis.pinleak import PinLeakSanitizer
+from repro.analysis.sanitize import sanitizers_from_env
 from repro.errors import AllPagesPinned, PageNotPinned
 from repro.storage.disk import DiskVolume
 from repro.storage.page import PageId
@@ -66,6 +68,15 @@ class BufferPool:
         self.stats = BufferPoolStats()
         # Ordered oldest-first for LRU; move_to_end on every touch.
         self._frames: "OrderedDict[PageId, _Frame]" = OrderedDict()
+        self.pin_sanitizer: PinLeakSanitizer | None = None
+        if sanitizers_from_env().pins:
+            self.attach_pin_sanitizer()
+
+    def attach_pin_sanitizer(self) -> PinLeakSanitizer:
+        """Enable pin-origin tracking (see :mod:`repro.analysis.pinleak`)."""
+        if self.pin_sanitizer is None:
+            self.pin_sanitizer = PinLeakSanitizer()
+        return self.pin_sanitizer
 
     # -- core protocol ------------------------------------------------------
 
@@ -81,6 +92,8 @@ class BufferPool:
             self.stats.hits += 1
             self._frames.move_to_end(page)
         frame.pin_count += 1
+        if self.pin_sanitizer is not None:
+            self.pin_sanitizer.record_pin(page)
         return frame.image
 
     def fetch_new(self, page: PageId, image: bytes | bytearray) -> bytearray:
@@ -98,7 +111,19 @@ class BufferPool:
         self._make_room()
         frame = _Frame(image=bytearray(image), pin_count=1, dirty=True)
         self._frames[page] = frame
+        if self.pin_sanitizer is not None:
+            self.pin_sanitizer.record_pin(page)
         return frame.image
+
+    def put_new(self, page: PageId, image: bytes | bytearray) -> None:
+        """Install a freshly built page image and release it at once.
+
+        The paired form of :meth:`fetch_new` for callers that do not
+        need to keep the page pinned: the frame lands dirty and
+        immediately unpinned, so no pin can leak.
+        """
+        self.fetch_new(page, image)
+        self.unpin(page, dirty=True)
 
     def unpin(self, page: PageId, *, dirty: bool = False) -> None:
         """Release one pin; ``dirty=True`` schedules write-back."""
@@ -107,15 +132,21 @@ class BufferPool:
             raise PageNotPinned(f"page {page} is not pinned")
         frame.pin_count -= 1
         frame.dirty = frame.dirty or dirty
+        if self.pin_sanitizer is not None:
+            self.pin_sanitizer.record_unpin(page)
 
     @contextlib.contextmanager
-    def page(self, page: PageId) -> Iterator[bytearray]:
-        """``with`` form of fetch/unpin; mark dirty via :meth:`mark_dirty`."""
+    def page(self, page: PageId, *, dirty: bool = False) -> Iterator[bytearray]:
+        """``with`` form of fetch/unpin.
+
+        ``dirty=True`` marks the page dirty on release (for mutating
+        callers); otherwise mark it mid-block via :meth:`mark_dirty`.
+        """
         image = self.fetch(page)
         try:
             yield image
         finally:
-            self.unpin(page)
+            self.unpin(page, dirty=dirty)
 
     def mark_dirty(self, page: PageId) -> None:
         """Mark a currently resident page dirty without changing pins."""

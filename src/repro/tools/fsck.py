@@ -27,6 +27,7 @@ import argparse
 import struct
 from dataclasses import dataclass, field
 
+from repro.analysis.buddycheck import check_space
 from repro.api import EOSDatabase
 from repro.core.node import Node
 from repro.errors import ReproError
@@ -100,17 +101,25 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
     """
     report = FsckReport()
 
-    # 1. Allocator state, and the set of allocated pages.
+    # 1. Allocator state, and the set of allocated pages.  The directory
+    # checks are the same core the runtime buddy sanitizer runs
+    # (repro.analysis.buddycheck) — fsck reports what the sanitizer
+    # raises, so on-disk and in-memory validation cannot drift apart.
     allocated: set[int] = set()
     for index in range(db.volume.n_spaces):
         extent = db.volume.spaces[index]
         try:
             space = db.buddy.load_space(index)
-            segments = space.verify()
         except ReproError as exc:
             report.errors.append(f"space {index}: {exc}")
             continue
-        report.spaces_checked += 1
+        check = check_space(space)
+        report.errors.extend(f"space {index}: {p}" for p in check.problems)
+        if check.segments is None:
+            continue
+        segments = check.segments
+        if check.ok:
+            report.spaces_checked += 1
         for seg in segments:
             pages = range(
                 extent.to_physical(seg.start),

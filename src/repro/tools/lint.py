@@ -1,0 +1,73 @@
+"""``python -m repro.tools.lint`` — run the EOS invariant lint.
+
+Usage::
+
+    python -m repro.tools.lint src/
+    python -m repro.tools.lint --format json src/ > findings.json
+    python -m repro.tools.lint --list-rules
+
+Exit status is 0 when clean, 1 when any finding is reported (including
+EOS000 parse failures), 2 on usage errors.  Suppress a justified
+finding with ``# eos-lint: disable=EOS00x`` on the flagged line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.lintcore import (
+    iter_python_files,
+    lint_paths,
+    registered_rules,
+    render_json,
+    render_text,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="EOS repo-specific invariant lint (rules EOS001-EOS005).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule codes and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for code, rule in sorted(registered_rules().items()):
+            doc = (rule.__doc__ or "").strip().splitlines()
+            print(f"{code}: {doc[0] if doc else rule.__name__}")
+        return 0
+    files = iter_python_files(args.paths)
+    if not files:
+        print(f"eos-lint: no Python files under {args.paths}", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths)
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
