@@ -15,8 +15,9 @@ import random
 import threading
 import time
 
+from common import ExperimentReport
+
 from repro.api import EOSDatabase
-from repro.bench.reporting import ExperimentReport
 from repro.server import EOSClient, ServerThread
 
 PAGE = 512
@@ -94,12 +95,21 @@ def run_all():
             oid = admin.create(payload, size_hint=OBJECT_BYTES)
         for n in CLIENT_COUNTS:
             rows.append((n, *run_level(srv.port, oid, n)))
+    snap = db.stats.snapshot()
+    io = {
+        "seeks": snap.seeks,
+        "page_transfers": snap.page_transfers,
+        "page_reads": snap.page_reads,
+        "page_writes": snap.page_writes,
+    }
     db.close()
-    return db, rows
+    return rows, io
 
 
 def test_server_throughput(benchmark):
-    db, rows = run_all()
+    t0 = time.perf_counter()
+    rows, io = run_all()
+    wall_ms = (time.perf_counter() - t0) * 1000.0
     report = ExperimentReport(
         "SRV1",
         f"Server read throughput, {CHUNK // 1024} KB chunks, "
@@ -107,9 +117,17 @@ def test_server_throughput(benchmark):
         ["clients", "req/s", "p50 ms", "p99 ms"],
         page_size=PAGE,
     )
+    report.set_params(
+        object_bytes=OBJECT_BYTES,
+        chunk_bytes=CHUNK,
+        ops_per_client=OPS_PER_CLIENT,
+        client_counts=",".join(str(n) for n in CLIENT_COUNTS),
+    )
+    report.set_io(io)
+    report.set_wall_ms(wall_ms)
     by_clients = {}
     for n, rps, p50, p99 in rows:
-        report.add_row([n, f"{rps:.0f}", f"{p50:.2f}", f"{p99:.2f}"])
+        report.add_row([n, round(rps), round(p50, 2), round(p99, 2)])
         by_clients[n] = rps
     # Shape, not absolutes: more clients must not collapse throughput.
     assert by_clients[8] > by_clients[1] * 0.5

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark scripts in this directory.
+
+``benchmarks/`` is not a package — pytest imports these files by path —
+so the real implementations live in :mod:`repro.bench`; this module is
+the stable, import-light spot benches (and CI) reach them from:
+
+    from common import ExperimentReport, write_bench_json
+
+Every :meth:`ExperimentReport.emit` writes three artifacts into
+``benchmarks/results/``:
+
+* ``<id>.txt`` — the paper-style text table;
+* ``<id>.metrics.json`` — the stats/metrics sidecar (when a stats
+  source is attached);
+* ``BENCH_<ID>.json`` — the machine-readable run record (bench id,
+  params, raw rows, seeks/transfers, wall ms) CI uploads and diffs.
+
+Standalone scripts that do not want a table can call
+:func:`write_bench_json` directly with the same schema.
+"""
+
+from repro.bench.jsonout import (
+    SCHEMA,
+    bench_json_path,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.bench.reporting import RESULTS_DIR, ExperimentReport
+
+__all__ = [
+    "SCHEMA",
+    "RESULTS_DIR",
+    "ExperimentReport",
+    "bench_json_path",
+    "load_bench_json",
+    "write_bench_json",
+]

@@ -1,6 +1,7 @@
 """Benchmark harness: running traces against stores, reporting tables."""
 
 from repro.bench.harness import apply_trace, make_database, run_trace_measured
+from repro.bench.jsonout import bench_json_path, load_bench_json, write_bench_json
 from repro.bench.reporting import ExperimentReport
 
 __all__ = [
@@ -8,4 +9,7 @@ __all__ = [
     "make_database",
     "run_trace_measured",
     "ExperimentReport",
+    "bench_json_path",
+    "load_bench_json",
+    "write_bench_json",
 ]

@@ -1,0 +1,100 @@
+"""Machine-readable benchmark artifacts: one ``BENCH_<id>.json`` per run.
+
+The text tables under ``benchmarks/results/`` are for humans and for
+EXPERIMENTS.md; CI and regression tooling want numbers it can diff
+without parsing fixed-width columns.  :func:`write_bench_json` writes a
+small, stable-schema JSON document next to the text report:
+
+.. code-block:: json
+
+    {
+      "schema": "eos-bench-v1",
+      "bench": "E4",
+      "title": "Sequential scan",
+      "params": {"object_mb": 16, "page_size": 4096},
+      "columns": ["size", "seeks", "ms"],
+      "rows": [["1 MB", 3, 12.41]],
+      "io": {"seeks": 412, "page_transfers": 4096},
+      "wall_ms": 1834.2,
+      "notes": ["..."]
+    }
+
+``rows`` holds the *raw* cell values benchmarks passed to
+``add_row`` (numbers stay numbers); ``io`` carries the attached stats
+source's cumulative seek/transfer counts when one was bound; ``wall_ms``
+is host wall-clock for the whole experiment, not modelled disk time.
+Every benchmark gets this for free through
+:meth:`repro.bench.reporting.ExperimentReport.emit`; standalone scripts
+can call the writer directly (re-exported by ``benchmarks/common.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Mapping, Sequence
+
+SCHEMA = "eos-bench-v1"
+
+
+def bench_json_path(directory: str | os.PathLike, bench_id: str) -> str:
+    """The canonical artifact path: ``<directory>/BENCH_<ID>.json``."""
+    return os.path.join(os.fspath(directory), f"BENCH_{bench_id.upper()}.json")
+
+
+def _jsonable(value: object) -> object:
+    """Raw values where JSON allows, repr-strings where it does not."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def write_bench_json(
+    directory: str | os.PathLike,
+    *,
+    bench: str,
+    title: str = "",
+    params: Mapping[str, object] | None = None,
+    columns: Sequence[str] = (),
+    rows: Iterable[Sequence[object]] = (),
+    io: Mapping[str, object] | None = None,
+    wall_ms: float | None = None,
+    notes: Sequence[str] = (),
+) -> str:
+    """Write ``BENCH_<bench>.json`` into ``directory``; returns the path.
+
+    ``io`` is expected to carry at least ``seeks`` and
+    ``page_transfers`` when given — the two numbers the paper's cost
+    model is built on — but any mapping is persisted as-is.
+    """
+    doc = {
+        "schema": SCHEMA,
+        "bench": bench,
+        "title": title,
+        "params": {k: _jsonable(v) for k, v in dict(params or {}).items()},
+        "columns": list(columns),
+        "rows": [[_jsonable(v) for v in row] for row in rows],
+        "io": {k: _jsonable(v) for k, v in dict(io or {}).items()},
+        "wall_ms": round(wall_ms, 3) if wall_ms is not None else None,
+        "notes": list(notes),
+    }
+    os.makedirs(directory, exist_ok=True)
+    path = bench_json_path(directory, bench)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def load_bench_json(path: str | os.PathLike) -> dict:
+    """Read an artifact back; raises ``ValueError`` on a schema mismatch."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{os.fspath(path)}: unexpected schema {doc.get('schema')!r}"
+        )
+    return doc
+
+
+__all__ = ["SCHEMA", "bench_json_path", "load_bench_json", "write_bench_json"]

@@ -31,6 +31,7 @@ paths pay one attribute lookup and an empty method call::
 """
 
 from repro.obs.facade import DatabaseStats, StatsDelta, StatsSnapshot
+from repro.obs.flight import FlightRecorder, load_flight
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -38,6 +39,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.prom import render_prometheus
 from repro.obs.sinks import JsonLinesSink, RingSink, SummarySink
 from repro.obs.summary import aggregate_spans, format_summary, format_tree
 from repro.obs.tracer import (
@@ -52,6 +54,7 @@ from repro.obs.tracer import (
 __all__ = [
     "Counter",
     "DatabaseStats",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonLinesSink",
@@ -70,4 +73,6 @@ __all__ = [
     "aggregate_spans",
     "format_summary",
     "format_tree",
+    "load_flight",
+    "render_prometheus",
 ]

@@ -1,0 +1,96 @@
+"""Prometheus text exposition for a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+:func:`render_prometheus` walks the registry's live instruments (it
+needs the typed objects, not a snapshot, to tell a counter from a
+gauge) and renders `Prometheus text format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+
+* dotted metric names become underscore names under an ``eos_`` prefix
+  (``server.latency_ms`` → ``eos_server_latency_ms``);
+* counters and gauges are single series;
+* histograms render cumulative ``_bucket{le="..."}`` series (the
+  registry keeps per-bucket counts; Prometheus wants running totals)
+  plus ``_sum``/``_count`` and ``_p50``/``_p95``/``_p99`` gauges from
+  :meth:`~repro.obs.metrics.Histogram.percentile`;
+* ``extra_gauges`` lets the caller graft in values that live outside
+  the registry (buffer hit ratio, buddy free pages, uptime).
+
+Only the stdlib is used; the HTTP side lives in
+:mod:`repro.server.expo`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prefix applied to every exposed series.
+PREFIX = "eos_"
+
+
+def metric_name(name: str, prefix: str = PREFIX) -> str:
+    """The Prometheus-legal series name for a dotted registry name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "0"
+    if isinstance(value, float):
+        return repr(round(value, 6))
+    return str(value)
+
+
+def _render_histogram(out: list[str], name: str, hist: Histogram) -> None:
+    snap = hist.snapshot()
+    out.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    buckets = snap["buckets"]
+    for label, count in buckets.items():
+        cumulative += count
+        if label.startswith("<="):
+            le = label[2:]
+        else:  # the overflow bucket renders as +Inf
+            le = "+Inf"
+        out.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+    out.append(f"{name}_sum {_fmt(snap['sum'])}")
+    out.append(f"{name}_count {snap['count']}")
+    for q in ("p50", "p95", "p99"):
+        out.append(f"# TYPE {name}_{q} gauge")
+        out.append(f"{name}_{q} {_fmt(snap[q])}")
+
+
+def render_prometheus(
+    registry,
+    *,
+    extra_gauges: dict[str, float] | None = None,
+    prefix: str = PREFIX,
+) -> str:
+    """The registry (plus ``extra_gauges``) as Prometheus text format.
+
+    Accepts any object with ``instruments()`` yielding ``(name,
+    instrument)`` pairs — including :data:`~repro.obs.metrics.NULL_METRICS`,
+    which contributes nothing.
+    """
+    out: list[str] = []
+    for raw_name, instrument in registry.instruments():
+        name = metric_name(raw_name, prefix)
+        if isinstance(instrument, Counter):
+            out.append(f"# TYPE {name} counter")
+            out.append(f"{name} {instrument.snapshot()}")
+        elif isinstance(instrument, Gauge):
+            out.append(f"# TYPE {name} gauge")
+            out.append(f"{name} {_fmt(instrument.snapshot())}")
+        elif isinstance(instrument, Histogram):
+            _render_histogram(out, name, instrument)
+    for raw_name, value in sorted((extra_gauges or {}).items()):
+        name = metric_name(raw_name, prefix)
+        out.append(f"# TYPE {name} gauge")
+        out.append(f"{name} {_fmt(value)}")
+    return "\n".join(out) + "\n"

@@ -24,6 +24,7 @@ shared always-disabled bundle that standalone components default to.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterable
 
@@ -46,6 +47,11 @@ class NullSpan:
         """Discard the attributes."""
         return self
 
+    def under(self, trace_id: int, parent_id: int | None = None,
+              *, remote: bool = False) -> "NullSpan":
+        """Discard the preset context."""
+        return self
+
 
 _NULL_SPAN = NullSpan()
 
@@ -60,6 +66,17 @@ class NullTracer:
         """The shared no-op span."""
         return _NULL_SPAN
 
+    def new_span_id(self) -> int:
+        """Disabled tracers allocate nothing."""
+        return 0
+
+    def new_trace_id(self) -> int:
+        """Disabled tracers allocate nothing."""
+        return 0
+
+    def record_span(self, name: str, **kwargs) -> None:
+        """Discard the hand-built record."""
+
 
 NULL_TRACER = NullTracer()
 
@@ -69,8 +86,8 @@ class Span:
 
     __slots__ = (
         "tracer", "name", "attrs", "trace_id", "span_id", "parent_id",
-        "elapsed_ms", "io", "self_io", "cost_ms", "error",
-        "_t0", "_io0", "_child_io",
+        "elapsed_ms", "io", "self_io", "cost_ms", "error", "remote_parent",
+        "_t0", "_io0", "_child_io", "_preset",
     )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
@@ -85,13 +102,28 @@ class Span:
         self.self_io = (0, 0, 0)
         self.cost_ms = 0.0
         self.error: str | None = None
+        self.remote_parent = False
         self._t0 = 0.0
         self._io0 = (0, 0, 0)
         self._child_io = [0, 0, 0]
+        self._preset: tuple[int, int | None, bool] | None = None
 
     def set(self, **attrs) -> "Span":
         """Attach more attributes mid-span (e.g. the allocation result)."""
         self.attrs.update(attrs)
+        return self
+
+    def under(self, trace_id: int, parent_id: int | None = None,
+              *, remote: bool = False) -> "Span":
+        """Preset the trace context this span roots under when it lands at
+        the bottom of the tracer's stack.
+
+        Used by the serving layer to hang a worker-thread span tree under
+        a per-request root (``remote=False``) or a client-propagated wire
+        context (``remote=True``).  Ignored when the span nests under an
+        already-open local span — call structure wins.
+        """
+        self._preset = (trace_id, parent_id, remote)
         return self
 
     def __enter__(self) -> "Span":
@@ -118,6 +150,7 @@ class Tracer:
         sinks: Iterable = (),
         geometry: DiskGeometry = DISK_1992,
         page_size: int = 4096,
+        first_trace_id: int = 1,
     ) -> None:
         self.iostats = iostats
         self.metrics = metrics
@@ -126,11 +159,30 @@ class Tracer:
         self.page_size = page_size
         self._stack: list[Span] = []
         self._next_span = 1
-        self._next_trace = 1
+        self._next_trace = first_trace_id
+        # Span/trace ids are handed out to the serving layer from both the
+        # event loop and executor threads; emission interleaves the same
+        # way, so both take small locks.
+        self._id_lock = threading.Lock()
+        self._emit_lock = threading.Lock()
 
     def span(self, name: str, **attrs) -> Span:
         """A new span; it joins the trace tree when entered."""
         return Span(self, name, attrs)
+
+    def new_span_id(self) -> int:
+        """Allocate a span id (thread-safe; for hand-built records)."""
+        with self._id_lock:
+            span_id = self._next_span
+            self._next_span += 1
+            return span_id
+
+    def new_trace_id(self) -> int:
+        """Allocate a trace id (thread-safe; for hand-built records)."""
+        with self._id_lock:
+            trace_id = self._next_trace
+            self._next_trace += 1
+            return trace_id
 
     # -- span lifecycle ------------------------------------------------------
 
@@ -141,16 +193,16 @@ class Tracer:
         return (stats.seeks, stats.page_reads, stats.page_writes)
 
     def _push(self, span: Span) -> None:
-        span.span_id = self._next_span
-        self._next_span += 1
+        span.span_id = self.new_span_id()
         if self._stack:
             parent = self._stack[-1]
             span.parent_id = parent.span_id
             span.trace_id = parent.trace_id
+        elif span._preset is not None:
+            span.trace_id, span.parent_id, span.remote_parent = span._preset
         else:
             span.parent_id = None
-            span.trace_id = self._next_trace
-            self._next_trace += 1
+            span.trace_id = self.new_trace_id()
         span._t0 = time.perf_counter()
         span._io0 = self._io_now()
         self._stack.append(span)
@@ -210,8 +262,53 @@ class Tracer:
         }
         if span.error is not None:
             record["error"] = span.error
-        for sink in self.sinks:
-            sink.on_span(record)
+        if span.remote_parent:
+            record["remote_parent"] = True
+        self._dispatch(record)
+
+    def _dispatch(self, record: dict) -> None:
+        with self._emit_lock:
+            for sink in self.sinks:
+                sink.on_span(record)
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None = None,
+        remote_parent: bool = False,
+        elapsed_ms: float = 0.0,
+        attrs: dict | None = None,
+        error: str | None = None,
+    ) -> None:
+        """Emit a hand-built span record (no stack, no I/O attribution).
+
+        The serving layer uses this for spans whose lifetime does not
+        follow call structure — per-request roots that stay open across
+        event-loop awaits while other requests interleave, and phase
+        children (admission/lock/encode) measured with plain timers.
+        Ids come from :meth:`new_span_id`/:meth:`new_trace_id`;
+        ``remote_parent`` marks a ``parent_id`` that lives in another
+        process's trace file (the wire-propagated client span id).
+        """
+        self.metrics.counter(f"span.{name}").inc()
+        record = {
+            "kind": "span",
+            "trace": trace_id,
+            "span": span_id,
+            "parent": parent_id,
+            "name": name,
+            "attrs": attrs or {},
+            "elapsed_ms": round(elapsed_ms, 3),
+        }
+        if error is not None:
+            record["error"] = error
+        if remote_parent:
+            record["remote_parent"] = True
+        if self.sinks:
+            self._dispatch(record)
 
 
 class _DiskObserver:
@@ -267,8 +364,15 @@ class Observability:
         *,
         metrics: MetricsRegistry | None = None,
         geometry: DiskGeometry | None = None,
+        first_trace_id: int = 1,
     ) -> "Observability":
-        """Switch tracing and metrics on; returns self for chaining."""
+        """Switch tracing and metrics on; returns self for chaining.
+
+        ``first_trace_id`` seeds the tracer's trace-id allocator — a
+        client that will merge its trace file with a server's picks a
+        random seed so concurrent clients' trace ids don't collide in
+        the server-side file.
+        """
         if self._shared:
             raise RuntimeError(
                 "NULL_OBS is the shared disabled bundle; create an "
@@ -284,6 +388,7 @@ class Observability:
             sinks=self.sinks,
             geometry=self.geometry,
             page_size=self.page_size,
+            first_trace_id=first_trace_id,
         )
         if self.iostats is not None:
             self.iostats.observer = _DiskObserver(self.metrics)

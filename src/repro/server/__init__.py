@@ -8,11 +8,15 @@
 * :mod:`repro.server.runner` — run a server on a background thread
   (tests, benchmarks, ``servectl bench-smoke --spawn``).
 
+* :mod:`repro.server.expo` — exposition: the live status document,
+  the Prometheus/health HTTP sidecar.
+
 CLI: ``python -m repro.tools.servectl serve`` / ``ping`` / ``put`` /
-``get`` / ``bench-smoke``.
+``get`` / ``metrics`` / ``top`` / ``dump-flight`` / ``bench-smoke``.
 """
 
 from repro.server.client import EOSClient
+from repro.server.expo import MetricsHTTPServer, status_snapshot
 from repro.server.protocol import Opcode, RemoteStat, Status
 from repro.server.runner import ServerThread
 from repro.server.server import EOSServer
@@ -20,8 +24,10 @@ from repro.server.server import EOSServer
 __all__ = [
     "EOSClient",
     "EOSServer",
+    "MetricsHTTPServer",
     "Opcode",
     "RemoteStat",
     "ServerThread",
     "Status",
+    "status_snapshot",
 ]

@@ -11,6 +11,19 @@ handle failures identically::
         c.append(oid, b" world")
         assert c.read(oid, 0, 11) == b"hello world"
 
+Tracing: :meth:`EOSClient.enable_tracing` writes client-side spans to a
+JSON-lines file and propagates the trace context on the wire (the
+request frame carries :data:`~repro.server.protocol.FLAG_TRACE` plus the
+trace id and sending span id).  Each call becomes a ``client.request``
+root with ``client.send``/``client.recv`` children; a tracing server
+roots its ``server.request`` tree under the same trace id, so ::
+
+    python -m repro.tools.tracefmt client.jsonl --merge server.jsonl
+
+renders one tree spanning both processes.  Trace ids are seeded randomly
+per client so concurrent clients' traces stay distinct in the server's
+file.
+
 The client is not thread-safe — a connection carries one conversation.
 Concurrent callers each open their own client (connections are what the
 server scales by).
@@ -18,9 +31,14 @@ server scales by).
 
 from __future__ import annotations
 
+import json
+import os
+import random
 import socket
 
 from repro.errors import ConnectionClosed, ProtocolError
+from repro.obs.sinks import JsonLinesSink
+from repro.obs.tracer import NULL_TRACER, Observability
 from repro.server import protocol
 from repro.server.protocol import Opcode, RemoteStat, Status
 
@@ -35,11 +53,16 @@ class EOSClient:
         *,
         timeout: float | None = 30.0,
         max_payload: int = protocol.MAX_PAYLOAD,
+        obs: Observability | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_payload = max_payload
+        #: Optional observability bundle; when enabled, every call is a
+        #: traced span and the trace context rides the wire.
+        self.obs = obs
+        self._owns_obs = False
         self._sock: socket.socket | None = None
         self._next_id = 1
 
@@ -57,12 +80,34 @@ class EOSClient:
         return self
 
     def close(self) -> None:
-        """Close the connection (idempotent)."""
+        """Close the connection (and a tracing bundle this client owns)."""
         if self._sock is not None:
             try:
                 self._sock.close()
             finally:
                 self._sock = None
+        if self._owns_obs and self.obs is not None:
+            obs, self.obs = self.obs, None
+            self._owns_obs = False
+            obs.close()
+
+    def enable_tracing(self, path: str | os.PathLike) -> "EOSClient":
+        """Trace every call to a JSON-lines file and propagate on the wire.
+
+        Creates (and owns) an :class:`~repro.obs.tracer.Observability`
+        bundle writing to ``path``; :meth:`close` flushes and closes it.
+        The trace-id allocator is seeded randomly so ids from concurrent
+        clients don't collide in the server's trace file.
+        """
+        if self.obs is None:
+            self.obs = Observability()
+            self._owns_obs = True
+        if not self.obs.enabled:
+            self.obs.enable(
+                sinks=[JsonLinesSink(path)],
+                first_trace_id=random.randrange(1 << 32, 1 << 62),
+            )
+        return self
 
     def __enter__(self) -> "EOSClient":
         return self.connect()
@@ -91,13 +136,7 @@ class EOSClient:
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def call(self, opcode: Opcode, payload: bytes = b"") -> bytes:
-        """One request/response exchange; returns the response payload."""
-        sock = self.connect()._sock
-        assert sock is not None
-        request_id = self._next_id
-        self._next_id += 1
-        sock.sendall(protocol.encode_request(opcode, request_id, payload))
+    def _recv_response(self, request_id: int) -> tuple[protocol.Header, bytes]:
         header = protocol.decode_header(
             self._recv_exact(protocol.HEADER.size), max_payload=self.max_payload
         )
@@ -108,12 +147,49 @@ class EOSClient:
                 f"response id {header.request_id} does not match request "
                 f"{request_id}"
             )
-        body = self._recv_exact(header.length)
-        if header.code != Status.OK:
-            raise protocol.exception_from(
-                header.code, body.decode("utf-8", "replace")
+        return header, self._recv_exact(header.length)
+
+    def call(self, opcode: Opcode, payload: bytes = b"", *, oid: int | None = None) -> bytes:
+        """One request/response exchange; returns the response payload.
+
+        ``oid`` is trace metadata only (it tags the ``client.request``
+        span so ``tracefmt --oid`` can filter); the object id itself
+        always travels inside ``payload``.
+        """
+        sock = self.connect()._sock
+        assert sock is not None
+        request_id = self._next_id
+        self._next_id += 1
+        tracer = self.obs.tracer if self.obs is not None else NULL_TRACER
+        if not tracer.enabled:
+            sock.sendall(protocol.encode_request(opcode, request_id, payload))
+            header, body = self._recv_response(request_id)
+            if header.code != Status.OK:
+                raise protocol.exception_from(
+                    header.code, body.decode("utf-8", "replace")
+                )
+            return body
+        attrs = {"opcode": opcode.name.lower()}
+        if oid is not None:
+            attrs["oid"] = oid
+        with tracer.span("client.request", **attrs) as root:
+            frame = protocol.encode_request(
+                opcode, request_id, payload,
+                trace=(root.trace_id, root.span_id),
             )
-        return body
+            with tracer.span("client.send", bytes=len(frame)):
+                sock.sendall(frame)
+            with tracer.span("client.recv"):
+                header, body = self._recv_response(request_id)
+            try:
+                root.set(status=Status(header.code).name.lower())
+            except ValueError:
+                root.set(status=int(header.code))
+            if header.code != Status.OK:
+                raise protocol.exception_from(
+                    header.code, body.decode("utf-8", "replace")
+                )
+            return body
 
     # ------------------------------------------------------------------
     # Operations
@@ -132,41 +208,69 @@ class EOSClient:
     def append(self, oid: int, data: bytes) -> int:
         """Append bytes; returns the object's new size."""
         return protocol.unpack_u64(
-            self.call(Opcode.APPEND, protocol.pack_oid_data(oid, data))
+            self.call(Opcode.APPEND, protocol.pack_oid_data(oid, data), oid=oid)
         )
 
     def read(self, oid: int, offset: int, length: int) -> bytes:
         """Read ``length`` bytes at ``offset``."""
         return self.call(
-            Opcode.READ, protocol.pack_oid_offset_length(oid, offset, length)
+            Opcode.READ, protocol.pack_oid_offset_length(oid, offset, length), oid=oid
         )
 
     def write(self, oid: int, offset: int, data: bytes) -> int:
         """Overwrite bytes in place; returns the (unchanged) size."""
         return protocol.unpack_u64(
-            self.call(Opcode.WRITE, protocol.pack_oid_offset_data(oid, offset, data))
+            self.call(
+                Opcode.WRITE, protocol.pack_oid_offset_data(oid, offset, data), oid=oid
+            )
         )
 
     def insert(self, oid: int, offset: int, data: bytes) -> int:
         """Insert bytes at ``offset``; returns the new size."""
         return protocol.unpack_u64(
-            self.call(Opcode.INSERT, protocol.pack_oid_offset_data(oid, offset, data))
+            self.call(
+                Opcode.INSERT, protocol.pack_oid_offset_data(oid, offset, data), oid=oid
+            )
         )
 
     def delete(self, oid: int, offset: int, length: int) -> int:
         """Delete a byte range; returns the new size."""
         return protocol.unpack_u64(
-            self.call(Opcode.DELETE, protocol.pack_oid_offset_length(oid, offset, length))
+            self.call(
+                Opcode.DELETE,
+                protocol.pack_oid_offset_length(oid, offset, length),
+                oid=oid,
+            )
         )
 
     def size(self, oid: int) -> int:
         """The object's size in bytes."""
-        return protocol.unpack_u64(self.call(Opcode.SIZE, protocol.pack_oid(oid)))
+        return protocol.unpack_u64(
+            self.call(Opcode.SIZE, protocol.pack_oid(oid), oid=oid)
+        )
 
     def stat(self, oid: int) -> RemoteStat:
         """Space accounting plus the root page."""
-        return protocol.unpack_stat(self.call(Opcode.STAT, protocol.pack_oid(oid)))
+        return protocol.unpack_stat(
+            self.call(Opcode.STAT, protocol.pack_oid(oid), oid=oid)
+        )
 
     def list_objects(self) -> list[tuple[int, int]]:
         """Every object on the server as ``(oid, size)``."""
         return protocol.unpack_listing(self.call(Opcode.LIST))
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """The server's live status document (METRICS opcode).
+
+        Served before admission control, so it works against an
+        overloaded server.
+        """
+        return json.loads(self.call(Opcode.METRICS).decode("utf-8"))
+
+    def flight(self) -> str:
+        """The server's flight-recorder snapshot as JSON-lines text."""
+        return self.call(Opcode.FLIGHT).decode("utf-8")

@@ -1,0 +1,202 @@
+"""Exposition: the live status document and the metrics HTTP sidecar.
+
+Two consumers want to look at a running server without attaching a
+debugger: the METRICS opcode (served on the object-server port itself,
+before admission control) and the optional HTTP sidecar this module
+provides.  Both render the same :func:`status_snapshot` — one JSON
+document combining the server's scheduling state, the metrics registry,
+the ``db.stats`` counters and the volume's space accounting.
+
+:class:`MetricsHTTPServer` is a stdlib ``ThreadingHTTPServer`` on its
+own daemon thread serving
+
+* ``GET /metrics`` — Prometheus text format
+  (:func:`repro.obs.prom.render_prometheus` over the live registry,
+  plus space/uptime gauges grafted from the status document);
+* ``GET /healthz`` — a small JSON liveness document (status, uptime,
+  inflight, rejection count).
+
+The sidecar holds no state of its own: every request recomputes from
+the live registry, so a scrape always sees current values.  Space
+accounting walks the buddy directory (real page reads), so it is taken
+under ``db.op_lock`` — a scrape is a cheap reader, not a stop-the-world
+event.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import threading
+import time
+
+from repro.obs.prom import render_prometheus
+
+
+def status_snapshot(db, server=None, *, include_space: bool = True) -> dict:
+    """One JSON-ready document describing a database (and its server).
+
+    ``server`` is duck-typed (anything with the
+    :class:`~repro.server.server.EOSServer` scheduling attributes);
+    pass None to snapshot a database that is not being served.
+    """
+    doc: dict = {"ts": round(time.time(), 3)}
+    if server is not None:
+        started = getattr(server, "started_at", 0.0)
+        doc["server"] = {
+            "host": server.host,
+            "port": server.port,
+            "inflight": server.inflight,
+            "write_queued": server.write_queued,
+            "max_inflight": server.max_inflight,
+            "max_write_queue": server.max_write_queue,
+            "uptime_s": round(time.time() - started, 3) if started else 0.0,
+            "flight": {
+                "entries": len(server.flight),
+                "dumps": server.flight.dumps,
+                "last_dump": server.flight.last_dump_path,
+            },
+        }
+    doc["metrics"] = db.obs.metrics.snapshot()
+    try:
+        if db.is_closed:
+            doc["closed"] = True
+            return doc
+        doc["stats"] = db.stats.snapshot().as_dict()
+        if include_space:
+            # free_pages() reads buddy directory pages, so serialise with
+            # the op entry points rather than racing them.
+            with db.op_lock:
+                free = db.free_pages()
+            total = db.volume.total_data_pages
+            doc["space"] = {
+                "free_pages": free,
+                "total_pages": total,
+                "utilization": round(1.0 - free / total, 4) if total else 0.0,
+            }
+    except Exception as exc:  # a snapshot must never take the server down
+        doc["error"] = f"{exc.__class__.__name__}: {exc}"
+    return doc
+
+
+def gauges_from_status(status: dict) -> dict[str, float]:
+    """Registry-external gauges for the Prometheus rendering."""
+    out: dict[str, float] = {}
+    server = status.get("server")
+    if server:
+        out["server.uptime_seconds"] = server["uptime_s"]
+        out["server.max_inflight"] = server["max_inflight"]
+        out["server.flight_entries"] = server["flight"]["entries"]
+        out["server.flight_dumps"] = server["flight"]["dumps"]
+    space = status.get("space")
+    if space:
+        out["buddy.free_pages"] = space["free_pages"]
+        out["buddy.total_pages"] = space["total_pages"]
+        out["buddy.utilization"] = space["utilization"]
+    stats = status.get("stats")
+    if stats:
+        out["buffer.hit_ratio"] = stats["buffer"]["hit_ratio"]
+    out["up"] = 0.0 if status.get("closed") else 1.0
+    return out
+
+
+class _Handler(http.server.BaseHTTPRequestHandler):
+    # The sidecar is diagnostics, not an access log.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _send(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        sidecar: "MetricsHTTPServer" = self.server.sidecar  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                self._send(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    sidecar.render_metrics().encode("utf-8"),
+                )
+            elif path == "/healthz":
+                self._send(
+                    200,
+                    "application/json",
+                    json.dumps(sidecar.health()).encode("utf-8"),
+                )
+            else:
+                self._send(404, "text/plain", b"try /metrics or /healthz\n")
+        except BrokenPipeError:
+            pass
+
+
+class MetricsHTTPServer:
+    """A daemon-thread HTTP sidecar exposing ``/metrics`` and ``/healthz``."""
+
+    def __init__(self, db, server=None, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.db = db
+        self.server = server
+        self.host = host
+        self.port = port  # 0 until start() binds an ephemeral port
+        self._httpd: http.server.ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """The Prometheus text document for the current instant."""
+        status = status_snapshot(self.db, self.server)
+        return render_prometheus(
+            self.db.obs.metrics, extra_gauges=gauges_from_status(status)
+        )
+
+    def health(self) -> dict:
+        """The ``/healthz`` document."""
+        status = status_snapshot(self.db, self.server, include_space=False)
+        doc = {"status": "closed" if status.get("closed") else "ok"}
+        server = status.get("server")
+        if server:
+            doc["uptime_s"] = server["uptime_s"]
+            doc["inflight"] = server["inflight"]
+        metrics = status.get("metrics", {})
+        doc["requests"] = metrics.get("server.requests", 0)
+        doc["rejections"] = metrics.get("server.rejections", 0)
+        return doc
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "MetricsHTTPServer":
+        """Bind and serve on a daemon thread (idempotent); returns self."""
+        if self._httpd is not None:
+            return self
+        httpd = http.server.ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        httpd.sidecar = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="eos-metrics-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the sidecar down (idempotent)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

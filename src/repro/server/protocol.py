@@ -3,10 +3,12 @@
 Every message — request or response — is one *frame*::
 
     magic    4 bytes   b"EOS1"
-    kind     u8        0 = request, 1 = response
+    kind     u8        low nibble: 0 = request, 1 = response
+                       high nibble: flags (:data:`FLAG_TRACE`)
     code     u8        request: opcode        response: status
     id       u32       request id, echoed verbatim in the response
-    length   u32       payload length in bytes
+    length   u32       payload length in bytes (trace ctx not counted)
+    [trace   12 bytes  only when FLAG_TRACE: u64 trace id, u32 span id]
     payload  <length>  opcode-specific encoding (little-endian structs)
 
 Frames are self-delimiting, so a connection is just a sequence of them;
@@ -15,6 +17,15 @@ same ``id``.  Payloads are capped (:data:`MAX_PAYLOAD` by default) so a
 corrupt or hostile length field cannot make either side buffer without
 bound — an oversized length is a :class:`~repro.errors.ProtocolError`,
 not an allocation.
+
+Trace propagation: a client with tracing enabled sets
+:data:`FLAG_TRACE` in the kind byte and appends a 12-byte trace context
+(:data:`TRACE_CTX`: its trace id and the sending span's id) directly
+after the fixed header.  The server roots its per-request span tree
+under that context, so ``python -m repro.tools.tracefmt client.jsonl
+--merge server.jsonl`` renders one tree spanning both processes.  The
+flag is optional and ignored on responses; a non-tracing peer never
+sets it, which keeps the wire format backward compatible.
 
 Errors travel as a response whose status names a class in the
 :mod:`repro.errors` hierarchy and whose payload is the UTF-8 message;
@@ -41,7 +52,15 @@ STAT       u64 oid                                u64 size + u32 ×5
                                                   root page)
 LIST       (empty)                                u32 count + count ×
                                                   (u64 oid, u64 size)
+METRICS    (empty)                                UTF-8 JSON status
+                                                  document (server,
+                                                  metrics, stats)
+FLIGHT     (empty)                                UTF-8 JSON-lines
+                                                  flight snapshot
 =========  =====================================  ======================
+
+METRICS and FLIGHT are exposition opcodes: the server answers them
+before admission control, so an overloaded server stays observable.
 """
 
 from __future__ import annotations
@@ -74,6 +93,14 @@ MAX_PAYLOAD = 16 * 1024 * 1024
 KIND_REQUEST = 0
 KIND_RESPONSE = 1
 
+#: The kind byte's low nibble is the frame kind; the high nibble is flags.
+KIND_MASK = 0x0F
+FLAG_TRACE = 0x80
+_KNOWN_FLAGS = FLAG_TRACE
+
+#: The optional trace context after the header: u64 trace id, u32 span id.
+TRACE_CTX = struct.Struct("<QI")
+
 
 class Opcode(enum.IntEnum):
     PING = 1
@@ -86,6 +113,12 @@ class Opcode(enum.IntEnum):
     SIZE = 8
     STAT = 9
     LIST = 10
+    METRICS = 11
+    FLIGHT = 12
+
+
+#: Opcodes answered before admission control (see the module docstring).
+EXPOSITION_OPCODES = frozenset({Opcode.METRICS, Opcode.FLIGHT})
 
 
 #: Opcodes that mutate the database (admission control's write queue).
@@ -168,22 +201,50 @@ def exception_from(status: int, message: str) -> ReproError:
 
 @dataclass(frozen=True)
 class Header:
-    """A decoded frame header (payload not yet read)."""
+    """A decoded frame header (payload not yet read).
+
+    ``kind`` is the bare frame kind (flags already stripped); ``flags``
+    holds the validated flag bits.  ``length`` never includes the
+    optional trace context — a flagged frame carries
+    :data:`TRACE_CTX.size` extra bytes before the payload.
+    """
 
     kind: int
     code: int
     request_id: int
     length: int
+    flags: int = 0
+
+    @property
+    def has_trace(self) -> bool:
+        return bool(self.flags & FLAG_TRACE)
 
 
-def encode_frame(kind: int, code: int, request_id: int, payload: bytes = b"") -> bytes:
+def encode_frame(
+    kind: int, code: int, request_id: int, payload: bytes = b"", *, flags: int = 0
+) -> bytes:
     """One complete frame, header plus payload."""
-    return HEADER.pack(MAGIC, kind, code, request_id, len(payload)) + payload
+    return HEADER.pack(MAGIC, kind | flags, code, request_id, len(payload)) + payload
 
 
-def encode_request(opcode: Opcode, request_id: int, payload: bytes = b"") -> bytes:
-    """A request frame carrying ``opcode``."""
-    return encode_frame(KIND_REQUEST, int(opcode), request_id, payload)
+def encode_request(
+    opcode: Opcode,
+    request_id: int,
+    payload: bytes = b"",
+    *,
+    trace: tuple[int, int] | None = None,
+) -> bytes:
+    """A request frame carrying ``opcode``.
+
+    ``trace`` — a ``(trace_id, span_id)`` pair — sets :data:`FLAG_TRACE`
+    and inserts the 12-byte trace context between header and payload.
+    """
+    if trace is None:
+        return encode_frame(KIND_REQUEST, int(opcode), request_id, payload)
+    header = HEADER.pack(
+        MAGIC, KIND_REQUEST | FLAG_TRACE, int(opcode), request_id, len(payload)
+    )
+    return header + TRACE_CTX.pack(*trace) + payload
 
 
 def encode_response(status: Status, request_id: int, payload: bytes = b"") -> bytes:
@@ -205,16 +266,20 @@ def decode_header(data: bytes, *, max_payload: int = MAX_PAYLOAD) -> Header:
         raise ProtocolError(
             f"frame header is {HEADER.size} bytes, got {len(data)}"
         )
-    magic, kind, code, request_id, length = HEADER.unpack(data)
+    magic, kind_byte, code, request_id, length = HEADER.unpack(data)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    kind = kind_byte & KIND_MASK
+    flags = kind_byte & ~KIND_MASK
+    if flags & ~_KNOWN_FLAGS:
+        raise ProtocolError(f"unknown frame flags 0x{flags & ~_KNOWN_FLAGS:02x}")
     if kind not in (KIND_REQUEST, KIND_RESPONSE):
         raise ProtocolError(f"unknown frame kind {kind}")
     if length > max_payload:
         raise ProtocolError(
             f"payload of {length} bytes exceeds the {max_payload}-byte cap"
         )
-    return Header(kind, code, request_id, length)
+    return Header(kind, code, request_id, length, flags)
 
 
 # ---------------------------------------------------------------------------
@@ -370,9 +435,13 @@ __all__ = [
     "MAX_PAYLOAD",
     "KIND_REQUEST",
     "KIND_RESPONSE",
+    "KIND_MASK",
+    "FLAG_TRACE",
+    "TRACE_CTX",
     "Opcode",
     "Status",
     "WRITE_OPCODES",
+    "EXPOSITION_OPCODES",
     "Header",
     "RemoteStat",
     "ConnectionClosed",

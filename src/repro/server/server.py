@@ -32,17 +32,31 @@ Every request passes three stages:
    runs under a ``request_timeout`` budget; when it expires the client
    gets :class:`~repro.errors.RequestTimeout` instead of silence.
 
-Observability: every request is a ``server.request`` span (opcode and
-oid attributes, error class on failure), with counters for requests,
-bytes in/out and rejections, and a latency histogram — all through the
-database's :class:`~repro.obs.tracer.Observability` bundle, so the
-serving layer shows up in the same traces and metric snapshots as the
-storage stack beneath it.
+Observability
+-------------
+Every request becomes a ``server.request`` root span with phase
+children — ``server.admission``, ``server.lock``, ``server.execute``
+(the worker-thread span that carries the storage stack's own child
+spans) and ``server.encode`` — plus matching phase histograms
+(``server.admission_wait_ms``, ``server.lock_wait_ms``,
+``server.execute_ms``, ``server.encode_ms``) and the end-to-end
+``server.latency_ms``.  When the client propagated a wire trace context
+(:data:`~repro.server.protocol.FLAG_TRACE`), the root hangs under the
+client's span id with ``remote_parent`` set, so ``tracefmt --merge``
+renders one tree across both processes.
+
+A :class:`~repro.obs.flight.FlightRecorder` retains the last N request
+summaries (and recent spans, when tracing is on); any non-OK response or
+admission rejection triggers a rate-limited dump to ``flight_dump_dir``.
+The METRICS and FLIGHT opcodes are answered *before* admission control,
+so an overloaded server can still be inspected remotely.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import os
 import time
 from typing import Awaitable, Callable
 
@@ -55,8 +69,81 @@ from repro.errors import (
     RequestTimeout,
     ServerOverloaded,
 )
+from repro.obs.flight import FlightRecorder
 from repro.server import protocol
+from repro.server.expo import status_snapshot
 from repro.server.protocol import Opcode, RemoteStat, Status
+
+
+class _RequestTrace:
+    """One request's trace context and phase accounting.
+
+    Per-request span trees cannot come from the tracer's stack alone:
+    the event loop interleaves requests, so the root stays open across
+    awaits while other requests run.  The root and the phase children
+    are therefore hand-emitted records
+    (:meth:`~repro.obs.tracer.Tracer.record_span`); only the execution
+    phase is a real stack span (it runs serialized under ``db.op_lock``
+    in a worker thread, where nesting is sound).
+    """
+
+    __slots__ = (
+        "tracer", "opcode", "trace_id", "root_id", "parent_id", "remote",
+        "oid", "admission_ms", "lock_wait_ms", "lock_waits", "locked",
+        "exec_ms", "encode_ms",
+    )
+
+    def __init__(self, tracer, opcode: Opcode,
+                 wire_trace: tuple[int, int] | None, admission_ms: float) -> None:
+        self.tracer = tracer
+        self.opcode = opcode
+        self.oid: int | None = None
+        self.admission_ms = admission_ms
+        self.lock_wait_ms = 0.0
+        self.lock_waits = 0
+        self.locked = False
+        self.exec_ms = 0.0
+        self.encode_ms = 0.0
+        if wire_trace is not None:
+            self.trace_id, self.parent_id = wire_trace
+            self.remote = True
+        else:
+            self.trace_id = tracer.new_trace_id()
+            self.parent_id = None
+            self.remote = False
+        self.root_id = tracer.new_span_id()
+
+    def _phase(self, name: str, elapsed_ms: float, **attrs) -> None:
+        self.tracer.record_span(
+            f"server.{name}",
+            trace_id=self.trace_id,
+            span_id=self.tracer.new_span_id(),
+            parent_id=self.root_id,
+            elapsed_ms=elapsed_ms,
+            attrs=attrs or None,
+        )
+
+    def emit(self, status: Status, error: str | None, total_ms: float) -> None:
+        """Emit the phase children and the request root."""
+        if not self.tracer.enabled:
+            return
+        self._phase("admission", self.admission_ms)
+        if self.locked:
+            self._phase("lock", self.lock_wait_ms, waits=self.lock_waits)
+        self._phase("encode", self.encode_ms)
+        attrs = {"opcode": self.opcode.name.lower(), "status": status.name.lower()}
+        if self.oid is not None:
+            attrs["oid"] = self.oid
+        self.tracer.record_span(
+            "server.request",
+            trace_id=self.trace_id,
+            span_id=self.root_id,
+            parent_id=self.parent_id,
+            remote_parent=self.remote,
+            elapsed_ms=total_ms,
+            attrs=attrs,
+            error=error,
+        )
 
 
 class EOSServer:
@@ -74,6 +161,9 @@ class EOSServer:
         max_payload: int = protocol.MAX_PAYLOAD,
         locks: LockManager | None = None,
         op_hook: Callable[[Opcode], Awaitable[None]] | None = None,
+        flight_capacity: int = 256,
+        flight_dump_dir: str | os.PathLike | None = None,
+        flight_min_dump_interval: float = 5.0,
     ) -> None:
         self.db = db
         self.host = host
@@ -87,6 +177,13 @@ class EOSServer:
         #: stage, inside the in-flight window (used to pin requests in
         #: flight so admission control can be exercised deterministically).
         self.op_hook = op_hook
+        self.flight = FlightRecorder(
+            flight_capacity, min_dump_interval=flight_min_dump_interval
+        )
+        self.flight_dump_dir = (
+            os.fspath(flight_dump_dir) if flight_dump_dir is not None else None
+        )
+        self.started_at = 0.0
         self.inflight = 0
         self.write_queued = 0
         self._server: asyncio.AbstractServer | None = None
@@ -94,6 +191,7 @@ class EOSServer:
         self._next_txn = 1
         self._conn_tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
+        self._flight_tracer = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -105,6 +203,8 @@ class EOSServer:
             self._on_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        self._attach_flight_sink()
 
     async def serve_forever(self) -> None:
         """Run until cancelled (servectl's serve loop)."""
@@ -128,6 +228,37 @@ class EOSServer:
             for task in list(self._conn_tasks):
                 task.cancel()
             await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+
+    def _attach_flight_sink(self) -> None:
+        """Capture spans into the flight ring while tracing is on.
+
+        The tracer can be enabled (or re-enabled, producing a new Tracer)
+        at any point in the server's life, so this re-checks identity and
+        appends to the *live* ``tracer.sinks`` list.
+        """
+        tracer = self.db.obs.tracer
+        if not tracer.enabled:
+            self._flight_tracer = None
+            return
+        if tracer is self._flight_tracer:
+            return
+        tracer.sinks.append(self.flight)
+        self._flight_tracer = tracer
+
+    def dump_flight(self, reason: str = "manual") -> str | None:
+        """Force a flight dump (``flight_dump_dir`` must be configured)."""
+        if self.flight_dump_dir is None:
+            return None
+        return self.flight.dump(self.flight_dump_dir, reason)
+
+    def _incident(self, reason: str) -> None:
+        """Rate-limited evidence dump on an error or rejection."""
+        if self.flight_dump_dir is None:
+            return
+        try:
+            self.flight.maybe_dump(self.flight_dump_dir, reason)
+        except OSError:
+            pass  # a full disk must not take the serving path down
 
     # ------------------------------------------------------------------
     # Sessions
@@ -178,21 +309,48 @@ class EOSServer:
                 writer.write(protocol.encode_error(exc, 0))
                 await writer.drain()
                 return
+            wire_trace: tuple[int, int] | None = None
+            frame_bytes = protocol.HEADER.size + header.length
+            if header.has_trace:
+                ctx = await reader.readexactly(protocol.TRACE_CTX.size)
+                wire_trace = protocol.TRACE_CTX.unpack(ctx)
+                frame_bytes += protocol.TRACE_CTX.size
             payload = await reader.readexactly(header.length)
-            metrics.counter("server.bytes_in").inc(protocol.HEADER.size + header.length)
+            metrics.counter("server.bytes_in").inc(frame_bytes)
+            self._attach_flight_sink()
 
-            # Stage 1: admission control, before anything is queued.
-            rejection = self._admission_check(opcode)
-            if rejection is not None:
-                metrics.counter("server.rejections").inc()
-                writer.write(protocol.encode_error(rejection, header.request_id))
-                await writer.drain()
+            # Exposition opcodes bypass admission control: an overloaded
+            # server must stay observable.
+            if opcode in protocol.EXPOSITION_OPCODES:
+                await self._serve_exposition(opcode, header.request_id, writer)
                 continue
 
-            response = await self._serve_request(opcode, header.request_id, payload)
-            metrics.counter("server.bytes_out").inc(len(response))
-            writer.write(response)
-            await writer.drain()
+            # Stage 1: admission control, before anything is queued.
+            a0 = time.perf_counter()
+            rejection = self._admission_check(opcode)
+            admission_ms = (time.perf_counter() - a0) * 1000.0
+            if rejection is not None:
+                metrics.counter("server.rejections").inc()
+                self.flight.record({
+                    "ts": round(time.time(), 3),
+                    "request_id": header.request_id,
+                    "opcode": opcode.name.lower(),
+                    "status": "overloaded",
+                    "error": "ServerOverloaded",
+                    "inflight": self.inflight,
+                    "write_queued": self.write_queued,
+                })
+                response = protocol.encode_error(rejection, header.request_id)
+                metrics.counter("server.bytes_out").inc(len(response))
+                writer.write(response)
+                await writer.drain()
+                self._incident("overloaded")
+                continue
+
+            await self._serve_request(
+                opcode, header.request_id, payload, writer,
+                wire_trace=wire_trace, admission_ms=admission_ms,
+            )
 
     def _admission_check(self, opcode: Opcode) -> ServerOverloaded | None:
         if self.inflight >= self.max_inflight:
@@ -207,14 +365,48 @@ class EOSServer:
             )
         return None
 
+    async def _serve_exposition(
+        self, opcode: Opcode, request_id: int, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer METRICS/FLIGHT; counted separately from server.requests."""
+        metrics = self.db.obs.metrics
+        metrics.counter("server.exposition").inc()
+        try:
+            if opcode is Opcode.METRICS:
+                # free_pages() does page I/O under op_lock; keep it off
+                # the event loop like any other op.
+                loop = asyncio.get_running_loop()
+                doc = await loop.run_in_executor(
+                    None, lambda: status_snapshot(self.db, self)
+                )
+                body = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+            else:
+                body = self.flight.to_jsonl(reason="remote").encode("utf-8")
+            response = protocol.encode_response(Status.OK, request_id, body)
+        except Exception as exc:
+            response = protocol.encode_error(
+                ReproError(f"{exc.__class__.__name__}: {exc}"), request_id
+            )
+        metrics.counter("server.bytes_out").inc(len(response))
+        writer.write(response)
+        await writer.drain()
+
     # ------------------------------------------------------------------
     # Request scheduling
     # ------------------------------------------------------------------
 
     async def _serve_request(
-        self, opcode: Opcode, request_id: int, payload: bytes
-    ) -> bytes:
-        metrics = self.db.obs.metrics
+        self,
+        opcode: Opcode,
+        request_id: int,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        *,
+        wire_trace: tuple[int, int] | None = None,
+        admission_ms: float = 0.0,
+    ) -> None:
+        db = self.db
+        metrics = db.obs.metrics
         txn_id = self._next_txn
         self._next_txn += 1
         self.inflight += 1
@@ -222,25 +414,28 @@ class EOSServer:
         if is_write:
             self.write_queued += 1
         metrics.gauge("server.inflight").set(self.inflight)
+        req = _RequestTrace(db.obs.tracer, opcode, wire_trace, admission_ms)
         t0 = time.perf_counter()
+        status = Status.OK
+        error: str | None = None
+        result = b""
+        failure: BaseException | None = None
         try:
             result = await asyncio.wait_for(
-                self._execute(opcode, payload, txn_id), self.request_timeout
+                self._execute(opcode, payload, txn_id, req), self.request_timeout
             )
-            response = protocol.encode_response(Status.OK, request_id, result)
         except asyncio.TimeoutError:
-            response = protocol.encode_error(
-                RequestTimeout(
-                    f"request exceeded the {self.request_timeout:g}s budget"
-                ),
-                request_id,
+            failure = RequestTimeout(
+                f"request exceeded the {self.request_timeout:g}s budget"
             )
+            status, error = Status.TIMEOUT, failure.__class__.__name__
         except ReproError as exc:
-            response = protocol.encode_error(exc, request_id)
+            failure = exc
+            status = protocol.status_for_exception(exc)
+            error = exc.__class__.__name__
         except Exception as exc:  # never let one request kill the session
-            response = protocol.encode_error(
-                ReproError(f"{exc.__class__.__name__}: {exc}"), request_id
-            )
+            failure = ReproError(f"{exc.__class__.__name__}: {exc}")
+            status, error = Status.SERVER_ERROR, exc.__class__.__name__
         finally:
             self.locks.release_all(txn_id)
             self._pulse_released()
@@ -248,12 +443,67 @@ class EOSServer:
             if is_write:
                 self.write_queued -= 1
             metrics.gauge("server.inflight").set(self.inflight)
-            metrics.counter("server.requests").inc()
-            metrics.counter(f"server.requests.{opcode.name.lower()}").inc()
-            metrics.histogram("server.latency_ms").observe(
-                (time.perf_counter() - t0) * 1000.0
-            )
-        return response
+
+        # Stage 4: serialize the response.  Accounting happens *before*
+        # the frame is written, so a client that has seen the response is
+        # guaranteed to see the request in the metrics too.
+        e0 = time.perf_counter()
+        if failure is None:
+            response = protocol.encode_response(Status.OK, request_id, result)
+        else:
+            response = protocol.encode_error(failure, request_id)
+        req.encode_ms = (time.perf_counter() - e0) * 1000.0
+        total_ms = admission_ms + (time.perf_counter() - t0) * 1000.0
+        self._account(req, request_id, status, error, total_ms, len(response))
+        metrics.counter("server.bytes_out").inc(len(response))
+        writer.write(response)
+        await writer.drain()
+
+    def _account(
+        self,
+        req: _RequestTrace,
+        request_id: int,
+        status: Status,
+        error: str | None,
+        total_ms: float,
+        bytes_out: int,
+    ) -> None:
+        """Metrics, spans and the flight entry for one finished request."""
+        metrics = self.db.obs.metrics
+        metrics.counter("server.requests").inc()
+        metrics.counter(f"server.requests.{req.opcode.name.lower()}").inc()
+        if error is not None:
+            metrics.counter("server.errors").inc()
+        metrics.histogram("server.latency_ms").observe(total_ms)
+        metrics.histogram("server.admission_wait_ms").observe(req.admission_ms)
+        metrics.histogram("server.lock_wait_ms").observe(req.lock_wait_ms)
+        metrics.histogram("server.execute_ms").observe(req.exec_ms)
+        metrics.histogram("server.encode_ms").observe(req.encode_ms)
+        req.emit(status, error, total_ms)
+        entry = {
+            "ts": round(time.time(), 3),
+            "request_id": request_id,
+            "opcode": req.opcode.name.lower(),
+            "status": status.name.lower(),
+            "bytes_out": bytes_out,
+            "ms": {
+                "total": round(total_ms, 3),
+                "admission": round(req.admission_ms, 3),
+                "lock": round(req.lock_wait_ms, 3),
+                "execute": round(req.exec_ms, 3),
+                "encode": round(req.encode_ms, 3),
+            },
+        }
+        if req.oid is not None:
+            entry["oid"] = req.oid
+        if error is not None:
+            entry["error"] = error
+        if req.trace_id:
+            entry["trace"] = req.trace_id
+            entry["span"] = req.root_id
+        self.flight.record(entry)
+        if status is not Status.OK:
+            self._incident(f"status-{status.name.lower()}")
 
     def _pulse_released(self) -> None:
         """Wake every request parked on a lock conflict."""
@@ -261,21 +511,32 @@ class EOSServer:
         self._released = asyncio.Event()
         event.set()
 
-    async def _acquire(self, txn_id: int, acquire: Callable[[], None]) -> None:
+    async def _acquire(
+        self, txn_id: int, acquire: Callable[[], None], req: _RequestTrace
+    ) -> None:
         """Retry a try-acquire until it succeeds, parking between tries.
 
         The overall request timeout (``wait_for`` in the caller) bounds
         the wait; cancellation releases the transaction's locks in the
-        caller's ``finally``.
+        caller's ``finally``.  The time spent here is the request's
+        lock-wait phase.
         """
-        while True:
-            try:
-                acquire()
-                return
-            except LockConflict:
-                await self._released.wait()
+        req.locked = True
+        t0 = time.perf_counter()
+        try:
+            while True:
+                try:
+                    acquire()
+                    return
+                except LockConflict:
+                    req.lock_waits += 1
+                    await self._released.wait()
+        finally:
+            req.lock_wait_ms += (time.perf_counter() - t0) * 1000.0
 
-    async def _execute(self, opcode: Opcode, payload: bytes, txn_id: int) -> bytes:
+    async def _execute(
+        self, opcode: Opcode, payload: bytes, txn_id: int, req: _RequestTrace
+    ) -> bytes:
         if self.op_hook is not None:
             await self.op_hook(opcode)
         db = self.db
@@ -284,31 +545,39 @@ class EOSServer:
 
         async def run(op: Callable[[], object]) -> object:
             # The span covers exactly the op, opened in the worker thread
-            # under the database's op lock so span nesting stays sound.
+            # under the database's op lock so span nesting stays sound;
+            # .under() hangs it below this request's root span.
             def locked() -> object:
                 with db.op_lock:
                     with db.obs.tracer.span(
-                        "server.request", opcode=opcode.name.lower()
-                    ):
+                        "server.execute", opcode=opcode.name.lower()
+                    ).under(req.trace_id, req.root_id):
                         return op()
 
-            return await loop.run_in_executor(None, locked)
+            t0 = time.perf_counter()
+            try:
+                return await loop.run_in_executor(None, locked)
+            finally:
+                req.exec_ms += (time.perf_counter() - t0) * 1000.0
 
         if opcode is Opcode.PING:
             return payload
         if opcode is Opcode.CREATE:
             data, size_hint = protocol.unpack_create(payload)
             oid = await run(lambda: db.op_create(data, size_hint=size_hint))
+            req.oid = oid
             return protocol.pack_u64(oid)
         if opcode is Opcode.APPEND:
             oid, data = protocol.unpack_oid_data(payload)
+            req.oid = oid
             await self._acquire(
-                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X)
+                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X), req
             )
             size = await run(lambda: db.op_append(oid, data))
             return protocol.pack_u64(size)
         if opcode is Opcode.READ:
             oid, offset, length = protocol.unpack_oid_offset_length(payload)
+            req.oid = oid
             if length > self.max_payload:
                 raise ProtocolError(
                     f"read of {length} bytes exceeds the "
@@ -319,42 +588,49 @@ class EOSServer:
                 lambda: locks.acquire_range(
                     txn_id, oid, offset, offset + length, LockMode.S
                 ),
+                req,
             )
             return await run(lambda: db.op_read(oid, offset, length))
         if opcode is Opcode.WRITE:
             oid, offset, data = protocol.unpack_oid_offset_data(payload)
+            req.oid = oid
             await self._acquire(
                 txn_id,
                 lambda: locks.acquire_range(
                     txn_id, oid, offset, offset + len(data), LockMode.X
                 ),
+                req,
             )
             size = await run(lambda: db.op_write(oid, offset, data))
             return protocol.pack_u64(size)
         if opcode is Opcode.INSERT:
             oid, offset, data = protocol.unpack_oid_offset_data(payload)
+            req.oid = oid
             await self._acquire(
-                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X)
+                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X), req
             )
             size = await run(lambda: db.op_insert(oid, offset, data))
             return protocol.pack_u64(size)
         if opcode is Opcode.DELETE:
             oid, offset, length = protocol.unpack_oid_offset_length(payload)
+            req.oid = oid
             await self._acquire(
-                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X)
+                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X), req
             )
             size = await run(lambda: db.op_delete(oid, offset, length))
             return protocol.pack_u64(size)
         if opcode is Opcode.SIZE:
             oid = protocol.unpack_oid(payload)
+            req.oid = oid
             await self._acquire(
-                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S)
+                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S), req
             )
             return protocol.pack_u64(await run(lambda: db.op_size(oid)))
         if opcode is Opcode.STAT:
             oid = protocol.unpack_oid(payload)
+            req.oid = oid
             await self._acquire(
-                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S)
+                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S), req
             )
             stat = await run(lambda: db.op_stat(oid))
             return protocol.pack_stat(RemoteStat(**stat))

@@ -3,25 +3,35 @@
 Subcommands::
 
     python -m repro.tools.servectl serve --port 7433 --pages 20000
+    python -m repro.tools.servectl serve --metrics-port 9100 --trace srv.jsonl
     python -m repro.tools.servectl ping --port 7433
     python -m repro.tools.servectl put --port 7433 somefile
     python -m repro.tools.servectl get --port 7433 1 --offset 0 --length 64
     python -m repro.tools.servectl list --port 7433
+    python -m repro.tools.servectl metrics --port 7433
+    python -m repro.tools.servectl top --port 7433 --interval 2
+    python -m repro.tools.servectl dump-flight --port 7433 -o flight.jsonl
     python -m repro.tools.servectl bench-smoke --port 7433 --clients 4 --ops 50
     python -m repro.tools.servectl bench-smoke --spawn   # self-contained
 
 ``serve`` runs a fresh in-memory database (or ``--image`` to serve a
-saved volume) until interrupted.  ``bench-smoke`` drives concurrent
-clients through an append/read/insert mix and verifies every byte; with
-``--spawn`` it also starts the server in-process on a background thread
-and fails (exit 1) if any asyncio task leaks across server shutdown —
-that mode is what CI runs.
+saved volume) until interrupted; ``--metrics-port`` adds the Prometheus
+/healthz HTTP sidecar, ``--flight-dir`` is where incident flight dumps
+land (SIGUSR1 forces one), and ``--trace`` writes the server's span
+stream to a JSON-lines file.  ``metrics``/``top``/``dump-flight`` use
+the exposition opcodes, which the server answers even while overloaded.
+``bench-smoke`` drives concurrent clients through an append/read/insert
+mix and verifies every byte; with ``--spawn`` it also starts the server
+in-process on a background thread and fails (exit 1) if any asyncio
+task leaks across server shutdown — that mode is what CI runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import signal
 import struct
 import sys
 import threading
@@ -30,6 +40,7 @@ import time
 from repro.api import EOSDatabase
 from repro.errors import ReproError
 from repro.server.client import EOSClient
+from repro.server.expo import MetricsHTTPServer
 from repro.server.server import EOSServer
 
 DEFAULT_PORT = 7433
@@ -40,7 +51,12 @@ def _make_database(args: argparse.Namespace) -> EOSDatabase:
         db = EOSDatabase.open_file(args.image)
     else:
         db = EOSDatabase.create(num_pages=args.pages, page_size=args.page_size)
-    db.obs.enable()  # metrics on; no sinks unless asked
+    sinks = []
+    if getattr(args, "trace", None):
+        from repro.obs.sinks import JsonLinesSink
+
+        sinks.append(JsonLinesSink(args.trace))
+    db.obs.enable(sinks=sinks)  # metrics always on for a served database
     return db
 
 
@@ -59,20 +75,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         max_write_queue=args.max_write_queue,
         request_timeout=args.timeout,
+        flight_dump_dir=args.flight_dir,
     )
+    sidecar: MetricsHTTPServer | None = None
+
+    def dump_flight() -> None:
+        path = server.dump_flight("sigusr1")
+        print(f"flight dump written to {path}", flush=True)
 
     async def main() -> None:
         await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGUSR1, dump_flight)
+        except (NotImplementedError, AttributeError, ValueError):
+            pass  # platform without SIGUSR1 (or a non-main thread)
         print(f"serving on {server.host}:{server.port} "
               f"(inflight cap {server.max_inflight}, "
-              f"write queue {server.max_write_queue})", flush=True)
+              f"write queue {server.max_write_queue}; "
+              f"flight dumps -> {args.flight_dir})", flush=True)
+        if sidecar is not None:
+            print(f"metrics on http://{sidecar.host}:{sidecar.port}/metrics "
+                  f"(health on /healthz)", flush=True)
         await server.serve_forever()
 
+    if args.metrics_port is not None:
+        sidecar = MetricsHTTPServer(
+            db, server, host=args.host, port=args.metrics_port
+        ).start()
     try:
         asyncio.run(main())
     except KeyboardInterrupt:
         print("interrupted; shutting down")
     finally:
+        if sidecar is not None:
+            sidecar.stop()
         db.close()
     return 0
 
@@ -129,6 +166,97 @@ def cmd_list(args: argparse.Namespace) -> int:
         print(f"{oid}\t{size}")
     print(f"({len(listing)} objects)", file=sys.stderr)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# metrics / top / dump-flight
+# ---------------------------------------------------------------------------
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Print the server's live status document as JSON."""
+    with EOSClient(args.host, args.port, timeout=args.timeout) as client:
+        doc = client.metrics()
+    json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+def cmd_dump_flight(args: argparse.Namespace) -> int:
+    """Fetch the server's flight-recorder snapshot (JSON lines)."""
+    with EOSClient(args.host, args.port, timeout=args.timeout) as client:
+        text = client.flight()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        header = json.loads(text.splitlines()[0])
+        print(f"wrote {args.output}: {header.get('entries', 0)} request "
+              f"summaries, {header.get('spans', 0)} spans")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def render_top(doc: dict, rate: float | None) -> str:
+    """The live console view for one status document."""
+    server = doc.get("server") or {}
+    m = doc.get("metrics") or {}
+    stats = doc.get("stats") or {}
+    space = doc.get("space") or {}
+    lat = m.get("server.latency_ms") or {}
+    rate_s = f"{rate:8.1f} req/s" if rate is not None else "       - req/s"
+    lines = [
+        f"eos-server {server.get('host', '?')}:{server.get('port', '?')}"
+        f"  up {server.get('uptime_s', 0.0):.1f}s",
+        f"requests {m.get('server.requests', 0)}  {rate_s}"
+        f"  inflight {server.get('inflight', 0)}/{server.get('max_inflight', '?')}"
+        f"  writes queued {server.get('write_queued', 0)}"
+        f"/{server.get('max_write_queue', '?')}"
+        f"  rejections {m.get('server.rejections', 0)}"
+        f"  errors {m.get('server.errors', 0)}",
+        f"latency ms  p50 {lat.get('p50', 0.0):.2f}  p95 {lat.get('p95', 0.0):.2f}"
+        f"  p99 {lat.get('p99', 0.0):.2f}  max {lat.get('max') or 0.0:.2f}"
+        f"  (n={lat.get('count', 0)})",
+    ]
+    buffer = stats.get("buffer") or {}
+    line = f"buffer hit {buffer.get('hit_ratio', 0.0) * 100.0:.1f}%"
+    if space:
+        line += (
+            f"  buddy free {space.get('free_pages', 0)}"
+            f"/{space.get('total_pages', 0)} pages"
+            f" (util {space.get('utilization', 0.0) * 100.0:.1f}%)"
+        )
+    lines.append(line)
+    flight = server.get("flight") or {}
+    lines.append(
+        f"flight ring {flight.get('entries', 0)} entries, "
+        f"{flight.get('dumps', 0)} dump(s)"
+    )
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live console view: req/s, inflight, latency quantiles, space."""
+    prev: tuple[float, int] | None = None
+    try:
+        with EOSClient(args.host, args.port, timeout=args.timeout) as client:
+            while True:
+                doc = client.metrics()
+                now = time.monotonic()
+                requests = (doc.get("metrics") or {}).get("server.requests", 0)
+                rate = None
+                if prev is not None and now > prev[0]:
+                    rate = (requests - prev[1]) / (now - prev[0])
+                prev = (now, requests)
+                if not args.once and sys.stdout.isatty():
+                    sys.stdout.write("\x1b[H\x1b[J")  # clear, like top(1)
+                print(render_top(doc, rate), flush=True)
+                if args.once:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 # ---------------------------------------------------------------------------
@@ -281,6 +409,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--image", help="serve a volume written by EOSDatabase.save()")
     p.add_argument("--max-inflight", type=int, default=64)
     p.add_argument("--max-write-queue", type=int, default=16)
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="also serve Prometheus /metrics and /healthz over "
+                        "HTTP on this port (0 = ephemeral)")
+    p.add_argument("--flight-dir", default="eos-flight",
+                   help="directory for incident flight dumps "
+                        "(default ./eos-flight; SIGUSR1 forces one)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the server's span stream to a JSON-lines file "
+                        "(render with repro.tools.tracefmt)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("ping", help="round-trip a frame")
@@ -304,6 +441,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list", help="list objects as oid<TAB>size")
     _add_endpoint(p)
     p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("metrics", help="print the live status document (JSON)")
+    _add_endpoint(p)
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("top", help="live req/s, inflight, latency quantiles")
+    _add_endpoint(p)
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "dump-flight",
+        help="fetch the server's flight-recorder ring as JSON lines",
+    )
+    _add_endpoint(p)
+    p.add_argument("-o", "--output",
+                   help="write to this file instead of stdout")
+    p.set_defaults(func=cmd_dump_flight)
 
     p = sub.add_parser(
         "bench-smoke",
@@ -330,6 +488,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"servectl: error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited; conventional quiet exit.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
     except OSError as exc:
         print(f"servectl: error: {exc}", file=sys.stderr)
         return 1

@@ -5,11 +5,27 @@ CLI::
     python -m repro.tools.tracefmt trace.jsonl
     python -m repro.tools.tracefmt trace.jsonl --summary-only
     python -m repro.tools.tracefmt trace.jsonl --metrics
+    python -m repro.tools.tracefmt trace.jsonl --op append --min-ms 5
+    python -m repro.tools.tracefmt client.jsonl --merge server.jsonl
 
 Reads the output of :class:`~repro.obs.sinks.JsonLinesSink`: one JSON
 object per line, spans marked ``"kind": "span"`` plus at most a few
 ``"kind": "metrics"`` snapshot lines.  Unparseable lines are counted and
 reported, not fatal — a trace truncated by a crash still renders.
+Flight-recorder dumps (:mod:`repro.obs.flight`) also load, since their
+span lines use the same schema.
+
+Filters (``--op``, ``--oid``, ``--min-ms``) keep *whole traces*: when
+any span in a trace matches every given filter, the full tree renders —
+a matching request keeps its children and its remote half.
+
+``--merge`` combines two trace files — typically a client's and a
+server's — into one forest.  Span ids are namespaced per file so the
+two processes' independently allocated ids cannot collide, and a span
+marked ``remote_parent`` (the server-side request root carrying the
+client's wire-propagated span id) has its parent resolved into the
+*other* file's namespace, which hangs the server's tree under the
+client's ``client.request`` span.
 """
 
 from __future__ import annotations
@@ -50,6 +66,60 @@ def load_trace(path: str | os.PathLike) -> tuple[list[dict], dict | None, int]:
     return spans, metrics, bad
 
 
+def filter_spans(
+    spans: list[dict],
+    *,
+    op: str | None = None,
+    oid: int | None = None,
+    min_ms: float | None = None,
+) -> list[dict]:
+    """Keep the traces in which at least one span matches every filter.
+
+    ``op`` matches a span's ``opcode`` attribute or the last segment of
+    its name (so ``--op append`` finds both ``server.request
+    [opcode=append]`` and ``op.append``); ``oid`` matches the ``oid``
+    attribute; ``min_ms`` is a lower bound on ``elapsed_ms``.
+    """
+    if op is None and oid is None and min_ms is None:
+        return spans
+
+    def matches(record: dict) -> bool:
+        attrs = record.get("attrs") or {}
+        if op is not None:
+            leaf = record.get("name", "").rsplit(".", 1)[-1]
+            if attrs.get("opcode") != op and leaf != op:
+                return False
+        if oid is not None and attrs.get("oid") != oid:
+            return False
+        if min_ms is not None and record.get("elapsed_ms", 0.0) < min_ms:
+            return False
+        return True
+
+    keep = {r.get("trace") for r in spans if matches(r)}
+    return [r for r in spans if r.get("trace") in keep]
+
+
+def merge_traces(spans_a: list[dict], spans_b: list[dict]) -> list[dict]:
+    """One span forest from two processes' trace files.
+
+    Span ids (and local parent ids) are prefixed with the file's
+    namespace; a ``remote_parent`` id is resolved into the *other*
+    file's namespace.  Trace ids are left alone — the wire propagated
+    them, so equality across files is exactly what links the trees.
+    """
+    merged: list[dict] = []
+    for tag, other, spans in (("a", "b", spans_a), ("b", "a", spans_b)):
+        for record in spans:
+            record = dict(record)
+            record["span"] = f"{tag}:{record['span']}"
+            parent = record.get("parent")
+            if parent is not None:
+                ns = other if record.get("remote_parent") else tag
+                record["parent"] = f"{ns}:{parent}"
+            merged.append(record)
+    return merged
+
+
 def render_trace(
     path: str | os.PathLike,
     *,
@@ -57,9 +127,19 @@ def render_trace(
     summary: bool = True,
     metrics: bool = False,
     max_spans: int = 200,
+    merge: str | os.PathLike | None = None,
+    op: str | None = None,
+    oid: int | None = None,
+    min_ms: float | None = None,
 ) -> str:
-    """The formatted report for one trace file."""
+    """The formatted report for one trace file (or a merged pair)."""
     spans, metrics_snapshot, bad = load_trace(path)
+    if merge is not None:
+        other_spans, _, other_bad = load_trace(merge)
+        spans = merge_traces(spans, other_spans)
+        bad += other_bad
+    total = len(spans)
+    spans = filter_spans(spans, op=op, oid=oid, min_ms=min_ms)
     parts: list[str] = []
     if tree:
         parts.append(format_tree(spans, max_spans=max_spans))
@@ -73,6 +153,8 @@ def render_trace(
             )
         else:
             parts.append("metrics: none recorded")
+    if len(spans) != total:
+        parts.append(f"(filters kept {len(spans)} of {total} spans)")
     if bad:
         parts.append(f"({bad} unparseable line(s) skipped)")
     return "\n\n".join(parts)
@@ -86,6 +168,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("trace", help="path to a JsonLinesSink output file")
     parser.add_argument(
+        "--merge", metavar="TRACE2",
+        help="merge a second trace file (e.g. the server's) into one "
+             "forest, resolving wire-propagated parents across the two",
+    )
+    parser.add_argument(
         "--summary-only", action="store_true",
         help="skip the span tree, print only the aggregate table",
     )
@@ -97,6 +184,19 @@ def main(argv: list[str] | None = None) -> int:
         "--max-spans", type=int, default=200,
         help="limit the tree to this many spans (default 200)",
     )
+    parser.add_argument(
+        "--op", metavar="NAME",
+        help="keep only traces touching this opcode or span-name leaf "
+             "(e.g. append, read)",
+    )
+    parser.add_argument(
+        "--oid", type=int,
+        help="keep only traces touching this object id",
+    )
+    parser.add_argument(
+        "--min-ms", type=float, dest="min_ms",
+        help="keep only traces with a span at least this many ms long",
+    )
     args = parser.parse_args(argv)
     try:
         report = render_trace(
@@ -104,9 +204,13 @@ def main(argv: list[str] | None = None) -> int:
             tree=not args.summary_only,
             metrics=args.metrics,
             max_spans=args.max_spans,
+            merge=args.merge,
+            op=args.op,
+            oid=args.oid,
+            min_ms=args.min_ms,
         )
     except OSError as exc:
-        parser.exit(2, f"{parser.prog}: error: cannot read {args.trace}: {exc.strerror}\n")
+        parser.exit(2, f"{parser.prog}: error: cannot read a trace file: {exc.strerror}\n")
     print(report)
     return 0
 

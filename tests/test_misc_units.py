@@ -105,6 +105,55 @@ class TestExperimentReport:
         delta = IODelta(seeks=2, page_reads=3)
         assert report.cost_ms(delta) == pytest.approx(2 * 16.0 + 3 * 1.33)
 
+    def test_emit_writes_bench_json_artifact(self, tmp_path):
+        from repro.bench.jsonout import bench_json_path, load_bench_json
+
+        report = ExperimentReport("T3", "json artifact", ["n", "ms"], page_size=512)
+        report.set_params(object_bytes=4096, mode="unit")
+        report.add_row([1, 2.5])
+        report.add_row([2, 3.75])
+        report.note("a footnote")
+        report.set_io(seeks=11, page_transfers=16)
+        report.emit(directory=str(tmp_path))
+        doc = load_bench_json(bench_json_path(tmp_path, "T3"))
+        assert doc["schema"] == "eos-bench-v1"
+        assert doc["bench"] == "T3"
+        assert doc["columns"] == ["n", "ms"]
+        # Raw values survive (the text table formats, the JSON does not).
+        assert doc["rows"] == [[1, 2.5], [2, 3.75]]
+        assert doc["params"]["object_bytes"] == 4096
+        assert doc["params"]["page_size"] == 512
+        assert doc["io"] == {"seeks": 11, "page_transfers": 16}
+        assert doc["wall_ms"] > 0
+        assert doc["notes"] == ["a footnote"]
+
+    def test_bench_json_io_from_live_stats_source(self, tmp_path):
+        from repro import EOSDatabase
+        from repro.bench.jsonout import bench_json_path, load_bench_json
+
+        db = EOSDatabase.create(num_pages=256, page_size=512)
+        try:
+            db.create_object(b"x" * 4096)
+            report = ExperimentReport("T4", "io capture", ["x"], page_size=512)
+            report.attach_stats(db)
+            report.add_row([1])
+            report.emit(directory=str(tmp_path))
+        finally:
+            db.close()
+        doc = load_bench_json(bench_json_path(tmp_path, "T4"))
+        assert doc["io"]["seeks"] > 0
+        assert doc["io"]["page_transfers"] > 0
+
+    def test_load_bench_json_rejects_wrong_schema(self, tmp_path):
+        import json
+
+        from repro.bench.jsonout import load_bench_json
+
+        path = tmp_path / "BENCH_X.json"
+        path.write_text(json.dumps({"schema": "other-v9"}))
+        with pytest.raises(ValueError, match="unexpected schema"):
+            load_bench_json(path)
+
 
 class TestThresholdPolicy:
     def test_fixed_ignores_fill(self):

@@ -547,3 +547,233 @@ class TestRecoveryInstrumentation:
         assert snap["recovery.log.records"] == len(manager.log)
         assert snap["recovery.log.bytes"] > 0
         assert snap["shadow.relocations"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Thread safety, percentiles, flight recorder, Prometheus, trace tooling
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsThreadSafety:
+    def test_threaded_increments_are_not_lost(self):
+        """Regression: instruments take their lock, so no update is lost."""
+        import threading
+
+        registry = MetricsRegistry()
+        n_threads, n_incs = 8, 2000
+        counter = registry.counter("t.count")
+        hist = registry.histogram("t.hist")
+        gauge = registry.gauge("t.gauge")
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for i in range(n_incs):
+                counter.inc()
+                hist.observe(float(i % 50))
+                gauge.set(float(i))
+                # get-or-create must also be safe under contention
+                registry.counter("t.raced").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        total = n_threads * n_incs
+        assert counter.snapshot() == total
+        assert registry.counter("t.raced").snapshot() == total
+        snap = hist.snapshot()
+        assert snap["count"] == total
+        assert sum(snap["buckets"].values()) == total
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_reports_zero(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("h")
+        assert h.percentile(0.5) == 0.0
+        snap = h.snapshot()
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 0.0
+
+    def test_estimates_monotone_and_clamped(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("h", bounds=[1, 2, 4, 8, 16])
+        for v in (0.5, 1.5, 3.0, 7.0, 7.5, 12.0):
+            h.observe(v)
+        assert h.percentile(0.0) == 0.5
+        assert h.percentile(1.0) == 12.0
+        estimates = [h.percentile(q / 20) for q in range(21)]
+        assert estimates == sorted(estimates)
+        assert all(0.5 <= e <= 12.0 for e in estimates)
+
+    def test_overflow_bucket_interpolates_toward_max(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("h", bounds=[1])
+        for v in (5.0, 50.0, 500.0):
+            h.observe(v)
+        p99 = h.percentile(0.99)
+        assert 1.0 <= p99 <= 500.0
+        snap = h.snapshot()
+        assert snap["buckets"][">1"] == 3
+
+
+class TestFlightRecorder:
+    def _recorder(self, **kw):
+        from repro.obs.flight import FlightRecorder
+
+        return FlightRecorder(**kw)
+
+    def test_record_redacts_payloads_and_evicts(self):
+        ring = self._recorder(capacity=2)
+        ring.record({"opcode": "create", "payload": b"secret", "n": 1})
+        ring.record({"opcode": "append", "data": "secret", "n": 2})
+        ring.record({"opcode": "read", "error": "x" * 1000, "n": 3})
+        entries = ring.entries()
+        assert [e["n"] for e in entries] == [2, 3]  # oldest evicted
+        assert all("payload" not in e and "data" not in e for e in entries)
+        assert len(entries[1]["error"]) <= 256
+        assert entries[1]["error"].endswith("…")
+        assert all(e["kind"] == "flight" for e in entries)
+
+    def test_bytes_values_never_reach_a_dump(self):
+        ring = self._recorder()
+        ring.record({"opcode": "write", "detail": {"raw": b"\x00\x01"}})
+        text = ring.to_jsonl()
+        assert "secret" not in text
+        assert "2 bytes redacted" in text
+
+    def test_dump_and_load_roundtrip(self, tmp_path):
+        from repro.obs.flight import load_flight
+
+        ring = self._recorder()
+        ring.record({"opcode": "read", "status": "ok"})
+        ring.on_span({"kind": "span", "name": "server.request", "span": 1,
+                      "trace": 7, "elapsed_ms": 1.5})
+        path = ring.dump(tmp_path, reason="unit test!")
+        assert "unit-test-" in path and path.endswith(".jsonl")
+        header, entries, spans = load_flight(path)
+        assert header["reason"] == "unit test!"
+        assert header["entries"] == 1 and header["spans"] == 1
+        assert entries[0]["opcode"] == "read"
+        assert spans[0]["name"] == "server.request"
+        assert ring.dumps == 1 and ring.last_dump_path == path
+
+    def test_maybe_dump_rate_limited(self, tmp_path):
+        ring = self._recorder(min_dump_interval=3600.0)
+        ring.record({"opcode": "read"})
+        first = ring.maybe_dump(tmp_path, reason="storm")
+        assert first is not None
+        assert ring.maybe_dump(tmp_path, reason="storm") is None
+        assert ring.dumps == 1
+
+    def test_flight_dump_renders_with_tracefmt(self, tmp_path):
+        ring = self._recorder()
+        ring.on_span({"kind": "span", "name": "server.request", "span": 1,
+                      "trace": 7, "elapsed_ms": 1.5})
+        path = ring.dump(tmp_path)
+        out = render_trace(path)
+        assert "server.request" in out
+
+
+class TestPromRendering:
+    def test_render_prometheus_text(self):
+        from repro.obs.prom import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("server.requests").inc(3)
+        registry.gauge("buffer.hit_ratio").set(0.75)
+        hist = registry.histogram("server.latency_ms", bounds=[1, 10, 100])
+        for v in (0.5, 5.0, 50.0, 5000.0):
+            hist.observe(v)
+        text = render_prometheus(
+            registry, extra_gauges={"buddy.free_pages": 10}
+        )
+        lines = text.splitlines()
+        assert "# TYPE eos_server_requests counter" in lines
+        assert "eos_server_requests 3" in lines
+        assert "eos_buffer_hit_ratio 0.75" in lines
+        assert "eos_buddy_free_pages 10" in lines
+        # Buckets are cumulative and end at +Inf == count.
+        assert 'eos_server_latency_ms_bucket{le="1"} 1' in lines
+        assert 'eos_server_latency_ms_bucket{le="10"} 2' in lines
+        assert 'eos_server_latency_ms_bucket{le="100"} 3' in lines
+        assert 'eos_server_latency_ms_bucket{le="+Inf"} 4' in lines
+        assert "eos_server_latency_ms_count 4" in lines
+        assert any(line.startswith("eos_server_latency_ms_p99 ") for line in lines)
+
+    def test_null_registry_renders_empty(self):
+        from repro.obs.prom import render_prometheus
+
+        assert render_prometheus(NULL_METRICS) == "\n"
+
+    def test_metric_name_sanitization(self):
+        from repro.obs.prom import metric_name
+
+        assert metric_name("server.latency_ms") == "eos_server_latency_ms"
+        assert metric_name("weird-name/x") == "eos_weird_name_x"
+        assert metric_name("9lives") == "eos__9lives"
+
+
+class TestTracefmtTooling:
+    def _spans(self):
+        return [
+            {"kind": "span", "trace": 1, "span": 1, "parent": None,
+             "name": "client.request", "elapsed_ms": 5.0,
+             "attrs": {"opcode": "read", "oid": 42}},
+            {"kind": "span", "trace": 1, "span": 2, "parent": 1,
+             "name": "client.send", "elapsed_ms": 0.1, "attrs": {}},
+            {"kind": "span", "trace": 2, "span": 3, "parent": None,
+             "name": "client.request", "elapsed_ms": 0.5,
+             "attrs": {"opcode": "append", "oid": 7}},
+        ]
+
+    def test_filter_keeps_whole_traces(self):
+        from repro.tools.tracefmt import filter_spans
+
+        spans = self._spans()
+        kept = filter_spans(spans, op="read")
+        # trace 1 matches; its child rides along even though it doesn't
+        assert [s["span"] for s in kept] == [1, 2]
+        assert filter_spans(spans, oid=7) == [spans[2]]
+        assert filter_spans(spans, min_ms=1.0) == spans[:2]
+        assert filter_spans(spans, op="read", min_ms=10.0) == []
+        # op also matches span-name leaves
+        assert [s["span"] for s in filter_spans(spans, op="send")] == [1, 2]
+
+    def test_merge_namespaces_and_remote_parents(self):
+        from repro.tools.tracefmt import merge_traces
+
+        client = [
+            {"kind": "span", "trace": 9, "span": 5, "parent": None,
+             "name": "client.request", "elapsed_ms": 3.0},
+        ]
+        server = [
+            {"kind": "span", "trace": 9, "span": 5, "parent": 5,
+             "name": "server.request", "elapsed_ms": 2.0,
+             "remote_parent": True},
+            {"kind": "span", "trace": 9, "span": 6, "parent": 5,
+             "name": "server.execute", "elapsed_ms": 1.0},
+        ]
+        merged = merge_traces(client, server)
+        by_name = {r["name"]: r for r in merged}
+        # Ids collide across files (both use 5) but namespacing splits them.
+        assert by_name["client.request"]["span"] == "a:5"
+        assert by_name["server.request"]["span"] == "b:5"
+        # The remote parent resolves into the *other* file's namespace...
+        assert by_name["server.request"]["parent"] == "a:5"
+        # ...while local parents stay within their own file.
+        assert by_name["server.execute"]["parent"] == "b:5"
+        tree = format_tree(merged)
+        lines = tree.splitlines()
+        indents = {
+            name: len(line) - len(line.lstrip())
+            for line in lines
+            for name in ("client.request", "server.request", "server.execute")
+            if name in line
+        }
+        assert indents["client.request"] < indents["server.request"]
+        assert indents["server.request"] < indents["server.execute"]
