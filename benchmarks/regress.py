@@ -1,0 +1,72 @@
+"""CLI for the perf-regression gate — compare BENCH_*.json to a baseline.
+
+Usage (what CI runs after the benchmark jobs)::
+
+    PYTHONPATH=src python benchmarks/regress.py \
+        --baseline benchmarks/results/baseline/ \
+        --current benchmarks/results/ \
+        --throughput-tolerance 0.15
+
+Exits non-zero when any gated metric regresses past its tolerance:
+throughput may drop up to the tolerance (benchmarks are noisy); copy
+counts and head-model seek/transfer counts are deterministic, so any
+increase fails.  See :mod:`repro.bench.regress` for the comparison
+rules and :doc:`README` for how to refresh the baseline after an
+intentional performance change.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.bench.regress import Tolerances, compare_dirs
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(HERE, "results", "baseline"),
+        help="directory of committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current",
+        default=os.path.join(HERE, "results"),
+        help="directory of freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--throughput-tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional throughput drop (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--copies-tolerance",
+        type=float,
+        default=0.0,
+        help="allowed fractional copies-per-byte increase (default 0)",
+    )
+    parser.add_argument(
+        "--io-tolerance",
+        type=float,
+        default=0.0,
+        help="allowed fractional seek/transfer increase (default 0)",
+    )
+    args = parser.parse_args(argv)
+    report = compare_dirs(
+        args.baseline,
+        args.current,
+        Tolerances(
+            throughput=args.throughput_tolerance,
+            copies=args.copies_tolerance,
+            io=args.io_tolerance,
+        ),
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""The five repo-specific lint rules, EOS001-EOS005.
+"""The six repo-specific lint rules, EOS001-EOS006.
 
 Each rule guards one invariant the type system cannot express:
 
@@ -28,6 +28,14 @@ Each rule guards one invariant the type system cannot express:
   superdirectory ``_super``) is mutated only inside ``buddy/``.  The
   sanitizer in :mod:`repro.analysis.buddycheck` checks the *result*;
   this rule checks the *access path*.
+* **EOS006** — no bare ``bytes(...)`` materialization of page-sized
+  buffers in the data-path hot modules (``storage/disk.py``,
+  ``storage/buffer.py`` and the ``core/`` object-operation modules).
+  The zero-copy discipline is that payload moves as ``memoryview``
+  slices; the one sanctioned way to hand a caller an owning copy is
+  :func:`repro.util.copytrace.materialize`, which keeps the copy
+  explicit and accounted.  Zero-fill constructors (``bytes(n)``) and
+  literals are not copies and are not flagged.
 
 Every rule is suppressable with ``# eos-lint: disable=EOS00x`` on the
 finding's line (file-wide within the first five lines) — see
@@ -183,7 +191,14 @@ _SUBSTRATE_FILES = {
     "api.py",        # owns the page-0 catalog region
     "tools/fsck.py",  # validates raw pages by design
 }
-_DISK_PRIMITIVES = {"read_page", "write_page", "read_pages", "write_pages"}
+_DISK_PRIMITIVES = {
+    "read_page",
+    "write_page",
+    "read_pages",
+    "write_pages",
+    "view_pages",
+    "write_pages_v",
+}
 _SUBSTRATE_TYPES = {"DiskVolume", "BufferPool"}
 
 
@@ -418,3 +433,54 @@ def _is_amap_receiver(node: ast.AST) -> bool:
     return (isinstance(node, ast.Attribute) and node.attr == "amap") or (
         isinstance(node, ast.Name) and node.id == "amap"
     )
+
+
+# ---------------------------------------------------------------------------
+# EOS006 — bytes() materialization on the data path
+# ---------------------------------------------------------------------------
+
+#: Modules whose reads/writes carry whole-object payloads: a stray
+#: ``bytes(...)`` here re-copies megabytes per scan.
+_HOT_MODULES = {
+    "storage/disk.py",
+    "storage/buffer.py",
+    "core/segio.py",
+    "core/search.py",
+    "core/stream.py",
+    "core/append.py",
+    "core/insert.py",
+    "core/delete.py",
+    "core/reshuffle.py",
+    "core/object.py",
+}
+
+#: Argument shapes that name an existing buffer (conversion = a copy).
+#: ``bytes(Constant)`` and ``bytes(BinOp)`` are zero-fill constructors
+#: (``bytes(n_pages * ps - len(data))``), not copies.
+_BUFFER_ARG_NODES = (ast.Name, ast.Attribute, ast.Subscript, ast.Call)
+
+
+@register_rule("EOS006")
+def rule_eos006(tree: ast.AST, mod: str, lines: list[str]) -> list[Finding]:
+    """bytes() conversion of a buffer inside a data-path hot module."""
+    if mod not in _HOT_MODULES:
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not (isinstance(node.func, ast.Name) and node.func.id == "bytes"):
+            continue
+        if len(node.args) != 1 or node.keywords:
+            continue
+        if not isinstance(node.args[0], _BUFFER_ARG_NODES):
+            continue
+        findings.append(
+            _finding(
+                node,
+                "bytes(...) materializes a buffer copy on the data path; "
+                "pass memoryview slices through, or make the contract copy "
+                "explicit with copytrace.materialize()",
+            )
+        )
+    return findings

@@ -1,0 +1,248 @@
+"""The perf-regression gate: diff BENCH_*.json runs against a baseline.
+
+CI runs the benchmarks, which emit machine-readable ``BENCH_<ID>.json``
+artifacts (see :mod:`repro.bench.jsonout`), then calls
+``benchmarks/regress.py`` — a thin CLI over this module — to compare
+them against the committed snapshots in ``benchmarks/results/baseline/``.
+
+Each registered bench declares *extractors* that pull named metrics out
+of its document.  A metric carries a direction (``higher`` is better,
+or ``lower``) and a kind, which selects its tolerance:
+
+``throughput``
+    MB/s, requests/s.  Noisy; the default tolerance allows a 15% drop
+    before failing.
+``copies``
+    Copies per byte from the :mod:`~repro.util.copytrace` ledger.
+    Deterministic; *any* increase fails.
+``io``
+    Seeks and page transfers from the head-position model.
+    Deterministic; any increase fails (a small tolerance can be opted
+    into for benches with data-dependent placement).
+
+Unknown bench ids are ignored; a registered bench with no baseline
+snapshot is skipped (so new benches can land before their baseline);
+a baseline with no current artifact is a failure — the gate refuses to
+pass on a bench that silently stopped running.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.bench.jsonout import bench_json_path, load_bench_json
+
+__all__ = [
+    "Metric",
+    "Regression",
+    "Tolerances",
+    "GateReport",
+    "extract_metrics",
+    "compare_docs",
+    "compare_dirs",
+    "GATED_BENCHES",
+]
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named number pulled out of a bench document."""
+
+    name: str
+    value: float
+    #: "higher" — bigger is better; "lower" — smaller is better.
+    direction: str
+    #: Tolerance class: "throughput", "copies", or "io".
+    kind: str
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Allowed relative slack per metric kind (fraction, not percent)."""
+
+    throughput: float = 0.15
+    copies: float = 0.0
+    io: float = 0.0
+
+    def limit(self, metric: Metric, baseline: float) -> float:
+        """The worst acceptable current value for ``metric``."""
+        tol = getattr(self, metric.kind)
+        if metric.direction == "higher":
+            return baseline * (1.0 - tol)
+        return baseline * (1.0 + tol)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved past its tolerance."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+    limit: float
+
+    def describe(self) -> str:
+        """One human-readable line naming the regressed metric."""
+        return (
+            f"{self.bench}: {self.metric} regressed — baseline "
+            f"{self.baseline:g}, current {self.current:g} "
+            f"(limit {self.limit:g})"
+        )
+
+
+@dataclass
+class GateReport:
+    """The gate's verdict: failures plus human-readable context lines."""
+
+    failures: list[Regression] = field(default_factory=list)
+    checked: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        """The full gate report as printable text, verdict last."""
+        lines = []
+        for note in self.skipped:
+            lines.append(f"skip: {note}")
+        for line in self.checked:
+            lines.append(f"  ok: {line}")
+        for failure in self.failures:
+            lines.append(f"FAIL: {failure.describe()}")
+        lines.append(
+            "perf gate: "
+            + ("PASS" if self.ok else f"{len(self.failures)} regression(s)")
+        )
+        return "\n".join(lines)
+
+
+def _row_map(doc: Mapping, key_column: int = 0) -> dict:
+    return {row[key_column]: row for row in doc.get("rows", [])}
+
+
+def _extract_datapath(doc: Mapping) -> list[Metric]:
+    """DATAPATH rows: ``[path, copies_per_byte, mb_per_s]``."""
+    metrics = []
+    for path, copies, mbps in doc.get("rows", []):
+        metrics.append(
+            Metric(f"copies_per_byte[{path}]", float(copies), "lower", "copies")
+        )
+        metrics.append(
+            Metric(f"mb_per_s[{path}]", float(mbps), "higher", "throughput")
+        )
+    return metrics
+
+
+def _extract_e4(doc: Mapping) -> list[Metric]:
+    """E4 gates on the run's cumulative head-model counters."""
+    io = doc.get("io", {})
+    metrics = []
+    for name in ("seeks", "page_transfers"):
+        if name in io:
+            metrics.append(Metric(f"io.{name}", float(io[name]), "lower", "io"))
+    return metrics
+
+
+def _extract_srv1(doc: Mapping) -> list[Metric]:
+    """SRV1 rows: ``[clients, req/s, p50, p99]`` — gate req/s at the
+    highest concurrency level."""
+    rows = doc.get("rows", [])
+    if not rows:
+        return []
+    clients, rps = max((row[0], row[1]) for row in rows)
+    return [
+        Metric(f"req_per_s[clients={clients}]", float(rps), "higher", "throughput")
+    ]
+
+
+#: The benches the gate knows how to compare, with their extractors.
+GATED_BENCHES: dict[str, Callable[[Mapping], list[Metric]]] = {
+    "DATAPATH": _extract_datapath,
+    "E4": _extract_e4,
+    "SRV1": _extract_srv1,
+}
+
+
+def extract_metrics(doc: Mapping) -> list[Metric]:
+    """Metrics for a bench document, or ``[]`` if its id isn't gated."""
+    extractor = GATED_BENCHES.get(doc.get("bench", ""))
+    return extractor(doc) if extractor is not None else []
+
+
+def compare_docs(
+    baseline: Mapping, current: Mapping, tolerances: Tolerances
+) -> GateReport:
+    """Compare one bench's baseline and current documents.
+
+    A metric present in the baseline but absent from the current run is
+    itself a regression (the measurement disappeared); metrics new in
+    the current run pass unchecked — they have nothing to regress from.
+    """
+    report = GateReport()
+    bench = str(baseline.get("bench", "?"))
+    current_by_name = {m.name: m for m in extract_metrics(current)}
+    for base_metric in extract_metrics(baseline):
+        got = current_by_name.get(base_metric.name)
+        if got is None:
+            report.failures.append(
+                Regression(
+                    bench, base_metric.name, base_metric.value,
+                    float("nan"), base_metric.value,
+                )
+            )
+            continue
+        limit = tolerances.limit(base_metric, base_metric.value)
+        bad = (
+            got.value < limit
+            if base_metric.direction == "higher"
+            else got.value > limit
+        )
+        if bad:
+            report.failures.append(
+                Regression(bench, base_metric.name, base_metric.value,
+                           got.value, limit)
+            )
+        else:
+            report.checked.append(
+                f"{bench}: {base_metric.name} baseline "
+                f"{base_metric.value:g} -> current {got.value:g}"
+            )
+    return report
+
+
+def compare_dirs(
+    baseline_dir: str | os.PathLike,
+    current_dir: str | os.PathLike,
+    tolerances: Tolerances | None = None,
+    benches: Iterable[str] | None = None,
+) -> GateReport:
+    """Compare every gated bench's artifacts between two directories."""
+    tolerances = tolerances or Tolerances()
+    report = GateReport()
+    for bench in benches if benches is not None else sorted(GATED_BENCHES):
+        base_path = bench_json_path(baseline_dir, bench)
+        cur_path = bench_json_path(current_dir, bench)
+        if not os.path.exists(base_path):
+            report.skipped.append(f"{bench}: no baseline at {base_path}")
+            continue
+        if not os.path.exists(cur_path):
+            report.failures.append(
+                Regression(bench, "artifact", 1.0, 0.0, 1.0)
+            )
+            report.skipped.append(
+                f"{bench}: baseline exists but no current artifact at "
+                f"{cur_path} — did the bench run?"
+            )
+            continue
+        sub = compare_docs(
+            load_bench_json(base_path), load_bench_json(cur_path), tolerances
+        )
+        report.failures.extend(sub.failures)
+        report.checked.extend(sub.checked)
+        report.skipped.extend(sub.skipped)
+    return report

@@ -35,6 +35,7 @@ from repro.core.node import Entry
 from repro.core.search import PageLog
 from repro.core.segio import SegmentIO
 from repro.core.tree import LargeObjectTree
+from repro.util import copytrace
 from repro.util.bitops import ceil_div
 
 
@@ -62,19 +63,22 @@ def append(
     tree: LargeObjectTree,
     segio: SegmentIO,
     buddy: BuddyManager,
-    data: bytes,
+    data,
     *,
     size_hint: int | None = None,
     log: PageLog | None = None,
 ) -> None:
     """Append ``data`` at the end of the object.
 
+    ``data`` is any buffer-protocol object; it is sliced as memoryviews
+    all the way to the vectored disk write, never re-materialized.
     ``size_hint`` is the *total* eventual object size, if known; it
     shapes segment allocation only (appending more than the hint simply
     falls back to the doubling scheme).
     """
-    if not data:
+    if not len(data):
         return
+    view = memoryview(data).cast("B")
     ps = segio.page_size
     size = tree.size()
     position = 0
@@ -88,21 +92,23 @@ def append(
         # 1. Complete the partial last page in place (logged).
         partial = live_bytes % ps
         if partial:
-            take = min(ps - partial, len(data))
+            take = min(ps - partial, len(view))
             page = entry.child + live_bytes // ps
-            pre = segio.patch_page(page, partial, data[:take])
+            chunk = view[:take]
+            pre = segio.patch_page(page, partial, chunk)
             if log is not None:
-                post = pre[:partial] + data[:take] + pre[partial + take :]
-                log(page, pre, post)
+                post = bytearray(pre)
+                post[partial : partial + take] = chunk
+                log(page, pre, copytrace.materialize(post, "append.log_post"))
             position += take
             live_bytes += take
         # 2. Fill the segment's spare pages with whole-page writes.
         live_pages = ceil_div(live_bytes, ps)
-        if position < len(data) and live_pages < entry.pages:
+        if position < len(view) and live_pages < entry.pages:
             capacity = (entry.pages - live_pages) * ps
-            take = min(capacity, len(data) - position)
+            take = min(capacity, len(view) - position)
             segio.write_segment(
-                entry.child, data[position : position + take], at_page=live_pages
+                entry.child, view[position : position + take], at_page=live_pages
             )
             position += take
         if position:
@@ -111,8 +117,8 @@ def append(
 
     # 3. Allocate new segments for whatever remains.
     new_entries: list[Entry] = []
-    while position < len(data):
-        remaining = len(data) - position
+    while position < len(view):
+        remaining = len(view) - position
         written_total = size + sum(e.count for e in new_entries)
         hint_remaining = None
         if size_hint is not None and size_hint > written_total:
@@ -124,7 +130,7 @@ def append(
         want = max(want, 1)
         ref = buddy.allocate_up_to(want)
         take = min(remaining, ref.n_pages * ps)
-        segio.write_segment(ref.first_page, data[position : position + take])
+        segio.write_segment(ref.first_page, view[position : position + take])
         new_entries.append(Entry(take, ref.first_page, ref.n_pages))
         position += take
         last_pages = ref.n_pages

@@ -26,6 +26,7 @@ from repro.core.delete import truncate as _truncate
 from repro.core.insert import insert as _insert
 from repro.core.node import Entry
 from repro.core.search import read_range as _read
+from repro.core.search import read_range_into as _read_into
 from repro.core.search import replace_range as _replace
 from repro.core.segio import SegmentIO
 from repro.core.threshold import ThresholdPolicy
@@ -114,13 +115,23 @@ class LargeObject:
         with self._span("read", offset=offset, bytes=length):
             return _read(self.tree, self.segio, offset, length)
 
+    def read_into(self, offset: int, length: int, dest) -> int:
+        """Read ``length`` bytes at ``offset`` into a writable buffer.
+
+        The zero-copy variant of :meth:`read`: coalesced page views land
+        directly in ``dest`` with no intermediate buffer.  Returns the
+        byte count written.
+        """
+        with self._span("read", offset=offset, bytes=length):
+            return _read_into(self.tree, self.segio, offset, length, dest)
+
     def read_all(self) -> bytes:
         """Read the whole object."""
         return self.read(0, self.size())
 
     # -- updates ----------------------------------------------------------------
 
-    def append(self, data: bytes) -> None:
+    def append(self, data) -> None:
         """Append bytes at the end (Section 4.1).
 
         Carries the creation-time size hint while the object is still
@@ -135,7 +146,7 @@ class LargeObject:
                 size_hint=hint, log=self.page_log,
             )
 
-    def replace(self, offset: int, data: bytes) -> None:
+    def replace(self, offset: int, data) -> None:
         """Overwrite bytes in place; size is unchanged (Section 4.2)."""
         with self._span("replace", offset=offset, bytes=len(data)):
             _replace(self.tree, self.segio, offset, data, log=self.page_log)

@@ -8,6 +8,13 @@ seeks + 6 page transfers; on the single-segment object of Figure 5.a it
 costs 1 seek + 5 transfers.  Both are reproduced in the tests and in
 ``benchmarks/bench_fig6_search_cost.py``.
 
+Reads are *planned first*: the index descent materializes the list of
+leaf transfers, physically adjacent segments are coalesced into single
+multi-page runs (one seek per contiguous run — the paper's cost model),
+and the result is assembled from borrowed page views in one pass, so a
+ranged read costs exactly one Python-level payload copy however many
+segments it spans.
+
 Replace uses the same traversal to locate the range, then overwrites the
 affected pages in place.  It is the one update that touches leaf pages
 without touching the index, so it is protected by logging rather than
@@ -22,9 +29,44 @@ from typing import Callable
 from repro.core.segio import SegmentIO
 from repro.core.tree import LargeObjectTree
 from repro.errors import ByteRangeError
+from repro.util import copytrace
 
 # Callback signature: (physical_page, pre_image, post_image).
 PageLog = Callable[[int, bytes, bytes], None]
+
+
+def _plan_reads(
+    tree: LargeObjectTree, segio: SegmentIO, lo: int, hi: int
+) -> list[tuple[int, int, list[tuple[int, int]]]]:
+    """Plan the leaf transfers covering bytes [lo, hi).
+
+    Returns coalesced runs ``(first_page, n_pages, parts)`` where each
+    part ``(run_byte_offset, take)`` names a payload slice inside the
+    run's page span.  Consecutive segments that are physically adjacent
+    on disk merge into one run: one transfer call, one seek at most.
+    The index descent completes before any leaf I/O is issued, so the
+    page views borrowed per run stay valid through assembly.
+    """
+    ps = segio.page_size
+    runs: list[tuple[int, int, list[tuple[int, int]]]] = []
+    for seg_offset, entry in list(tree.iter_segments(lo, hi)):
+        local_lo = max(lo, seg_offset) - seg_offset
+        local_hi = min(hi, seg_offset + entry.count) - seg_offset
+        if local_lo >= local_hi:
+            continue
+        page_lo = local_lo // ps
+        page_hi = (local_hi - 1) // ps
+        first = entry.child + page_lo
+        n_pages = page_hi - page_lo + 1
+        skip = local_lo - page_lo * ps
+        take = local_hi - local_lo
+        if runs and runs[-1][0] + runs[-1][1] == first:
+            prev_first, prev_pages, parts = runs[-1]
+            parts.append((prev_pages * ps + skip, take))
+            runs[-1] = (prev_first, prev_pages + n_pages, parts)
+        else:
+            runs.append((first, n_pages, [(skip, take)]))
+    return runs
 
 
 def read_range(
@@ -33,31 +75,58 @@ def read_range(
     """Read ``length`` bytes starting at byte ``offset``.
 
     Index pages are read through the buffer pool during the descent;
-    each leaf segment touched contributes one contiguous multi-page
-    read.
+    leaf segments are then read as coalesced contiguous runs and the
+    result is joined from borrowed views — one payload copy total.
     """
     size = tree.size()
     if length < 0 or offset < 0 or offset + length > size:
         raise ByteRangeError(offset, length, size)
     if length == 0:
         return b""
-    lo, hi = offset, offset + length
-    chunks: list[bytes] = []
-    for seg_offset, entry in tree.iter_segments(lo, hi):
-        local_lo = max(lo, seg_offset) - seg_offset
-        local_hi = min(hi, seg_offset + entry.count) - seg_offset
-        chunks.append(segio.read_bytes(entry.child, local_lo, local_hi))
-    data = b"".join(chunks)
+    pieces: list[memoryview] = []
+    for first, n_pages, parts in _plan_reads(tree, segio, offset, offset + length):
+        view = segio.view_run(first, n_pages)
+        for part_off, take in parts:
+            pieces.append(view[part_off : part_off + take])
+    data = b"".join(pieces)
     if len(data) != length:
         raise ByteRangeError(offset, length, size)
+    copytrace.record("search.assemble", length)
     return data
+
+
+def read_range_into(
+    tree: LargeObjectTree, segio: SegmentIO, offset: int, length: int, dest
+) -> int:
+    """Read ``length`` bytes at ``offset`` into a caller-supplied buffer.
+
+    ``dest`` is any writable buffer of at least ``length`` bytes; page
+    views are copied straight into it — zero intermediate buffers.
+    Returns the byte count written.
+    """
+    size = tree.size()
+    if length < 0 or offset < 0 or offset + length > size:
+        raise ByteRangeError(offset, length, size)
+    out = memoryview(dest).cast("B")
+    if len(out) < length:
+        raise ByteRangeError(offset, length, len(out))
+    position = 0
+    for first, n_pages, parts in _plan_reads(tree, segio, offset, offset + length):
+        view = segio.view_run(first, n_pages)
+        for part_off, take in parts:
+            out[position : position + take] = view[part_off : part_off + take]
+            position += take
+    if position != length:
+        raise ByteRangeError(offset, length, size)
+    copytrace.record("search.assemble_into", length)
+    return position
 
 
 def replace_range(
     tree: LargeObjectTree,
     segio: SegmentIO,
     offset: int,
-    data: bytes,
+    data,
     log: PageLog | None = None,
 ) -> None:
     """Overwrite ``len(data)`` bytes in place starting at ``offset``.
@@ -71,10 +140,11 @@ def replace_range(
     size = tree.size()
     if offset < 0 or offset + len(data) > size:
         raise ByteRangeError(offset, len(data), size)
-    if not data:
+    if not len(data):
         return
+    src = memoryview(data).cast("B")
     ps = segio.page_size
-    lo, hi = offset, offset + len(data)
+    lo, hi = offset, offset + len(src)
     for seg_offset, entry in tree.iter_segments(lo, hi):
         local_lo = max(lo, seg_offset) - seg_offset
         local_hi = min(hi, seg_offset + entry.count) - seg_offset
@@ -83,13 +153,15 @@ def replace_range(
         span, base = segio.read_span(entry.child, page_lo, page_hi)
         patched = bytearray(span)
         start = local_lo - base
-        patched[start : start + (local_hi - local_lo)] = data[
+        patched[start : start + (local_hi - local_lo)] = src[
             seg_offset + local_lo - lo : seg_offset + local_hi - lo
         ]
         if log is not None:
             for i in range(page_hi - page_lo + 1):
                 pre = span[i * ps : (i + 1) * ps]
-                post = bytes(patched[i * ps : (i + 1) * ps])
+                post = copytrace.materialize(
+                    memoryview(patched)[i * ps : (i + 1) * ps], "replace.log_post"
+                )
                 if pre != post:
                     log(entry.child + page_lo + i, pre, post)
-        segio.write_segment(entry.child, bytes(patched), at_page=page_lo)
+        segio.write_segment(entry.child, patched, at_page=page_lo)

@@ -85,32 +85,44 @@ class ObjectStream(io.RawIOBase):
         return self.read(-1)
 
     def write(self, data) -> int:
-        """Overwrite under the cursor, appending once past the end."""
-        data = bytes(data)
-        if not data:
+        """Overwrite under the cursor, appending once past the end.
+
+        ``data`` is any buffer-protocol object; it is never copied in
+        full — small appends stage into the batch buffer, large ones
+        and overwrites go to the object as memoryview slices.
+        """
+        view = memoryview(data).cast("B")
+        n = len(view)
+        if not n:
             return 0
         size = self.obj.size() + len(self._append_buffer)
         if self._position == size:
-            # Pure append: batch it.
-            self._append_buffer.extend(data)
-            self._position += len(data)
-            if len(self._append_buffer) >= self._buffer_limit:
+            if n >= self._buffer_limit:
+                # Already batch-sized: flush what's staged and hand the
+                # caller's buffer straight down — no staging copy.
                 self._flush_append()
-            return len(data)
+                self.obj.append(view)
+            else:
+                # Pure append: batch it.
+                self._append_buffer.extend(view)
+                if len(self._append_buffer) >= self._buffer_limit:
+                    self._flush_append()
+            self._position += n
+            return n
         self._flush_append()
         size = self.obj.size()
-        overlap = max(0, min(len(data), size - self._position))
+        overlap = max(0, min(n, size - self._position))
         if overlap > 0:
-            self.obj.replace(self._position, data[:overlap])
-        if overlap < len(data):
+            self.obj.replace(self._position, view[:overlap])
+        if overlap < n:
             # Past-the-end remainder is an append (a seek hole is filled
             # with zeros first, like a sparse file write would appear).
             gap = self._position - size
             if gap > 0:
-                self.obj.append(bytes(gap))
-            self.obj.append(data[overlap:])
-        self._position += len(data)
-        return len(data)
+                self.obj.append(b"\0" * gap)
+            self.obj.append(view[overlap:])
+        self._position += n
+        return n
 
     def truncate(self, size: int | None = None) -> int:
         self._flush_append()
@@ -120,7 +132,7 @@ class ObjectStream(io.RawIOBase):
         if size < current:
             self.obj.truncate(size)
         elif size > current:
-            self.obj.append(bytes(size - current))
+            self.obj.append(b"\0" * (size - current))
         return size
 
     def flush(self) -> None:
@@ -136,7 +148,9 @@ class ObjectStream(io.RawIOBase):
 
     def _flush_append(self) -> None:
         if self._append_buffer:
-            self.obj.append(bytes(self._append_buffer))
+            # The append consumes its view of the buffer before
+            # returning, so clearing afterwards is safe.
+            self.obj.append(self._append_buffer)
             self._append_buffer.clear()
 
     def __len__(self) -> int:

@@ -41,6 +41,7 @@ from repro.obs.sinks import JsonLinesSink
 from repro.obs.tracer import NULL_TRACER, Observability
 from repro.server import protocol
 from repro.server.protocol import Opcode, RemoteStat, Status
+from repro.util import copytrace
 
 
 class EOSClient:
@@ -120,23 +121,56 @@ class EOSClient:
     # Framing
     # ------------------------------------------------------------------
 
-    def _recv_exact(self, n: int) -> bytes:
+    def _send_frames(self, frames) -> None:
+        """Flush an iovec list to the socket without concatenating it.
+
+        Uses ``socket.sendmsg`` scatter-gather where available, looping
+        on partial sends; falls back to per-frame ``sendall``.
+        """
         assert self._sock is not None
-        chunks = []
-        remaining = n
-        while remaining:
-            chunk = self._sock.recv(remaining)
-            if not chunk:
+        sock = self._sock
+        if not hasattr(sock, "sendmsg"):  # pragma: no cover - non-POSIX
+            for frame in frames:
+                sock.sendall(frame)
+            return
+        views = [memoryview(frame).cast("B") for frame in frames if len(frame)]
+        while views:
+            sent = sock.sendmsg(views)
+            while views and sent >= len(views[0]):
+                sent -= len(views[0])
+                views.pop(0)
+            if sent and views:
+                views[0] = views[0][sent:]
+
+    def _recv_into(self, view: memoryview) -> None:
+        """Fill ``view`` from the socket — kernel to buffer, no
+        Python-side reassembly."""
+        assert self._sock is not None
+        n = len(view)
+        position = 0
+        while position < n:
+            got = self._sock.recv_into(view[position:])
+            if not got:
                 self.close()
                 raise ConnectionClosed(
-                    f"server closed the connection ({remaining} of {n} bytes "
-                    "outstanding)"
+                    f"server closed the connection ({n - position} of {n} "
+                    "bytes outstanding)"
                 )
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+            position += got
 
-    def _recv_response(self, request_id: int) -> tuple[protocol.Header, bytes]:
+    def _recv_exact(self, n: int) -> bytearray:
+        buf = bytearray(n)
+        if n:
+            self._recv_into(memoryview(buf))
+        return buf
+
+    def _recv_response(self, request_id: int, dest: memoryview | None = None):
+        """Receive one response frame.
+
+        Returns ``(header, payload)``; with ``dest`` given and an OK
+        status, the payload lands directly in ``dest`` and the byte
+        count is returned in its place.
+        """
         header = protocol.decode_header(
             self._recv_exact(protocol.HEADER.size), max_payload=self.max_payload
         )
@@ -147,23 +181,32 @@ class EOSClient:
                 f"response id {header.request_id} does not match request "
                 f"{request_id}"
             )
+        if dest is not None and header.code == Status.OK:
+            if header.length > len(dest):
+                raise ProtocolError(
+                    f"response payload of {header.length} bytes exceeds the "
+                    f"{len(dest)}-byte destination buffer"
+                )
+            self._recv_into(dest[: header.length])
+            return header, header.length
         return header, self._recv_exact(header.length)
 
-    def call(self, opcode: Opcode, payload: bytes = b"", *, oid: int | None = None) -> bytes:
-        """One request/response exchange; returns the response payload.
+    def _exchange(self, opcode: Opcode, payload, *, oid: int | None = None,
+                  dest: memoryview | None = None):
+        """One request/response exchange over the frame protocol.
 
-        ``oid`` is trace metadata only (it tags the ``client.request``
-        span so ``tracefmt --oid`` can filter); the object id itself
-        always travels inside ``payload``.
+        The request goes out as an iovec list (header, trace ctx,
+        borrowed payload); error responses re-raise as the mapped
+        exception class.  Returns the response payload buffer, or the
+        byte count when ``dest`` captured it.
         """
-        sock = self.connect()._sock
-        assert sock is not None
+        self.connect()
         request_id = self._next_id
         self._next_id += 1
         tracer = self.obs.tracer if self.obs is not None else NULL_TRACER
         if not tracer.enabled:
-            sock.sendall(protocol.encode_request(opcode, request_id, payload))
-            header, body = self._recv_response(request_id)
+            self._send_frames(protocol.request_frames(opcode, request_id, payload))
+            header, body = self._recv_response(request_id, dest)
             if header.code != Status.OK:
                 raise protocol.exception_from(
                     header.code, body.decode("utf-8", "replace")
@@ -173,14 +216,14 @@ class EOSClient:
         if oid is not None:
             attrs["oid"] = oid
         with tracer.span("client.request", **attrs) as root:
-            frame = protocol.encode_request(
+            frames = protocol.request_frames(
                 opcode, request_id, payload,
                 trace=(root.trace_id, root.span_id),
             )
-            with tracer.span("client.send", bytes=len(frame)):
-                sock.sendall(frame)
+            with tracer.span("client.send", bytes=sum(len(f) for f in frames)):
+                self._send_frames(frames)
             with tracer.span("client.recv"):
-                header, body = self._recv_response(request_id)
+                header, body = self._recv_response(request_id, dest)
             try:
                 root.set(status=Status(header.code).name.lower())
             except ValueError:
@@ -190,6 +233,18 @@ class EOSClient:
                     header.code, body.decode("utf-8", "replace")
                 )
             return body
+
+    def call(self, opcode: Opcode, payload: bytes = b"", *, oid: int | None = None) -> bytes:
+        """One request/response exchange; returns the response payload.
+
+        ``oid`` is trace metadata only (it tags the ``client.request``
+        span so ``tracefmt --oid`` can filter); the object id itself
+        always travels inside ``payload``.  The returned ``bytes`` is
+        the one client-side payload copy; :meth:`read_into` avoids it.
+        """
+        return copytrace.materialize(
+            self._exchange(opcode, payload, oid=oid), "client.recv"
+        )
 
     # ------------------------------------------------------------------
     # Operations
@@ -215,6 +270,26 @@ class EOSClient:
         """Read ``length`` bytes at ``offset``."""
         return self.call(
             Opcode.READ, protocol.pack_oid_offset_length(oid, offset, length), oid=oid
+        )
+
+    def read_into(self, oid: int, offset: int, length: int, dest) -> int:
+        """Read ``length`` bytes at ``offset`` directly into ``dest``.
+
+        The zero-copy client read: the payload goes from the socket
+        into the caller's writable buffer with no intermediate Python
+        copies.  Returns the byte count received.
+        """
+        out = memoryview(dest).cast("B")
+        if len(out) < length:
+            raise ValueError(
+                f"destination of {len(out)} bytes cannot hold a "
+                f"{length}-byte read"
+            )
+        return self._exchange(
+            Opcode.READ,
+            protocol.pack_oid_offset_length(oid, offset, length),
+            oid=oid,
+            dest=out[:length],
         )
 
     def write(self, oid: int, offset: int, data: bytes) -> int:

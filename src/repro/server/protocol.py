@@ -227,6 +227,42 @@ def encode_frame(
     return HEADER.pack(MAGIC, kind | flags, code, request_id, len(payload)) + payload
 
 
+def request_frames(
+    opcode: Opcode,
+    request_id: int,
+    payload=b"",
+    *,
+    trace: tuple[int, int] | None = None,
+) -> list:
+    """A request as an iovec list: header, optional trace ctx, payload.
+
+    The payload (any buffer-protocol object) is *borrowed*, never
+    concatenated — senders flush the list with ``socket.sendmsg`` or
+    sequential writes.  ``trace`` — a ``(trace_id, span_id)`` pair —
+    sets :data:`FLAG_TRACE` and inserts the 12-byte trace context.
+    """
+    flags = 0 if trace is None else FLAG_TRACE
+    frames: list = [
+        HEADER.pack(MAGIC, KIND_REQUEST | flags, int(opcode), request_id, len(payload))
+    ]
+    if trace is not None:
+        frames.append(TRACE_CTX.pack(*trace))
+    if len(payload):
+        frames.append(payload)
+    return frames
+
+
+def response_frames(status: Status, request_id: int, payload=b"") -> list:
+    """A response as an iovec list: header, then the borrowed payload.
+
+    The payload buffer (bytes, bytearray, memoryview) is referenced
+    as-is — a GET response hands out the read path's assembled buffer
+    without re-copying it into a contiguous frame.
+    """
+    header = HEADER.pack(MAGIC, KIND_RESPONSE, int(status), request_id, len(payload))
+    return [header, payload] if len(payload) else [header]
+
+
 def encode_request(
     opcode: Opcode,
     request_id: int,
@@ -234,22 +270,18 @@ def encode_request(
     *,
     trace: tuple[int, int] | None = None,
 ) -> bytes:
-    """A request frame carrying ``opcode``.
+    """A request frame carrying ``opcode``, as one contiguous buffer.
 
-    ``trace`` — a ``(trace_id, span_id)`` pair — sets :data:`FLAG_TRACE`
-    and inserts the 12-byte trace context between header and payload.
+    The copying form of :func:`request_frames`, kept for callers that
+    want a single buffer (tests, simple scripts).
     """
-    if trace is None:
-        return encode_frame(KIND_REQUEST, int(opcode), request_id, payload)
-    header = HEADER.pack(
-        MAGIC, KIND_REQUEST | FLAG_TRACE, int(opcode), request_id, len(payload)
-    )
-    return header + TRACE_CTX.pack(*trace) + payload
+    return b"".join(request_frames(opcode, request_id, payload, trace=trace))
 
 
 def encode_response(status: Status, request_id: int, payload: bytes = b"") -> bytes:
-    """A response frame carrying ``status``."""
-    return encode_frame(KIND_RESPONSE, int(status), request_id, payload)
+    """A response frame carrying ``status`` (copying form of
+    :func:`response_frames`)."""
+    return b"".join(response_frames(status, request_id, payload))
 
 
 def encode_error(exc: BaseException, request_id: int) -> bytes:
@@ -448,6 +480,8 @@ __all__ = [
     "encode_frame",
     "encode_request",
     "encode_response",
+    "request_frames",
+    "response_frames",
     "encode_error",
     "decode_header",
     "status_for_exception",

@@ -446,17 +446,22 @@ class EOSServer:
 
         # Stage 4: serialize the response.  Accounting happens *before*
         # the frame is written, so a client that has seen the response is
-        # guaranteed to see the request in the metrics too.
+        # guaranteed to see the request in the metrics too.  The frames
+        # borrow the result buffer (a READ hands out the read path's
+        # assembled bytes) and go to the transport one by one — the
+        # writer batches them; nothing re-concatenates the payload.
         e0 = time.perf_counter()
         if failure is None:
-            response = protocol.encode_response(Status.OK, request_id, result)
+            frames = protocol.response_frames(Status.OK, request_id, result)
         else:
-            response = protocol.encode_error(failure, request_id)
+            frames = [protocol.encode_error(failure, request_id)]
         req.encode_ms = (time.perf_counter() - e0) * 1000.0
         total_ms = admission_ms + (time.perf_counter() - t0) * 1000.0
-        self._account(req, request_id, status, error, total_ms, len(response))
-        metrics.counter("server.bytes_out").inc(len(response))
-        writer.write(response)
+        bytes_out = sum(len(frame) for frame in frames)
+        self._account(req, request_id, status, error, total_ms, bytes_out)
+        metrics.counter("server.bytes_out").inc(bytes_out)
+        for frame in frames:
+            writer.write(frame)
         await writer.drain()
 
     def _account(

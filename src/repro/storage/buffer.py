@@ -191,14 +191,21 @@ class BufferPool:
     def _make_room(self) -> None:
         if len(self._frames) < self.capacity:
             return
-        for page, frame in self._frames.items():
-            if frame.pin_count == 0:
-                if frame.dirty:
-                    self.disk.write_page(page, frame.image)
-                    self.stats.writebacks += 1
-                del self._frames[page]
-                self.stats.evictions += 1
-                return
+        # Scan oldest-first.  A pinned frame at the LRU end is rotated to
+        # the MRU end rather than skipped in place: it is in active use,
+        # and rotating keeps the next scan O(unpinned-prefix) instead of
+        # re-walking the same pinned run on every eviction.
+        for _ in range(len(self._frames)):
+            page, frame = next(iter(self._frames.items()))
+            if frame.pin_count:
+                self._frames.move_to_end(page)
+                continue
+            if frame.dirty:
+                self.disk.write_page(page, frame.image)
+                self.stats.writebacks += 1
+            del self._frames[page]
+            self.stats.evictions += 1
+            return
         raise AllPagesPinned(
             f"all {self.capacity} buffer frames are pinned; cannot evict"
         )

@@ -6,7 +6,10 @@ for persistence across processes.  It supports exactly the operations a
 raw device does:
 
 * read/write one page;
-* read/write a *contiguous* run of pages in one call.
+* read/write a *contiguous* run of pages in one call;
+* borrow a read-only :class:`memoryview` of a run (:meth:`view_pages`)
+  and scatter-write an iovec list in one run (:meth:`write_pages_v`) —
+  the zero-copy primitives the data path is built on.
 
 All accesses flow through an :class:`~repro.storage.iostats.IOStats`
 instance, which models the disk head: a run that does not start where
@@ -26,6 +29,7 @@ import struct
 from repro.errors import PageOutOfRange, PageSizeMismatch
 from repro.storage.iostats import IOStats
 from repro.storage.page import PageId, validate_page_size
+from repro.util import copytrace
 
 _FILE_MAGIC = b"EOSVOL01"
 _FILE_HEADER = struct.Struct("<8sQQ")  # magic, page_size, num_pages
@@ -63,32 +67,64 @@ class DiskVolume:
         return self.read_pages(page, 1)
 
     def read_pages(self, first_page: PageId, n_pages: int) -> bytes:
-        """Read ``n_pages`` physically contiguous pages in one run."""
+        """Read ``n_pages`` physically contiguous pages in one run.
+
+        Copying contract: the caller owns the returned ``bytes``.  The
+        zero-copy path uses :meth:`view_pages` instead.
+        """
+        view = self.view_pages(first_page, n_pages)
+        return copytrace.materialize(view, "disk.read_pages")
+
+    def view_pages(self, first_page: PageId, n_pages: int) -> memoryview:
+        """Borrow a read-only view of a contiguous run — no copy.
+
+        The view aliases the live volume image: it is valid until the
+        next write to those pages.  Callers must consume (or copy out
+        of) the view before issuing further writes; the read path does —
+        it plans all its transfers first and assembles into its own
+        buffer before any update can run.
+        """
         self._check_range(first_page, n_pages)
         self.stats.record_read(first_page, n_pages)
         lo = first_page * self.page_size
         hi = lo + n_pages * self.page_size
-        return bytes(self._data[lo:hi])
+        return memoryview(self._data)[lo:hi].toreadonly()
 
     def write_page(self, page: PageId, image: bytes | bytearray) -> None:
         """Write one page image."""
         self.write_pages(page, image)
 
-    def write_pages(self, first_page: PageId, data: bytes | bytearray) -> None:
+    def write_pages(self, first_page: PageId, data) -> None:
         """Write a contiguous run of whole pages in one run.
 
-        ``data`` must be a whole number of pages; a partial final page
-        must be padded by the caller (segments always own whole pages —
-        the unused tail of a segment's last page is physically present
-        but logically dead, per Section 4).
+        ``data`` is any buffer (bytes, bytearray, memoryview) holding a
+        whole number of pages; a partial final page must be padded by
+        the caller (segments always own whole pages — the unused tail of
+        a segment's last page is physically present but logically dead,
+        per Section 4).
         """
-        if len(data) % self.page_size:
-            raise PageSizeMismatch(len(data), self.page_size)
-        n_pages = len(data) // self.page_size
+        self.write_pages_v(first_page, (data,))
+
+    def write_pages_v(self, first_page: PageId, iovecs) -> None:
+        """Vectored write: gather ``iovecs`` into one contiguous run.
+
+        The chunks land back to back starting at ``first_page``; their
+        total length must be a whole number of pages.  One call is one
+        transfer run (one seek at most), which is how the run-coalescer
+        turns writes of physically adjacent segments into a single
+        multi-page transfer without first concatenating the payload.
+        """
+        views = [memoryview(iov).cast("B") for iov in iovecs]
+        total = sum(len(v) for v in views)
+        if total % self.page_size:
+            raise PageSizeMismatch(total, self.page_size)
+        n_pages = total // self.page_size
         self._check_range(first_page, n_pages)
         self.stats.record_write(first_page, n_pages)
-        lo = first_page * self.page_size
-        self._data[lo : lo + len(data)] = data
+        position = first_page * self.page_size
+        for view in views:
+            self._data[position : position + len(view)] = view
+            position += len(view)
 
     # -- maintenance --------------------------------------------------------
 
@@ -96,7 +132,8 @@ class DiskVolume:
         """Read pages *without* I/O accounting (for tests and verifiers)."""
         self._check_range(first_page, n_pages)
         lo = first_page * self.page_size
-        return bytes(self._data[lo : lo + n_pages * self.page_size])
+        view = memoryview(self._data)[lo : lo + n_pages * self.page_size]
+        return copytrace.materialize(view, "disk.peek")
 
     def poke(self, first_page: PageId, data: bytes | bytearray) -> None:
         """Write pages without I/O accounting (for tests and fault injection)."""

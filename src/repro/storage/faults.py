@@ -131,6 +131,11 @@ class FaultyDisk:
         self._check_read()
         return self.inner.read_pages(first_page, n_pages)
 
+    def view_pages(self, first_page: PageId, n_pages: int) -> memoryview:
+        """Borrow a read-only view, or die at an armed read-fault point."""
+        self._check_read()
+        return self.inner.view_pages(first_page, n_pages)
+
     def write_page(self, page: PageId, image) -> None:
         """Write one page, or die at the armed fault point."""
         self._check_write()
@@ -140,6 +145,11 @@ class FaultyDisk:
         """Write a run, or die at the armed fault point."""
         self._check_write()
         self.inner.write_pages(first_page, data)
+
+    def write_pages_v(self, first_page: PageId, iovecs) -> None:
+        """Vectored write, or die at the armed fault point."""
+        self._check_write()
+        self.inner.write_pages_v(first_page, iovecs)
 
     def peek(self, first_page: PageId, n_pages: int = 1) -> bytes:
         """Unaccounted read-through (test helper)."""
