@@ -30,6 +30,7 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import warnings
 
 from repro.buddy.directory import max_capacity
 from repro.buddy.manager import BuddyManager
@@ -41,9 +42,31 @@ from repro.core.tree import LargeObjectTree
 from repro.errors import DatabaseClosed, ObjectNotFound, VolumeLayoutError
 from repro.obs.facade import DatabaseStats
 from repro.obs.tracer import Observability
+from repro.ops import ObjectStat, legacy_positional, require
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskVolume
 from repro.storage.volume import Volume
+
+
+def _shift_offset_data(method: str, offset_in_data, args, offset):
+    """Shim the legacy ``(oid, offset, data)`` positional order.
+
+    The canonical order puts the payload first (``op_write(oid, data,
+    offset=...)``); a legacy call arrives with the offset bound to the
+    ``data`` parameter and the payload in ``args``.
+    """
+    if len(args) != 1 or offset is not None:
+        raise TypeError(
+            f"{method}() takes (oid, data, *, offset=...); "
+            f"got {1 + len(args)} positional arguments after oid"
+        )
+    warnings.warn(
+        f"{method}(oid, offset, data) positional order is deprecated; "
+        f"use {method}(oid, data, offset=...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return args[0], offset_in_data
 
 
 class EOSDatabase:
@@ -116,17 +139,29 @@ class EOSDatabase:
         space_capacity: int | None = None,
         pool_capacity: int = 128,
         obs: Observability | None = None,
+        disk: DiskVolume | None = None,
     ) -> "EOSDatabase":
         """Format a fresh in-memory database of ``num_pages`` pages.
 
         The volume is carved into as many buddy spaces as fit; each
         space's capacity defaults to the largest a one-page directory
-        supports (or the usable disk size, if smaller).
+        supports (or the usable disk size, if smaller).  ``disk``
+        substitutes a pre-built volume device (e.g. a
+        :class:`~repro.storage.timing.TimedDisk` service-time proxy or a
+        :class:`~repro.storage.faults.FaultyDisk`) for the default
+        in-memory :class:`~repro.storage.disk.DiskVolume`; its geometry
+        must match ``num_pages``/``page_size``.
         """
         config = config or EOSConfig(page_size=page_size)
         if config.page_size != page_size:
             raise VolumeLayoutError("config/page_size mismatch")
-        disk = DiskVolume(num_pages=num_pages, page_size=page_size)
+        if disk is None:
+            disk = DiskVolume(num_pages=num_pages, page_size=page_size)
+        elif disk.num_pages != num_pages or disk.page_size != page_size:
+            raise VolumeLayoutError(
+                f"supplied disk is {disk.num_pages} x {disk.page_size}B pages; "
+                f"requested {num_pages} x {page_size}B"
+            )
         if space_capacity is None:
             usable = num_pages - 2  # volume header + 1 directory minimum
             space_capacity = min(max_capacity(page_size), usable - usable % 4)
@@ -257,27 +292,68 @@ class EOSDatabase:
             obj.append(data)
             return obj.size()
 
-    def op_read(self, oid: int, offset: int, length: int) -> bytes:
+    def op_read(
+        self, oid: int, *args: int,
+        offset: int | None = None, length: int | None = None,
+    ) -> bytes:
         """Read ``length`` bytes at ``offset``."""
+        if args:
+            offset, length = legacy_positional(
+                "op_read", ("offset", "length"), args, (offset, length)
+            )
+        require("op_read", offset=offset, length=length)
         with self.op_lock:
             return self.get_object(oid).read(offset, length)
 
-    def op_write(self, oid: int, offset: int, data: bytes) -> int:
+    def op_read_into(
+        self, oid: int, dest, *,
+        offset: int | None = None, length: int | None = None,
+    ) -> int:
+        """Read ``length`` bytes at ``offset`` into a writable buffer.
+
+        The zero-copy read: coalesced page views land directly in
+        ``dest``.  Returns the byte count written.
+        """
+        require("op_read_into", offset=offset, length=length)
+        with self.op_lock:
+            return self.get_object(oid).read_into(offset, length, dest)
+
+    def op_write(
+        self, oid: int, data: bytes | None = None, *args,
+        offset: int | None = None,
+    ) -> int:
         """Overwrite bytes in place; returns the (unchanged) size."""
+        if args:  # legacy positional order was (oid, offset, data)
+            data, offset = _shift_offset_data("op_write", data, args, offset)
+        require("op_write", data=data, offset=offset)
         with self.op_lock:
             obj = self.get_object(oid)
             obj.replace(offset, data)
             return obj.size()
 
-    def op_insert(self, oid: int, offset: int, data: bytes) -> int:
+    def op_insert(
+        self, oid: int, data: bytes | None = None, *args,
+        offset: int | None = None,
+    ) -> int:
         """Insert bytes at ``offset``; returns the new size."""
+        if args:  # legacy positional order was (oid, offset, data)
+            data, offset = _shift_offset_data("op_insert", data, args, offset)
+        require("op_insert", data=data, offset=offset)
         with self.op_lock:
             obj = self.get_object(oid)
             obj.insert(offset, data)
             return obj.size()
 
-    def op_delete(self, oid: int, offset: int, length: int) -> int:
+    def op_delete(
+        self, oid: int, *args: int,
+        offset: int | None = None, length: int | None = None,
+    ) -> int:
         """Delete a byte range; returns the new size."""
+        if args:
+            offset, length = legacy_positional(
+                "op_delete", ("offset", "length"), args, (offset, length)
+            )
+        require("op_delete", offset=offset, length=length)
         with self.op_lock:
             obj = self.get_object(oid)
             obj.delete(offset, length)
@@ -288,22 +364,22 @@ class EOSDatabase:
         with self.op_lock:
             return self.get_object(oid).size()
 
-    def op_stat(self, oid: int) -> dict:
-        """Space accounting plus the root page, as plain values."""
+    def op_stat(self, oid: int) -> ObjectStat:
+        """Space accounting plus the root page."""
         with self.op_lock:
             obj = self.get_object(oid)
             stats = obj.stats()
-            return {
-                "size_bytes": stats.size_bytes,
-                "segments": stats.segments,
-                "leaf_pages": stats.leaf_pages,
-                "index_pages": stats.index_pages,
-                "height": stats.height,
-                "root_page": obj.root_page,
-            }
+            return ObjectStat(
+                size_bytes=stats.size_bytes,
+                segments=stats.segments,
+                leaf_pages=stats.leaf_pages,
+                index_pages=stats.index_pages,
+                height=stats.height,
+                root_page=obj.root_page,
+            )
 
     def op_list(self) -> list[tuple[int, int]]:
-        """Every catalogued object as ``(oid, size)``, in creation order."""
+        """Every catalogued object as ``(oid, size)``, ascending by oid."""
         with self.op_lock:
             return [
                 (oid, obj.size()) for oid, obj in sorted(self._objects.items())

@@ -160,11 +160,43 @@ def _extract_srv1(doc: Mapping) -> list[Metric]:
     ]
 
 
+def _extract_srv2(doc: Mapping) -> list[Metric]:
+    """SRV2 rows: ``[shards, clients, req/s, p50, p99]`` — gate the
+    sharded throughput at the highest (shards, clients) level plus the
+    N-shard-over-1-shard speedup, which is what sharding exists for."""
+    by_level = {
+        (row[0], row[1]): float(row[2])
+        for row in doc.get("rows", [])
+        if len(row) >= 3
+    }
+    if not by_level:
+        return []
+    max_shards = max(shards for shards, _ in by_level)
+    max_clients = max(clients for _, clients in by_level)
+    metrics = [
+        Metric(
+            f"req_per_s[shards={max_shards},clients={max_clients}]",
+            by_level[(max_shards, max_clients)], "higher", "throughput",
+        )
+    ]
+    one_shard = by_level.get((1, max_clients))
+    if one_shard and max_shards > 1:
+        metrics.append(
+            Metric(
+                f"scaling[shards={max_shards},clients={max_clients}]",
+                by_level[(max_shards, max_clients)] / one_shard,
+                "higher", "throughput",
+            )
+        )
+    return metrics
+
+
 #: The benches the gate knows how to compare, with their extractors.
 GATED_BENCHES: dict[str, Callable[[Mapping], list[Metric]]] = {
     "DATAPATH": _extract_datapath,
     "E4": _extract_e4,
     "SRV1": _extract_srv1,
+    "SRV2": _extract_srv2,
 }
 
 

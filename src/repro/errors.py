@@ -284,3 +284,14 @@ class RequestTimeout(ServerError):
 
 class ConnectionClosed(ServerError):
     """The peer went away mid-conversation (half a frame, or EOF)."""
+
+
+class ShardUnavailable(ServerError):
+    """The shard owning the addressed object is not serving.
+
+    A sharded server routes each oid to exactly one shard; when that
+    shard's worker is down the request fails fast with this error (and
+    a coordinator fan-out such as LIST fails if *any* owning shard is
+    down) rather than hanging or silently returning partial state.
+    Requests for objects on the surviving shards are unaffected.
+    """

@@ -32,11 +32,16 @@ PREFIX = "eos_"
 
 
 def metric_name(name: str, prefix: str = PREFIX) -> str:
-    """The Prometheus-legal series name for a dotted registry name."""
-    sanitized = _NAME_RE.sub("_", name)
+    """The Prometheus-legal series name for a dotted registry name.
+
+    A ``{label="value"}`` suffix (used by the per-shard gauges) is kept
+    verbatim — only the base name is sanitized.
+    """
+    base, brace, labels = name.partition("{")
+    sanitized = _NAME_RE.sub("_", base)
     if sanitized and sanitized[0].isdigit():
         sanitized = "_" + sanitized
-    return prefix + sanitized
+    return prefix + sanitized + brace + labels
 
 
 def _fmt(value) -> str:
@@ -89,8 +94,13 @@ def render_prometheus(
             out.append(f"{name} {_fmt(instrument.snapshot())}")
         elif isinstance(instrument, Histogram):
             _render_histogram(out, name, instrument)
+    typed: set[str] = set()
     for raw_name, value in sorted((extra_gauges or {}).items()):
         name = metric_name(raw_name, prefix)
-        out.append(f"# TYPE {name} gauge")
+        # Labeled series share one TYPE line for their base name.
+        base = name.partition("{")[0]
+        if base not in typed:
+            out.append(f"# TYPE {base} gauge")
+            typed.add(base)
         out.append(f"{name} {_fmt(value)}")
     return "\n".join(out) + "\n"

@@ -151,6 +151,7 @@ class Tracer:
         geometry: DiskGeometry = DISK_1992,
         page_size: int = 4096,
         first_trace_id: int = 1,
+        first_span_id: int = 1,
     ) -> None:
         self.iostats = iostats
         self.metrics = metrics
@@ -158,7 +159,7 @@ class Tracer:
         self.geometry = geometry
         self.page_size = page_size
         self._stack: list[Span] = []
-        self._next_span = 1
+        self._next_span = first_span_id
         self._next_trace = first_trace_id
         # Span/trace ids are handed out to the serving layer from both the
         # event loop and executor threads; emission interleaves the same
@@ -365,13 +366,17 @@ class Observability:
         metrics: MetricsRegistry | None = None,
         geometry: DiskGeometry | None = None,
         first_trace_id: int = 1,
+        first_span_id: int = 1,
     ) -> "Observability":
         """Switch tracing and metrics on; returns self for chaining.
 
         ``first_trace_id`` seeds the tracer's trace-id allocator — a
         client that will merge its trace file with a server's picks a
         random seed so concurrent clients' trace ids don't collide in
-        the server-side file.
+        the server-side file.  ``first_span_id`` seeds the span-id
+        allocator the same way: a sharded server gives each shard's
+        tracer a disjoint span-id block, because shard spans hang under
+        coordinator-allocated request roots inside one trace.
         """
         if self._shared:
             raise RuntimeError(
@@ -389,6 +394,7 @@ class Observability:
             geometry=self.geometry,
             page_size=self.page_size,
             first_trace_id=first_trace_id,
+            first_span_id=first_span_id,
         )
         if self.iostats is not None:
             self.iostats.observer = _DiskObserver(self.metrics)

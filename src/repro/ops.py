@@ -1,0 +1,173 @@
+"""The typed object-operation surface: one interface, three backends.
+
+:class:`ObjectOps` is the canonical oid-addressed operation set — the
+contract the serving layer dispatches against and the conformance suite
+tests once.  Three implementations conform:
+
+* :class:`~repro.api.EOSDatabase` — the in-process database (ops run
+  under its ``op_lock``);
+* :class:`~repro.server.sharding.Shard` — one shard of a shared-nothing
+  server, executing every op on the shard's dedicated worker thread and
+  translating between shard-tagged wire oids and the shard database's
+  local oids;
+* :class:`~repro.server.client.EOSClient` — the remote client, where
+  each op is one wire exchange.
+
+Canonical signatures put the payload (``data``/``dest``) positionally
+and all geometry — ``offset``, ``length``, ``size_hint`` — keyword-only,
+so call sites read unambiguously (``op_write(oid, data, offset=0)``)
+and the historical positional orders (which disagreed between methods:
+``op_write(oid, offset, data)`` but ``op_read(oid, offset, length)``)
+can never be silently transposed again.  The old positional forms keep
+working for one release through shims that emit
+:class:`DeprecationWarning` (see :func:`legacy_positional`).
+
+:class:`ObjectStat` replaces the loose dict ``op_stat`` used to return:
+a frozen dataclass whose field order matches the STAT wire encoding
+(:data:`repro.server.protocol._STAT`), with a deprecated ``[...]`` shim
+so old dict-style readers keep working during the transition.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import asdict, dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["ObjectOps", "ObjectStat", "legacy_positional"]
+
+
+@dataclass(frozen=True)
+class ObjectStat:
+    """One object's space accounting plus its root page.
+
+    Field order matches the STAT response wire struct (u64 size, then
+    five u32 counters), so ``pack_stat(stat)`` serializes positionally.
+    """
+
+    size_bytes: int
+    segments: int
+    leaf_pages: int
+    index_pages: int
+    height: int
+    root_page: int
+
+    def as_dict(self) -> dict:
+        """The stat as a plain dict (for JSON documents)."""
+        return asdict(self)
+
+    def __getitem__(self, key: str) -> int:
+        """Deprecated dict-style access (``stat["size_bytes"]``).
+
+        ``op_stat`` returned a plain dict before the interface was
+        extracted; this shim keeps old readers working for one release.
+        """
+        warnings.warn(
+            "dict-style access to op_stat results is deprecated; "
+            f"use the ObjectStat attribute (stat.{key})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+
+def legacy_positional(
+    method: str,
+    names: tuple[str, ...],
+    args: tuple,
+    values: tuple,
+) -> list:
+    """Map pre-interface positional arguments onto keyword-only params.
+
+    ``names`` are the keyword-only parameter names in the *old
+    positional order*; ``values`` are their currently-bound values
+    (None = not given).  Returns the completed value list, warning that
+    the positional form is deprecated.
+    """
+    if len(args) > len(names):
+        raise TypeError(
+            f"{method}() takes at most {len(names)} positional "
+            f"argument(s) after oid, got {len(args)}"
+        )
+    warnings.warn(
+        f"{method}() positional ({', '.join(names[:len(args)])}) is "
+        f"deprecated; pass keyword arguments "
+        f"({', '.join(f'{n}=...' for n in names[:len(args)])})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    out = list(values)
+    for i, value in enumerate(args):
+        if out[i] is not None:
+            raise TypeError(
+                f"{method}() got multiple values for argument {names[i]!r}"
+            )
+        out[i] = value
+    return out
+
+
+def require(method: str, **kwargs) -> None:
+    """Raise TypeError for any still-missing required keyword argument."""
+    for name, value in kwargs.items():
+        if value is None:
+            raise TypeError(
+                f"{method}() missing required keyword argument: {name!r}"
+            )
+
+
+@runtime_checkable
+class ObjectOps(Protocol):
+    """The canonical oid-addressed operation set.
+
+    Every method is one whole, atomic operation on one backend;
+    ``op_list`` is the only multi-object op (a sharded backend fans it
+    out and merges).  Implementations raise from :mod:`repro.errors` —
+    notably :class:`~repro.errors.ObjectNotFound` for a dangling oid —
+    identically in-process and across the wire.
+    """
+
+    def op_create(
+        self, data: bytes = b"", *, size_hint: int | None = None
+    ) -> int:
+        """Create an object (optionally with initial content); its oid."""
+        ...
+
+    def op_append(self, oid: int, data: bytes) -> int:
+        """Append bytes; the object's new size."""
+        ...
+
+    def op_read(self, oid: int, *, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``."""
+        ...
+
+    def op_read_into(self, oid: int, dest, *, offset: int, length: int) -> int:
+        """Read ``length`` bytes at ``offset`` into a writable buffer;
+        the byte count."""
+        ...
+
+    def op_write(self, oid: int, data: bytes, *, offset: int) -> int:
+        """Overwrite bytes in place; the (unchanged) size."""
+        ...
+
+    def op_insert(self, oid: int, data: bytes, *, offset: int) -> int:
+        """Insert bytes at ``offset``; the new size."""
+        ...
+
+    def op_delete(self, oid: int, *, offset: int, length: int) -> int:
+        """Delete a byte range; the new size."""
+        ...
+
+    def op_size(self, oid: int) -> int:
+        """The object's size in bytes."""
+        ...
+
+    def op_stat(self, oid: int) -> ObjectStat:
+        """Space accounting plus the root page."""
+        ...
+
+    def op_list(self) -> list[tuple[int, int]]:
+        """Every object as ``(oid, size)``, ascending by oid."""
+        ...

@@ -5,6 +5,8 @@
 * :mod:`repro.server.server` — the asyncio server: per-connection
   sessions, byte-range lock scheduling, admission control;
 * :mod:`repro.server.client` — the blocking client library;
+* :mod:`repro.server.sharding` — shared-nothing shards: oid tagging,
+  per-shard workers, the coordinating :class:`ShardSet`;
 * :mod:`repro.server.runner` — run a server on a background thread
   (tests, benchmarks, ``servectl bench-smoke --spawn``).
 
@@ -20,6 +22,7 @@ from repro.server.expo import MetricsHTTPServer, status_snapshot
 from repro.server.protocol import Opcode, RemoteStat, Status
 from repro.server.runner import ServerThread
 from repro.server.server import EOSServer
+from repro.server.sharding import Shard, ShardSet
 
 __all__ = [
     "EOSClient",
@@ -28,6 +31,8 @@ __all__ = [
     "Opcode",
     "RemoteStat",
     "ServerThread",
+    "Shard",
+    "ShardSet",
     "Status",
     "status_snapshot",
 ]

@@ -335,6 +335,54 @@ class EOSClient:
         return protocol.unpack_listing(self.call(Opcode.LIST))
 
     # ------------------------------------------------------------------
+    # ObjectOps conformance
+    # ------------------------------------------------------------------
+    # The canonical typed surface (:class:`repro.ops.ObjectOps`), so code
+    # written against the interface runs unchanged over a local
+    # EOSDatabase, a Shard, or this remote client.  Each simply delegates
+    # to the friendly wire method above.
+
+    def op_create(self, data: bytes = b"", *, size_hint: int | None = None) -> int:
+        """Create an object; its oid (``ObjectOps`` spelling)."""
+        return self.create(data, size_hint=size_hint)
+
+    def op_append(self, oid: int, data: bytes) -> int:
+        """Append bytes; the new size (``ObjectOps`` spelling)."""
+        return self.append(oid, data)
+
+    def op_read(self, oid: int, *, offset: int, length: int) -> bytes:
+        """Read a byte range (``ObjectOps`` spelling)."""
+        return self.read(oid, offset, length)
+
+    def op_read_into(self, oid: int, dest, *, offset: int, length: int) -> int:
+        """Read into a buffer; the byte count (``ObjectOps`` spelling)."""
+        return self.read_into(oid, offset, length, dest)
+
+    def op_write(self, oid: int, data: bytes, *, offset: int) -> int:
+        """Overwrite in place (``ObjectOps`` spelling)."""
+        return self.write(oid, offset, data)
+
+    def op_insert(self, oid: int, data: bytes, *, offset: int) -> int:
+        """Insert at ``offset``; the new size (``ObjectOps`` spelling)."""
+        return self.insert(oid, offset, data)
+
+    def op_delete(self, oid: int, *, offset: int, length: int) -> int:
+        """Delete a byte range; the new size (``ObjectOps`` spelling)."""
+        return self.delete(oid, offset, length)
+
+    def op_size(self, oid: int) -> int:
+        """The object's size in bytes (``ObjectOps`` spelling)."""
+        return self.size(oid)
+
+    def op_stat(self, oid: int) -> RemoteStat:
+        """Space accounting plus the root page (``ObjectOps`` spelling)."""
+        return self.stat(oid)
+
+    def op_list(self) -> list[tuple[int, int]]:
+        """Every object as ``(oid, size)`` (``ObjectOps`` spelling)."""
+        return self.list_objects()
+
+    # ------------------------------------------------------------------
     # Exposition
     # ------------------------------------------------------------------
 

@@ -33,14 +33,33 @@ import time
 from repro.obs.prom import render_prometheus
 
 
+def _space_doc(db) -> dict:
+    # free_pages() reads buddy directory pages, so serialise with the op
+    # entry points rather than racing them.
+    with db.op_lock:
+        free = db.free_pages()
+    total = db.volume.total_data_pages
+    return {
+        "free_pages": free,
+        "total_pages": total,
+        "utilization": round(1.0 - free / total, 4) if total else 0.0,
+    }
+
+
 def status_snapshot(db, server=None, *, include_space: bool = True) -> dict:
     """One JSON-ready document describing a database (and its server).
 
     ``server`` is duck-typed (anything with the
     :class:`~repro.server.server.EOSServer` scheduling attributes);
-    pass None to snapshot a database that is not being served.
+    pass None to snapshot a database that is not being served.  For a
+    multi-shard server pass ``db=None``: the document then carries a
+    per-shard ``shards`` list (each entry with that shard's stats and
+    space) plus the fleet-aggregated ``space``; its metrics come from
+    the coordinator's registry.  The single-database document keeps its
+    pre-sharding shape exactly.
     """
     doc: dict = {"ts": round(time.time(), 3)}
+    shard_set = getattr(server, "shards", None) if db is None else None
     if server is not None:
         started = getattr(server, "started_at", 0.0)
         doc["server"] = {
@@ -57,25 +76,46 @@ def status_snapshot(db, server=None, *, include_space: bool = True) -> dict:
                 "last_dump": server.flight.last_dump_path,
             },
         }
-    doc["metrics"] = db.obs.metrics.snapshot()
-    try:
-        if db.is_closed:
-            doc["closed"] = True
-            return doc
-        doc["stats"] = db.stats.snapshot().as_dict()
-        if include_space:
-            # free_pages() reads buddy directory pages, so serialise with
-            # the op entry points rather than racing them.
-            with db.op_lock:
-                free = db.free_pages()
-            total = db.volume.total_data_pages
-            doc["space"] = {
-                "free_pages": free,
-                "total_pages": total,
-                "utilization": round(1.0 - free / total, 4) if total else 0.0,
-            }
-    except Exception as exc:  # a snapshot must never take the server down
-        doc["error"] = f"{exc.__class__.__name__}: {exc}"
+        if shard_set is not None:
+            doc["server"]["shards"] = shard_set.n_shards
+    if db is not None:
+        doc["metrics"] = db.obs.metrics.snapshot()
+        try:
+            if db.is_closed:
+                doc["closed"] = True
+                return doc
+            doc["stats"] = db.stats.snapshot().as_dict()
+            if include_space:
+                doc["space"] = _space_doc(db)
+        except Exception as exc:  # a snapshot must never take the server down
+            doc["error"] = f"{exc.__class__.__name__}: {exc}"
+        return doc
+
+    # Multi-shard: per-shard documents plus the aggregate space rollup.
+    doc["metrics"] = server.obs.metrics.snapshot()
+    shard_docs: list[dict] = []
+    total_free = total_pages = 0
+    for shard in shard_set.shards:
+        sdoc: dict = {"shard": shard.index, "alive": shard.alive}
+        try:
+            if shard.db.is_closed:
+                sdoc["closed"] = True
+            else:
+                sdoc["stats"] = shard.db.stats.snapshot().as_dict()
+                if include_space:
+                    sdoc["space"] = _space_doc(shard.db)
+                    total_free += sdoc["space"]["free_pages"]
+                    total_pages += sdoc["space"]["total_pages"]
+        except Exception as exc:  # one sick shard must not hide the rest
+            sdoc["error"] = f"{exc.__class__.__name__}: {exc}"
+        shard_docs.append(sdoc)
+    doc["shards"] = shard_docs
+    if include_space and total_pages:
+        doc["space"] = {
+            "free_pages": total_free,
+            "total_pages": total_pages,
+            "utilization": round(1.0 - total_free / total_pages, 4),
+        }
     return doc
 
 
@@ -96,6 +136,21 @@ def gauges_from_status(status: dict) -> dict[str, float]:
     stats = status.get("stats")
     if stats:
         out["buffer.hit_ratio"] = stats["buffer"]["hit_ratio"]
+    if server and "shards" in server:
+        out["server.shards"] = server["shards"]
+    for sdoc in status.get("shards", ()):
+        # Per-shard series carry a shard label; metric_name() keeps the
+        # label suffix verbatim when sanitizing.
+        label = '{shard="%d"}' % sdoc["shard"]
+        down = not sdoc.get("alive") or sdoc.get("closed") or "error" in sdoc
+        out[f"shard.up{label}"] = 0.0 if down else 1.0
+        sspace = sdoc.get("space")
+        if sspace:
+            out[f"buddy.free_pages{label}"] = sspace["free_pages"]
+            out[f"buddy.utilization{label}"] = sspace["utilization"]
+        sstats = sdoc.get("stats")
+        if sstats:
+            out[f"buffer.hit_ratio{label}"] = sstats["buffer"]["hit_ratio"]
     out["up"] = 0.0 if status.get("closed") else 1.0
     return out
 
@@ -138,6 +193,11 @@ class MetricsHTTPServer:
     """A daemon-thread HTTP sidecar exposing ``/metrics`` and ``/healthz``."""
 
     def __init__(self, db, server=None, host: str = "127.0.0.1", port: int = 0) -> None:
+        # A multi-shard EOSServer has no single database; pass db=None
+        # and the sidecar renders from the coordinator's registry with
+        # per-shard series from the status document.
+        if db is None and server is not None:
+            db = getattr(server, "db", None)
         self.db = db
         self.server = server
         self.host = host
@@ -145,13 +205,18 @@ class MetricsHTTPServer:
         self._httpd: http.server.ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
+    def _registry(self):
+        if self.db is not None:
+            return self.db.obs.metrics
+        return self.server.obs.metrics
+
     # -- rendering -----------------------------------------------------------
 
     def render_metrics(self) -> str:
         """The Prometheus text document for the current instant."""
         status = status_snapshot(self.db, self.server)
         return render_prometheus(
-            self.db.obs.metrics, extra_gauges=gauges_from_status(status)
+            self._registry(), extra_gauges=gauges_from_status(status)
         )
 
     def health(self) -> dict:

@@ -61,6 +61,14 @@ FLIGHT     (empty)                                UTF-8 JSON-lines
 
 METRICS and FLIGHT are exposition opcodes: the server answers them
 before admission control, so an overloaded server stays observable.
+
+Oids on the wire are *shard-tagged*: a server running N shards encodes
+the owning shard in the low bits (``oid % N`` names the shard; see
+:mod:`repro.server.sharding`), so routing needs no lookup table and a
+1-shard server's wire oids equal its local oids — the tagging is
+invisible to clients, which treat oids as opaque u64 handles either
+way.  :data:`Status.SHARD_UNAVAILABLE` marshals
+:class:`~repro.errors.ShardUnavailable` when the owning shard is down.
 """
 
 from __future__ import annotations
@@ -81,8 +89,10 @@ from repro.errors import (
     RequestTimeout,
     ServerError,
     ServerOverloaded,
+    ShardUnavailable,
     StorageError,
 )
+from repro.ops import ObjectStat
 
 MAGIC = b"EOS1"
 HEADER = struct.Struct("<4sBBII")
@@ -139,6 +149,7 @@ class Status(enum.IntEnum):
     OUT_OF_SPACE = 8
     LOCK_CONFLICT = 9
     DATABASE_CLOSED = 10
+    SHARD_UNAVAILABLE = 11
 
 
 # Ordered most-specific-first: the first isinstance match wins when a
@@ -151,6 +162,7 @@ _STATUS_OF: tuple[tuple[type[Exception], Status], ...] = (
     (ByteRangeError, Status.BYTE_RANGE),
     (OutOfSpace, Status.OUT_OF_SPACE),
     (LockConflict, Status.LOCK_CONFLICT),
+    (ShardUnavailable, Status.SHARD_UNAVAILABLE),
     (DatabaseClosed, Status.DATABASE_CLOSED),
     (StorageError, Status.STORAGE),
 )
@@ -164,6 +176,7 @@ _CLASS_OF: dict[Status, type[ReproError]] = {
     Status.BYTE_RANGE: ByteRangeError,
     Status.OUT_OF_SPACE: OutOfSpace,
     Status.LOCK_CONFLICT: LockConflict,
+    Status.SHARD_UNAVAILABLE: ShardUnavailable,
     Status.DATABASE_CLOSED: DatabaseClosed,
     Status.STORAGE: StorageError,
 }
@@ -409,16 +422,10 @@ def unpack_u64(payload: bytes) -> int:
     return _U64.unpack(payload)[0]
 
 
-@dataclass(frozen=True)
-class RemoteStat:
-    """The STAT response: one object's space accounting, plus its root."""
-
-    size_bytes: int
-    segments: int
-    leaf_pages: int
-    index_pages: int
-    height: int
-    root_page: int
+#: The STAT response payload decodes to the canonical stat dataclass of
+#: the :class:`~repro.ops.ObjectOps` interface; ``RemoteStat`` is the
+#: historical wire-side name, kept as an alias.
+RemoteStat = ObjectStat
 
 
 def pack_stat(stat: RemoteStat) -> bytes:

@@ -26,7 +26,7 @@ from repro.server.server import EOSServer
 class ServerThread:
     """An EOSServer running on its own event loop in a daemon thread."""
 
-    def __init__(self, db: EOSDatabase, **server_kwargs) -> None:
+    def __init__(self, db: EOSDatabase | None = None, **server_kwargs) -> None:
         self.server = EOSServer(db, **server_kwargs)
         self.leaked_tasks: list[str] = []
         self._thread: threading.Thread | None = None

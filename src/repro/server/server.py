@@ -1,10 +1,26 @@
 """The asyncio object server.
 
-One :class:`EOSServer` serves one :class:`~repro.api.EOSDatabase` over
-TCP.  Each connection is a session: a sequence of request frames (see
-:mod:`repro.server.protocol`), answered in order.  Concurrency comes
-from connections, not pipelining — a session has at most one request in
-flight, which keeps per-connection state to a read loop.
+One :class:`EOSServer` serves a :class:`~repro.server.sharding.ShardSet`
+— one or more shared-nothing :class:`~repro.api.EOSDatabase` shards —
+over TCP.  Each connection is a session: a sequence of request frames
+(see :mod:`repro.server.protocol`), answered in order.  Concurrency
+comes from connections, not pipelining — a session has at most one
+request in flight, which keeps per-connection state to a read loop.
+
+Sharding
+--------
+The event loop is a thin coordinator.  At admission each request is
+routed by pure arithmetic on its oid (``oid % n_shards`` names the
+owning shard; creates go to the least-loaded shard and the response
+carries the shard-tagged oid home).  The op then runs on the owning
+shard's dedicated worker thread against that shard's own database,
+buffer pool and lock manager — no storage state is shared between
+shards, so they scale like independent disk arms.  Multi-object ops
+(LIST, the METRICS snapshot) fan out to every shard and merge; a dead
+shard answers :class:`~repro.errors.ShardUnavailable` instead of
+hanging.  A server constructed from a single database (``EOSServer(db)``)
+adopts it as a one-shard set whose oid mapping is the identity, so the
+unsharded wire surface and metrics registry are preserved exactly.
 
 Request scheduling
 ------------------
@@ -72,7 +88,8 @@ from repro.errors import (
 from repro.obs.flight import FlightRecorder
 from repro.server import protocol
 from repro.server.expo import status_snapshot
-from repro.server.protocol import Opcode, RemoteStat, Status
+from repro.server.protocol import Opcode, Status
+from repro.server.sharding import Shard, ShardSet, make_oid
 
 
 class _RequestTrace:
@@ -89,8 +106,8 @@ class _RequestTrace:
 
     __slots__ = (
         "tracer", "opcode", "trace_id", "root_id", "parent_id", "remote",
-        "oid", "admission_ms", "lock_wait_ms", "lock_waits", "locked",
-        "exec_ms", "encode_ms",
+        "oid", "shard", "admission_ms", "lock_wait_ms", "lock_waits",
+        "locked", "exec_ms", "encode_ms",
     )
 
     def __init__(self, tracer, opcode: Opcode,
@@ -98,6 +115,7 @@ class _RequestTrace:
         self.tracer = tracer
         self.opcode = opcode
         self.oid: int | None = None
+        self.shard: int | None = None
         self.admission_ms = admission_ms
         self.lock_wait_ms = 0.0
         self.lock_waits = 0
@@ -134,6 +152,8 @@ class _RequestTrace:
         attrs = {"opcode": self.opcode.name.lower(), "status": status.name.lower()}
         if self.oid is not None:
             attrs["oid"] = self.oid
+        if self.shard is not None:
+            attrs["shard"] = self.shard
         self.tracer.record_span(
             "server.request",
             trace_id=self.trace_id,
@@ -147,14 +167,20 @@ class _RequestTrace:
 
 
 class EOSServer:
-    """Serve one database over TCP with admission control and locking."""
+    """Serve a shard set over TCP with admission control and locking.
+
+    Construct with either one database (adopted as a single identity-
+    mapped shard — the unsharded-compatible form) or an explicit
+    :class:`~repro.server.sharding.ShardSet`.
+    """
 
     def __init__(
         self,
-        db: EOSDatabase,
+        db: EOSDatabase | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        shards: ShardSet | None = None,
         max_inflight: int = 64,
         max_write_queue: int = 16,
         request_timeout: float = 30.0,
@@ -165,14 +191,26 @@ class EOSServer:
         flight_dump_dir: str | os.PathLike | None = None,
         flight_min_dump_interval: float = 5.0,
     ) -> None:
-        self.db = db
+        if shards is None:
+            if db is None:
+                raise ValueError("EOSServer needs a database or a ShardSet")
+            shards = ShardSet.adopt(db, locks=locks)
+        elif db is not None:
+            raise ValueError("pass either db or shards, not both")
+        self.shards = shards
+        #: The coordinator's observability bundle (the adopted database's
+        #: own bundle for a single-shard server, so its metrics surface
+        #: is unchanged from the unsharded server).
+        self.obs = shards.obs
+        #: The single shard's database, or None for a multi-shard server
+        #: (which has no one database to point at).
+        self.db = shards.shards[0].db if shards.single else None
         self.host = host
         self.port = port  # 0 until start() binds an ephemeral port
         self.max_inflight = max_inflight
         self.max_write_queue = max_write_queue
         self.request_timeout = request_timeout
         self.max_payload = max_payload
-        self.locks = locks if locks is not None else LockManager()
         #: Test seam: awaited at the start of every request's execution
         #: stage, inside the in-flight window (used to pin requests in
         #: flight so admission control can be exercised deterministically).
@@ -191,7 +229,7 @@ class EOSServer:
         self._next_txn = 1
         self._conn_tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
-        self._flight_tracer = None
+        self._flight_tracers: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -232,18 +270,21 @@ class EOSServer:
     def _attach_flight_sink(self) -> None:
         """Capture spans into the flight ring while tracing is on.
 
-        The tracer can be enabled (or re-enabled, producing a new Tracer)
+        Any tracer can be enabled (or re-enabled, producing a new Tracer)
         at any point in the server's life, so this re-checks identity and
-        appends to the *live* ``tracer.sinks`` list.
+        appends to each *live* ``tracer.sinks`` list — the coordinator's
+        (request roots and phases) and every shard's (execute spans).
+        The FlightRecorder is thread-safe, so one ring can take spans
+        from all of them.
         """
-        tracer = self.db.obs.tracer
-        if not tracer.enabled:
-            self._flight_tracer = None
-            return
-        if tracer is self._flight_tracer:
-            return
-        tracer.sinks.append(self.flight)
-        self._flight_tracer = tracer
+        tracers = [self.obs.tracer]
+        tracers.extend(shard.db.obs.tracer for shard in self.shards.shards)
+        for tracer in tracers:
+            if not tracer.enabled or id(tracer) in self._flight_tracers:
+                continue
+            tracer.sinks.append(self.flight)
+            # Hold the tracer so its id() cannot be recycled by a new one.
+            self._flight_tracers[id(tracer)] = tracer
 
     def dump_flight(self, reason: str = "manual") -> str | None:
         """Force a flight dump (``flight_dump_dir`` must be configured)."""
@@ -294,7 +335,7 @@ class EOSServer:
     async def _session(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        metrics = self.db.obs.metrics
+        metrics = self.obs.metrics
         while True:
             raw = await reader.readexactly(protocol.HEADER.size)
             try:
@@ -369,7 +410,7 @@ class EOSServer:
         self, opcode: Opcode, request_id: int, writer: asyncio.StreamWriter
     ) -> None:
         """Answer METRICS/FLIGHT; counted separately from server.requests."""
-        metrics = self.db.obs.metrics
+        metrics = self.obs.metrics
         metrics.counter("server.exposition").inc()
         try:
             if opcode is Opcode.METRICS:
@@ -405,8 +446,7 @@ class EOSServer:
         wire_trace: tuple[int, int] | None = None,
         admission_ms: float = 0.0,
     ) -> None:
-        db = self.db
-        metrics = db.obs.metrics
+        metrics = self.obs.metrics
         txn_id = self._next_txn
         self._next_txn += 1
         self.inflight += 1
@@ -414,7 +454,7 @@ class EOSServer:
         if is_write:
             self.write_queued += 1
         metrics.gauge("server.inflight").set(self.inflight)
-        req = _RequestTrace(db.obs.tracer, opcode, wire_trace, admission_ms)
+        req = _RequestTrace(self.obs.tracer, opcode, wire_trace, admission_ms)
         t0 = time.perf_counter()
         status = Status.OK
         error: str | None = None
@@ -437,7 +477,11 @@ class EOSServer:
             failure = ReproError(f"{exc.__class__.__name__}: {exc}")
             status, error = Status.SERVER_ERROR, exc.__class__.__name__
         finally:
-            self.locks.release_all(txn_id)
+            # A txn only ever locks on the one shard its oid routed to,
+            # but release_all on an uninvolved shard is a cheap no-op, so
+            # sweeping every shard is simpler than remembering which.
+            for shard in self.shards.shards:
+                shard.locks.release_all(txn_id)
             self._pulse_released()
             self.inflight -= 1
             if is_write:
@@ -474,9 +518,11 @@ class EOSServer:
         bytes_out: int,
     ) -> None:
         """Metrics, spans and the flight entry for one finished request."""
-        metrics = self.db.obs.metrics
+        metrics = self.obs.metrics
         metrics.counter("server.requests").inc()
         metrics.counter(f"server.requests.{req.opcode.name.lower()}").inc()
+        if req.shard is not None and not self.shards.single:
+            metrics.counter(f"server.shard.{req.shard}.requests").inc()
         if error is not None:
             metrics.counter("server.errors").inc()
         metrics.histogram("server.latency_ms").observe(total_ms)
@@ -501,6 +547,8 @@ class EOSServer:
         }
         if req.oid is not None:
             entry["oid"] = req.oid
+        if req.shard is not None:
+            entry["shard"] = req.shard
         if error is not None:
             entry["error"] = error
         if req.trace_id:
@@ -539,50 +587,104 @@ class EOSServer:
         finally:
             req.lock_wait_ms += (time.perf_counter() - t0) * 1000.0
 
+    async def _run_on(
+        self, shard: Shard, opcode: Opcode, req: _RequestTrace,
+        op: Callable[[], object],
+    ) -> object:
+        """Run ``op`` on the shard's worker under its op lock and span.
+
+        The span covers exactly the op, opened in the shard's worker
+        thread under that shard's database op lock so span nesting stays
+        sound; ``.under()`` hangs it below this request's root span.  The
+        worker is a :class:`~repro.server.sharding.Shard`'s single
+        thread, so ops on one shard serialize while shards proceed
+        independently; a killed shard raises
+        :class:`~repro.errors.ShardUnavailable` here.
+        """
+        db = shard.db
+
+        def locked() -> object:
+            with db.op_lock:
+                with db.obs.tracer.span(
+                    "server.execute", opcode=opcode.name.lower(),
+                    shard=shard.index,
+                ).under(req.trace_id, req.root_id):
+                    return op()
+
+        t0 = time.perf_counter()
+        try:
+            return await asyncio.wrap_future(shard.submit(locked))
+        finally:
+            req.exec_ms += (time.perf_counter() - t0) * 1000.0
+
     async def _execute(
         self, opcode: Opcode, payload: bytes, txn_id: int, req: _RequestTrace
     ) -> bytes:
         if self.op_hook is not None:
             await self.op_hook(opcode)
-        db = self.db
-        locks = self.locks
-        loop = asyncio.get_running_loop()
-
-        async def run(op: Callable[[], object]) -> object:
-            # The span covers exactly the op, opened in the worker thread
-            # under the database's op lock so span nesting stays sound;
-            # .under() hangs it below this request's root span.
-            def locked() -> object:
-                with db.op_lock:
-                    with db.obs.tracer.span(
-                        "server.execute", opcode=opcode.name.lower()
-                    ).under(req.trace_id, req.root_id):
-                        return op()
-
-            t0 = time.perf_counter()
-            try:
-                return await loop.run_in_executor(None, locked)
-            finally:
-                req.exec_ms += (time.perf_counter() - t0) * 1000.0
+        shards = self.shards
+        n = shards.n_shards
 
         if opcode is Opcode.PING:
             return payload
         if opcode is Opcode.CREATE:
             data, size_hint = protocol.unpack_create(payload)
-            oid = await run(lambda: db.op_create(data, size_hint=size_hint))
+            shard = shards.pick_for_create()
+            req.shard = shard.index
+            local = await self._run_on(
+                shard, opcode, req,
+                lambda: shard.db.op_create(data, size_hint=size_hint),
+            )
+            shard.note_created()
+            oid = make_oid(shard.index, local, n)
             req.oid = oid
             return protocol.pack_u64(oid)
+        if opcode is Opcode.LIST:
+            # Coordinator fan-out: every shard lists concurrently (each
+            # under its own op lock and execute span), then the tagged
+            # oids merge into one ascending listing.  gather() without
+            # return_exceptions: one dead shard fails the whole listing
+            # with ShardUnavailable rather than dropping its objects.
+            async def list_shard(shard: Shard) -> list[tuple[int, int]]:
+                local = await self._run_on(shard, opcode, req, shard.db.op_list)
+                return [
+                    (make_oid(shard.index, loid, n), size)
+                    for loid, size in local
+                ]
+
+            parts = await asyncio.gather(*map(list_shard, shards.shards))
+            merged = [entry for part in parts for entry in part]
+            merged.sort()
+            return protocol.pack_listing(merged)
+
+        # Everything below is a single-object op: route by the oid's
+        # shard tag, lock on the owning shard's table (keyed by the wire
+        # oid), and run against the shard-local oid.
         if opcode is Opcode.APPEND:
             oid, data = protocol.unpack_oid_data(payload)
-            req.oid = oid
+        elif opcode in (Opcode.READ, Opcode.DELETE):
+            oid, offset, length = protocol.unpack_oid_offset_length(payload)
+        elif opcode in (Opcode.WRITE, Opcode.INSERT):
+            oid, offset, data = protocol.unpack_oid_offset_data(payload)
+        elif opcode in (Opcode.SIZE, Opcode.STAT):
+            oid = protocol.unpack_oid(payload)
+        else:
+            raise ProtocolError(f"opcode {opcode} not implemented")
+        req.oid = oid
+        shard = shards.shard_for(oid)
+        req.shard = shard.index
+        db, locks = shard.db, shard.locks
+        local = shard.local_oid(oid)
+
+        if opcode is Opcode.APPEND:
             await self._acquire(
                 txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X), req
             )
-            size = await run(lambda: db.op_append(oid, data))
+            size = await self._run_on(
+                shard, opcode, req, lambda: db.op_append(local, data)
+            )
             return protocol.pack_u64(size)
         if opcode is Opcode.READ:
-            oid, offset, length = protocol.unpack_oid_offset_length(payload)
-            req.oid = oid
             if length > self.max_payload:
                 raise ProtocolError(
                     f"read of {length} bytes exceeds the "
@@ -595,10 +697,11 @@ class EOSServer:
                 ),
                 req,
             )
-            return await run(lambda: db.op_read(oid, offset, length))
+            return await self._run_on(
+                shard, opcode, req,
+                lambda: db.op_read(local, offset=offset, length=length),
+            )
         if opcode is Opcode.WRITE:
-            oid, offset, data = protocol.unpack_oid_offset_data(payload)
-            req.oid = oid
             await self._acquire(
                 txn_id,
                 lambda: locks.acquire_range(
@@ -606,40 +709,40 @@ class EOSServer:
                 ),
                 req,
             )
-            size = await run(lambda: db.op_write(oid, offset, data))
+            size = await self._run_on(
+                shard, opcode, req,
+                lambda: db.op_write(local, data, offset=offset),
+            )
             return protocol.pack_u64(size)
         if opcode is Opcode.INSERT:
-            oid, offset, data = protocol.unpack_oid_offset_data(payload)
-            req.oid = oid
             await self._acquire(
                 txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X), req
             )
-            size = await run(lambda: db.op_insert(oid, offset, data))
+            size = await self._run_on(
+                shard, opcode, req,
+                lambda: db.op_insert(local, data, offset=offset),
+            )
             return protocol.pack_u64(size)
         if opcode is Opcode.DELETE:
-            oid, offset, length = protocol.unpack_oid_offset_length(payload)
-            req.oid = oid
             await self._acquire(
                 txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.X), req
             )
-            size = await run(lambda: db.op_delete(oid, offset, length))
+            size = await self._run_on(
+                shard, opcode, req,
+                lambda: db.op_delete(local, offset=offset, length=length),
+            )
             return protocol.pack_u64(size)
         if opcode is Opcode.SIZE:
-            oid = protocol.unpack_oid(payload)
-            req.oid = oid
             await self._acquire(
                 txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S), req
             )
-            return protocol.pack_u64(await run(lambda: db.op_size(oid)))
-        if opcode is Opcode.STAT:
-            oid = protocol.unpack_oid(payload)
-            req.oid = oid
-            await self._acquire(
-                txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S), req
+            size = await self._run_on(
+                shard, opcode, req, lambda: db.op_size(local)
             )
-            stat = await run(lambda: db.op_stat(oid))
-            return protocol.pack_stat(RemoteStat(**stat))
-        if opcode is Opcode.LIST:
-            listing = await run(db.op_list)
-            return protocol.pack_listing(listing)
-        raise ProtocolError(f"opcode {opcode} not implemented")
+            return protocol.pack_u64(size)
+        # STAT is the only single-object opcode left.
+        await self._acquire(
+            txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S), req
+        )
+        stat = await self._run_on(shard, opcode, req, lambda: db.op_stat(local))
+        return protocol.pack_stat(stat)

@@ -1,0 +1,369 @@
+"""Shared-nothing shards: N databases, N worker threads, one address space.
+
+The paper gives every storage structure its own buddy space, directory
+and buffer pool precisely so that independent volumes never contend; a
+:class:`ShardSet` applies the same ownership rule at process scale.
+Each :class:`Shard` owns one complete :class:`~repro.api.EOSDatabase`
+(disk volume + buffer pool + allocator), one
+:class:`~repro.concurrency.LockManager`, and one dedicated worker
+thread — no page, buffer frame, lock table or allocator state is ever
+touched from outside that shard's worker, so shards scale like
+independent disk arms (which is exactly what the SRV2 benchmark puts
+under them).
+
+Oid tagging
+-----------
+Wire oids carry their owning shard in the residue class modulo the
+shard count::
+
+    wire_oid  = local_oid * n_shards + shard_index
+    shard     = wire_oid % n_shards
+    local_oid = wire_oid // n_shards
+
+Routing is pure arithmetic — no directory, no rebalancing, and a
+client cannot tell a 1-shard server from an N-shard one (for
+``n_shards == 1`` the mapping is the identity, which keeps every
+pre-sharding oid valid).  Creates have no oid yet, so the coordinator
+places them on the least-loaded shard and the response carries the
+tagged oid home.
+
+Coordinator fan-out
+-------------------
+Single-object ops touch exactly one shard.  Multi-object ops (LIST,
+stats/space rollups, checkpoint) fan out to every shard and merge; a
+dead shard fails the fan-out with
+:class:`~repro.errors.ShardUnavailable` rather than silently returning
+partial state.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Iterable
+
+from repro.api import EOSDatabase
+from repro.concurrency import LockManager
+from repro.core.config import EOSConfig
+from repro.errors import ObjectNotFound, ShardUnavailable
+from repro.obs.tracer import Observability
+from repro.ops import ObjectStat
+
+__all__ = ["Shard", "ShardSet", "make_oid", "split_oid", "shard_of"]
+
+#: Disjoint span-id block size per shard tracer (see ShardSet.create).
+_SPAN_ID_BLOCK = 1 << 40
+
+
+def make_oid(shard_index: int, local_oid: int, n_shards: int) -> int:
+    """The wire oid for a shard-local oid (identity when n_shards == 1)."""
+    return local_oid * n_shards + shard_index
+
+
+def split_oid(oid: int, n_shards: int) -> tuple[int, int]:
+    """A wire oid as ``(shard_index, local_oid)``."""
+    return oid % n_shards, oid // n_shards
+
+
+def shard_of(oid: int, n_shards: int) -> int:
+    """The index of the shard owning a wire oid."""
+    return oid % n_shards
+
+
+class Shard:
+    """One shard: a database, a lock manager, and a dedicated worker.
+
+    All database work submitted through :meth:`submit` runs on the
+    shard's single worker thread, which keeps the database's tracer
+    span stack sound and makes the shared-nothing claim structural:
+    there is exactly one thread that ever executes this shard's ops.
+
+    The shard also implements the :class:`~repro.ops.ObjectOps`
+    interface directly (blocking on its own worker), translating wire
+    oids to local ones — this is the in-process face of a shard, used
+    by the conformance suite and by embedders that want sharding
+    without the TCP server.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        db: EOSDatabase,
+        n_shards: int,
+        *,
+        locks: LockManager | None = None,
+    ) -> None:
+        self.index = index
+        self.db = db
+        self.n_shards = n_shards
+        self.locks = locks if locks is not None else LockManager()
+        self.alive = True
+        self.created = 0  # objects placed here (the create-balance signal)
+        self.pending = 0  # ops submitted but not finished
+        self._count_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"eos-shard-{index}"
+        )
+
+    # -- scheduling ----------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """The create-placement signal: objects held plus ops queued."""
+        return self.created + self.pending
+
+    def note_created(self) -> None:
+        """Record that a create was placed on this shard."""
+        with self._count_lock:
+            self.created += 1
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        """Run ``fn`` on the shard's worker thread; a Future of its result.
+
+        Raises :class:`~repro.errors.ShardUnavailable` once the shard
+        has been killed or closed — fail fast, never queue onto a dead
+        worker.
+        """
+        if not self.alive:
+            raise ShardUnavailable(f"shard {self.index} is not serving")
+        with self._count_lock:
+            self.pending += 1
+
+        def call():
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                with self._count_lock:
+                    self.pending -= 1
+
+        try:
+            return self._pool.submit(call)
+        except RuntimeError:  # lost the race with kill()/close()
+            with self._count_lock:
+                self.pending -= 1
+            raise ShardUnavailable(
+                f"shard {self.index} is not serving"
+            ) from None
+
+    def local_oid(self, oid: int) -> int:
+        """The shard-local oid for a wire oid this shard owns."""
+        shard_index, local = split_oid(oid, self.n_shards)
+        if shard_index != self.index:
+            raise ObjectNotFound(
+                f"oid {oid} belongs to shard {shard_index}, not {self.index}"
+            )
+        return local
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def kill(self) -> None:
+        """Take the shard down hard (fault injection / shard-death tests).
+
+        Queued work is cancelled, the database is left as-is, and every
+        subsequent :meth:`submit` raises
+        :class:`~repro.errors.ShardUnavailable`.
+        """
+        self.alive = False
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Drain the worker and close the shard's database."""
+        self.alive = False
+        self._pool.shutdown(wait=True)
+        if not self.db.is_closed:
+            self.db.close()
+
+    # -- ObjectOps (blocking, oid-translating) -------------------------------
+
+    def _run(self, fn: Callable, *args, **kwargs):
+        return self.submit(fn, *args, **kwargs).result()
+
+    def op_create(
+        self, data: bytes = b"", *, size_hint: int | None = None
+    ) -> int:
+        """Create an object on this shard; returns its wire oid."""
+        local = self._run(self.db.op_create, data, size_hint=size_hint)
+        self.note_created()
+        return make_oid(self.index, local, self.n_shards)
+
+    def op_append(self, oid: int, data: bytes) -> int:
+        """Append bytes; the object's new size."""
+        return self._run(self.db.op_append, self.local_oid(oid), data)
+
+    def op_read(self, oid: int, *, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``."""
+        return self._run(
+            self.db.op_read, self.local_oid(oid), offset=offset, length=length
+        )
+
+    def op_read_into(self, oid: int, dest, *, offset: int, length: int) -> int:
+        """Read into a writable buffer; the byte count."""
+        return self._run(
+            self.db.op_read_into, self.local_oid(oid), dest,
+            offset=offset, length=length,
+        )
+
+    def op_write(self, oid: int, data: bytes, *, offset: int) -> int:
+        """Overwrite in place; the (unchanged) size."""
+        return self._run(
+            self.db.op_write, self.local_oid(oid), data, offset=offset
+        )
+
+    def op_insert(self, oid: int, data: bytes, *, offset: int) -> int:
+        """Insert bytes at ``offset``; the new size."""
+        return self._run(
+            self.db.op_insert, self.local_oid(oid), data, offset=offset
+        )
+
+    def op_delete(self, oid: int, *, offset: int, length: int) -> int:
+        """Delete a byte range; the new size."""
+        return self._run(
+            self.db.op_delete, self.local_oid(oid),
+            offset=offset, length=length,
+        )
+
+    def op_size(self, oid: int) -> int:
+        """The object's size in bytes."""
+        return self._run(self.db.op_size, self.local_oid(oid))
+
+    def op_stat(self, oid: int) -> ObjectStat:
+        """Space accounting plus the root page."""
+        return self._run(self.db.op_stat, self.local_oid(oid))
+
+    def op_list(self) -> list[tuple[int, int]]:
+        """This shard's objects as ``(wire_oid, size)``, ascending."""
+        local = self._run(self.db.op_list)
+        return [
+            (make_oid(self.index, loid, self.n_shards), size)
+            for loid, size in local
+        ]
+
+
+class ShardSet:
+    """The coordinator: routes by oid, balances creates, fans out the rest."""
+
+    def __init__(self, shards: Iterable[Shard], *, obs: Observability | None = None):
+        self.shards: list[Shard] = list(shards)
+        if not self.shards:
+            raise ValueError("a ShardSet needs at least one shard")
+        self.n_shards = len(self.shards)
+        #: The coordinator's observability bundle: request roots, server
+        #: metrics and flight spans land here.  A single adopted shard
+        #: shares its database's bundle, preserving the unsharded
+        #: server's metrics surface exactly.
+        self.obs = obs if obs is not None else self.shards[0].db.obs
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def adopt(
+        cls, db: EOSDatabase, *, locks: LockManager | None = None
+    ) -> "ShardSet":
+        """Wrap one existing database as a single-shard set.
+
+        The oid mapping is the identity and the database's own
+        observability bundle is used, so a server over an adopted set
+        is wire- and metrics-compatible with the pre-sharding server.
+        """
+        return cls([Shard(0, db, 1, locks=locks)])
+
+    @classmethod
+    def create(
+        cls,
+        n_shards: int,
+        num_pages: int,
+        page_size: int = 4096,
+        *,
+        config: EOSConfig | None = None,
+        pool_capacity: int = 128,
+        disk_factory: Callable[[int], object] | None = None,
+        sinks: Iterable = (),
+    ) -> "ShardSet":
+        """Format ``n_shards`` fresh databases of ``num_pages`` pages each.
+
+        Every shard gets its own volume (``disk_factory(index)`` may
+        supply the device — e.g. a
+        :class:`~repro.storage.timing.TimedDisk` per simulated arm),
+        its own metrics registry, and a tracer whose span ids live in a
+        disjoint block so per-shard spans merge cleanly under
+        coordinator-allocated request roots.  ``sinks`` (span sinks,
+        e.g. a JSON-lines file) are shared by the coordinator and every
+        shard tracer; sinks used this way must tolerate concurrent
+        ``on_span`` calls.
+        """
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        sinks = list(sinks)
+        shards = []
+        for index in range(n_shards):
+            disk = disk_factory(index) if disk_factory is not None else None
+            db = EOSDatabase.create(
+                num_pages,
+                page_size,
+                config=config,
+                pool_capacity=pool_capacity,
+                disk=disk,
+            )
+            db.obs.enable(
+                sinks=sinks,
+                first_span_id=(index + 1) * _SPAN_ID_BLOCK,
+            )
+            shards.append(Shard(index, db, n_shards))
+        obs = Observability(page_size=page_size).enable(sinks=sinks)
+        return cls(shards, obs=obs)
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def single(self) -> bool:
+        """True for a one-shard set (the unsharded-compatible case)."""
+        return self.n_shards == 1
+
+    def shard_for(self, oid: int) -> Shard:
+        """The shard owning a wire oid (pure arithmetic, no lookup)."""
+        return self.shards[shard_of(oid, self.n_shards)]
+
+    def pick_for_create(self) -> Shard:
+        """The least-loaded live shard (ties break on the lowest index)."""
+        live = [s for s in self.shards if s.alive]
+        if not live:
+            raise ShardUnavailable("no shard is serving")
+        return min(live, key=lambda s: (s.load, s.index))
+
+    def live_shards(self) -> list[Shard]:
+        """Shards currently serving."""
+        return [s for s in self.shards if s.alive]
+
+    # -- coordinator fan-out (blocking; the server has an async twin) --------
+
+    def op_list(self) -> list[tuple[int, int]]:
+        """Every object on every shard as ``(wire_oid, size)``, ascending.
+
+        Fans out to all shards concurrently and merges; raises
+        :class:`~repro.errors.ShardUnavailable` if any shard is down —
+        a partial listing would silently hide objects.
+        """
+        futures = [
+            (shard, shard.submit(shard.db.op_list)) for shard in self.shards
+        ]
+        merged: list[tuple[int, int]] = []
+        for shard, future in futures:
+            merged.extend(
+                (make_oid(shard.index, loid, self.n_shards), size)
+                for loid, size in future.result()
+            )
+        merged.sort()
+        return merged
+
+    def checkpoint(self) -> None:
+        """Flush every shard's dirty pages (fan-out, all must be live)."""
+        futures = [shard.submit(shard.db.checkpoint) for shard in self.shards]
+        for future in futures:
+            future.result()
+
+    def close(self) -> None:
+        """Close every shard (drains workers) and the coordinator bundle."""
+        for shard in self.shards:
+            shard.close()
+        if self.obs is not self.shards[0].db.obs:
+            self.obs.close()

@@ -15,7 +15,9 @@ Subcommands::
     python -m repro.tools.servectl bench-smoke --spawn   # self-contained
 
 ``serve`` runs a fresh in-memory database (or ``--image`` to serve a
-saved volume) until interrupted; ``--metrics-port`` adds the Prometheus
+saved volume) until interrupted; ``--shards N`` serves N shared-nothing
+shards instead (each with its own volume, buffer pool and worker thread;
+``--pages`` is per shard), ``--metrics-port`` adds the Prometheus
 /healthz HTTP sidecar, ``--flight-dir`` is where incident flight dumps
 land (SIGUSR1 forces one), and ``--trace`` writes the server's span
 stream to a JSON-lines file.  ``metrics``/``top``/``dump-flight`` use
@@ -65,18 +67,38 @@ def _make_database(args: argparse.Namespace) -> EOSDatabase:
 # ---------------------------------------------------------------------------
 
 
+def _make_shardset(args: argparse.Namespace):
+    from repro.server.sharding import ShardSet
+
+    if getattr(args, "image", None):
+        raise ReproError("--image serves one volume; it cannot be sharded "
+                         "(use --shards 1)")
+    sinks = []
+    if getattr(args, "trace", None):
+        from repro.obs.sinks import JsonLinesSink
+
+        sinks.append(JsonLinesSink(args.trace))
+    return ShardSet.create(
+        args.shards, args.pages, args.page_size, sinks=sinks
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run a server in the foreground until interrupted."""
-    db = _make_database(args)
-    server = EOSServer(
-        db,
-        args.host,
-        args.port,
+    common = dict(
         max_inflight=args.max_inflight,
         max_write_queue=args.max_write_queue,
         request_timeout=args.timeout,
         flight_dump_dir=args.flight_dir,
     )
+    db = None
+    shardset = None
+    if args.shards > 1:
+        shardset = _make_shardset(args)
+        server = EOSServer(None, args.host, args.port, shards=shardset, **common)
+    else:
+        db = _make_database(args)
+        server = EOSServer(db, args.host, args.port, **common)
     sidecar: MetricsHTTPServer | None = None
 
     def dump_flight() -> None:
@@ -91,7 +113,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except (NotImplementedError, AttributeError, ValueError):
             pass  # platform without SIGUSR1 (or a non-main thread)
         print(f"serving on {server.host}:{server.port} "
-              f"(inflight cap {server.max_inflight}, "
+              f"({server.shards.n_shards} shard(s), "
+              f"inflight cap {server.max_inflight}, "
               f"write queue {server.max_write_queue}; "
               f"flight dumps -> {args.flight_dir})", flush=True)
         if sidecar is not None:
@@ -110,7 +133,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if sidecar is not None:
             sidecar.stop()
-        db.close()
+        if shardset is not None:
+            shardset.close()
+        else:
+            db.close()
     return 0
 
 
@@ -341,16 +367,24 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     """Run the self-checking concurrent smoke load; exit 1 on failure."""
     spawned = None
     db = None
+    shardset = None
     host, port = args.host, args.port
     if args.spawn:
         from repro.server.runner import ServerThread
 
-        db = EOSDatabase.create(num_pages=args.pages, page_size=args.page_size)
-        db.obs.enable()
-        spawned = ServerThread(db, host="127.0.0.1", port=0)
+        if args.shards > 1:
+            from repro.server.sharding import ShardSet
+
+            shardset = ShardSet.create(args.shards, args.pages, args.page_size)
+            spawned = ServerThread(shards=shardset, host="127.0.0.1", port=0)
+        else:
+            db = EOSDatabase.create(num_pages=args.pages, page_size=args.page_size)
+            db.obs.enable()
+            spawned = ServerThread(db, host="127.0.0.1", port=0)
         spawned.start()
         host, port = "127.0.0.1", spawned.port
-        print(f"spawned in-process server on port {port}")
+        print(f"spawned in-process server on port {port} "
+              f"({args.shards} shard(s))")
 
     try:
         total, elapsed, errors = run_smoke(
@@ -360,9 +394,12 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         leaked: list[str] = []
         if spawned is not None:
             leaked = spawned.stop()
-            if db is not None:
-                spans = db.obs.metrics.counter("server.requests").value
-                print(f"server handled {spans} requests")
+            obs = spawned.server.obs
+            handled = obs.metrics.counter("server.requests").value
+            print(f"server handled {handled} requests")
+            if shardset is not None:
+                shardset.close()
+            elif db is not None:
                 db.close()
 
     rate = total / elapsed if elapsed else float("inf")
@@ -391,8 +428,11 @@ def _add_endpoint(parser: argparse.ArgumentParser) -> None:
 
 def _add_volume(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pages", type=int, default=20_000,
-                        help="pages for a fresh in-memory volume")
+                        help="pages for a fresh in-memory volume (per shard)")
     parser.add_argument("--page-size", type=int, default=4096)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="serve N shared-nothing shards, each with its "
+                             "own volume, buffer pool and worker (default 1)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -57,7 +57,7 @@ class TestPinLeakSanitizer:
         db = EOSDatabase.create(64, page_size=256)
         db.pool.attach_pin_sanitizer()
         oid = db.op_create(b"x" * 1000)
-        assert db.op_read(oid, 0, 1000) == b"x" * 1000
+        assert db.op_read(oid, offset=0, length=1000) == b"x" * 1000
         db.close()  # no leaks: every fetch was paired
 
     def test_lifo_accounting_of_nested_pins(self):

@@ -19,7 +19,13 @@ from hypothesis import strategies as st
 
 from repro import EOSConfig, EOSDatabase
 from repro.bench.jsonout import write_bench_json
-from repro.bench.regress import Tolerances, compare_dirs, compare_docs, extract_metrics
+from repro.bench.regress import (
+    GATED_BENCHES,
+    Tolerances,
+    compare_dirs,
+    compare_docs,
+    extract_metrics,
+)
 from repro.core.search import _plan_reads
 from repro.core.stream import ObjectStream
 from repro.errors import AllPagesPinned, PageSizeMismatch
@@ -246,12 +252,15 @@ def _bench_doc(directory, bench, rows, io=None):
 
 
 def _write_trio(directory, *, copies=1.0, mbps=1000.0, seeks=100, rps=3000):
+    """One artifact per gated bench (the name predates SRV2)."""
     _bench_doc(directory, "DATAPATH",
                [["direct", copies, mbps], ["server_e2e", copies, mbps]])
     _bench_doc(directory, "E4", [["EOS", "195 KB", 2, 392]],
                io={"seeks": seeks, "page_transfers": 6000})
     _bench_doc(directory, "SRV1",
                [[1, rps * 0.8, 0.3, 0.6], [8, rps, 2.0, 4.0]])
+    _bench_doc(directory, "SRV2",
+               [[1, 8, rps * 0.3, 2.0, 4.0], [4, 8, rps, 2.0, 4.0]])
 
 
 class TestRegressGate:
@@ -291,14 +300,14 @@ class TestRegressGate:
         _write_trio(tmp_path / "base")
         (tmp_path / "cur").mkdir()
         report = compare_dirs(tmp_path / "base", tmp_path / "cur")
-        assert not report.ok and len(report.failures) == 3
+        assert not report.ok and len(report.failures) == len(GATED_BENCHES)
 
     def test_missing_baseline_skips(self, tmp_path):
         (tmp_path / "base").mkdir()
         _write_trio(tmp_path / "cur")
         report = compare_dirs(tmp_path / "base", tmp_path / "cur")
         assert report.ok
-        assert len(report.skipped) == 3
+        assert len(report.skipped) == len(GATED_BENCHES)
 
     def test_disappeared_metric_fails(self, tmp_path):
         base = {"bench": "DATAPATH",

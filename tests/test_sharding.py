@@ -1,0 +1,357 @@
+"""Sharded server: oid tagging, routing, fan-out, shard death, and the
+ObjectOps conformance contract across all three implementations."""
+
+import warnings
+
+import pytest
+
+from repro.api import EOSDatabase
+from repro.errors import ObjectNotFound, ShardUnavailable
+from repro.ops import ObjectOps, ObjectStat
+from repro.server import EOSClient, ServerThread, ShardSet, Status
+from repro.server.protocol import exception_from, status_for_exception
+from repro.server.sharding import Shard, make_oid, shard_of, split_oid
+from repro.storage.disk import DiskVolume
+from repro.storage.timing import TimedDisk
+
+PAGE = 512
+PAGES = 1024
+
+
+def make_shardset(n):
+    return ShardSet.create(n, PAGES, PAGE)
+
+
+# ---------------------------------------------------------------------------
+# Oid tagging
+# ---------------------------------------------------------------------------
+
+
+class TestOidTagging:
+    def test_roundtrip(self):
+        for n in (1, 2, 4, 7):
+            for shard in range(n):
+                for local in (0, 1, 17, 1 << 40):
+                    oid = make_oid(shard, local, n)
+                    assert split_oid(oid, n) == (shard, local)
+                    assert shard_of(oid, n) == shard
+
+    def test_single_shard_is_identity(self):
+        for local in (0, 1, 42, 1 << 50):
+            assert make_oid(0, local, 1) == local
+
+    def test_distinct_within_shard_count(self):
+        n = 4
+        oids = {
+            make_oid(s, loc, n) for s in range(n) for loc in range(32)
+        }
+        assert len(oids) == n * 32
+
+
+# ---------------------------------------------------------------------------
+# Create placement and routing
+# ---------------------------------------------------------------------------
+
+
+class TestShardSet:
+    def test_creates_spread_evenly(self):
+        ss = make_shardset(4)
+        try:
+            oids = [ss.pick_for_create().op_create(b"x") for _ in range(32)]
+            residues = sorted(oid % 4 for oid in oids)
+            assert residues == sorted(list(range(4)) * 8)
+        finally:
+            ss.close()
+
+    def test_shard_for_routes_by_residue(self):
+        ss = make_shardset(4)
+        try:
+            for shard in ss.shards:
+                oid = shard.op_create(b"y")
+                assert ss.shard_for(oid) is shard
+                assert shard.op_read(oid, offset=0, length=1) == b"y"
+        finally:
+            ss.close()
+
+    def test_local_oid_rejects_foreign_tag(self):
+        ss = make_shardset(4)
+        try:
+            oid = ss.shards[0].op_create(b"z")
+            with pytest.raises(ObjectNotFound):
+                ss.shards[1].local_oid(oid)
+        finally:
+            ss.close()
+
+    def test_cross_shard_list_merges_ascending(self):
+        ss = make_shardset(4)
+        try:
+            sizes = {}
+            for i in range(12):
+                oid = ss.pick_for_create().op_create(b"a" * (i + 1))
+                sizes[oid] = i + 1
+            listing = ss.op_list()
+            assert [oid for oid, _ in listing] == sorted(sizes)
+            assert dict(listing) == sizes
+            # Every shard contributed.
+            assert {oid % 4 for oid, _ in listing} == {0, 1, 2, 3}
+        finally:
+            ss.close()
+
+    def test_dead_shard_fails_fanout(self):
+        ss = make_shardset(2)
+        try:
+            ss.shards[0].op_create(b"x")
+            ss.shards[1].kill()
+            with pytest.raises(ShardUnavailable):
+                ss.op_list()
+            with pytest.raises(ShardUnavailable):
+                ss.shards[1].op_create(b"y")
+            # The survivor keeps serving, and keeps taking creates.
+            assert ss.pick_for_create() is ss.shards[0]
+        finally:
+            ss.close()
+
+    def test_adopt_preserves_observability_identity(self):
+        db = EOSDatabase.create(num_pages=PAGES, page_size=PAGE)
+        try:
+            ss = ShardSet.adopt(db)
+            assert ss.single
+            assert ss.obs is db.obs
+            oid = ss.shards[0].op_create(b"w")
+            assert db.op_read(oid, offset=0, length=1) == b"w"  # identity oid
+        finally:
+            db.close()
+
+
+# ---------------------------------------------------------------------------
+# Shard death over the wire
+# ---------------------------------------------------------------------------
+
+
+class TestShardDeathOverWire:
+    def test_status_mapping(self):
+        exc = ShardUnavailable("shard 3 is not serving")
+        assert status_for_exception(exc) is Status.SHARD_UNAVAILABLE
+        back = exception_from(Status.SHARD_UNAVAILABLE, "gone")
+        assert isinstance(back, ShardUnavailable)
+
+    def test_client_sees_shard_unavailable(self):
+        ss = make_shardset(2)
+        with ServerThread(shards=ss, port=0) as srv:
+            with EOSClient(port=srv.port) as c:
+                oids = [c.create(bytes([i]) * 64) for i in range(4)]
+                victim = ss.shards[0]
+                victim.kill()
+                dead = next(o for o in oids if o % 2 == victim.index)
+                live = next(o for o in oids if o % 2 != victim.index)
+                with pytest.raises(ShardUnavailable):
+                    c.read(dead, 0, 8)
+                with pytest.raises(ShardUnavailable):
+                    c.list_objects()
+                # Requests routed to the survivor are unaffected.
+                assert c.read(live, 0, 8) == bytes([oids.index(live)]) * 8
+                doc = c.metrics()
+                alive = {s["shard"]: s["alive"] for s in doc["shards"]}
+                assert alive == {0: False, 1: True}
+        assert srv.leaked_tasks == []
+        ss.close()
+
+
+# ---------------------------------------------------------------------------
+# ObjectOps conformance — one suite, three implementations
+# ---------------------------------------------------------------------------
+
+
+def exercise_object_ops(ops: ObjectOps):
+    """The interface contract, written once against :class:`ObjectOps`."""
+    assert isinstance(ops, ObjectOps)
+    oid = ops.op_create(b"hello", size_hint=4096)
+    assert ops.op_size(oid) == 5
+    assert ops.op_append(oid, b" world") == 11
+    assert ops.op_read(oid, offset=0, length=11) == b"hello world"
+    assert ops.op_write(oid, b"HELLO", offset=0) == 11
+    assert ops.op_read(oid, offset=0, length=5) == b"HELLO"
+    assert ops.op_insert(oid, b"<->", offset=5) == 14
+    assert ops.op_read(oid, offset=0, length=14) == b"HELLO<-> world"
+    assert ops.op_delete(oid, offset=5, length=3) == 11
+    dest = bytearray(6)
+    assert ops.op_read_into(oid, dest, offset=5, length=6) == 6
+    assert bytes(dest) == b" world"
+    stat = ops.op_stat(oid)
+    assert isinstance(stat, ObjectStat)
+    assert stat.size_bytes == 11
+    assert stat.segments >= 1
+    listing = ops.op_list()
+    assert (oid, 11) in listing
+    assert listing == sorted(listing)
+    other = ops.op_create()
+    assert ops.op_size(other) == 0
+    assert {o for o, _ in ops.op_list()} >= {oid, other}
+
+
+class TestObjectOpsConformance:
+    def test_database(self):
+        db = EOSDatabase.create(num_pages=PAGES, page_size=PAGE)
+        try:
+            exercise_object_ops(db)
+        finally:
+            db.close()
+
+    def test_shard(self):
+        ss = make_shardset(3)
+        try:
+            for shard in ss.shards:
+                exercise_object_ops(shard)
+        finally:
+            ss.close()
+
+    def test_remote_client(self):
+        for n_shards in (1, 4):
+            ss = make_shardset(n_shards)
+            with ServerThread(shards=ss, port=0) as srv:
+                with EOSClient(port=srv.port) as c:
+                    exercise_object_ops(c)
+            assert srv.leaked_tasks == []
+            ss.close()
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims: the old positional spellings still work, loudly
+# ---------------------------------------------------------------------------
+
+
+class TestDeprecationShims:
+    @pytest.fixture()
+    def db(self):
+        db = EOSDatabase.create(num_pages=PAGES, page_size=PAGE)
+        yield db
+        db.close()
+
+    def test_positional_read_warns(self, db):
+        oid = db.op_create(b"abcdef")
+        with pytest.deprecated_call():
+            assert db.op_read(oid, 1, 3) == b"bcd"
+        # The canonical spelling stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert db.op_read(oid, offset=1, length=3) == b"bcd"
+
+    def test_positional_write_transposes(self, db):
+        oid = db.op_create(b"abcdef")
+        with pytest.deprecated_call():
+            db.op_write(oid, 2, b"XY")  # old (oid, offset, data) order
+        assert db.op_read(oid, offset=0, length=6) == b"abXYef"
+
+    def test_positional_insert_transposes(self, db):
+        oid = db.op_create(b"abc")
+        with pytest.deprecated_call():
+            db.op_insert(oid, 1, b"--")
+        assert db.op_read(oid, offset=0, length=5) == b"a--bc"
+
+    def test_positional_delete_warns(self, db):
+        oid = db.op_create(b"abcdef")
+        with pytest.deprecated_call():
+            assert db.op_delete(oid, 1, 2) == 4
+
+    def test_missing_keywords_raise(self, db):
+        oid = db.op_create(b"abc")
+        with pytest.raises(TypeError):
+            db.op_read(oid)
+        with pytest.raises(TypeError):
+            db.op_write(oid, b"x")
+
+    def test_stat_dict_access_warns(self, db):
+        oid = db.op_create(b"abc")
+        stat = db.op_stat(oid)
+        with pytest.deprecated_call():
+            assert stat["size_bytes"] == 3
+        assert stat.as_dict()["size_bytes"] == 3
+
+
+# ---------------------------------------------------------------------------
+# TimedDisk service-time model
+# ---------------------------------------------------------------------------
+
+
+class TestTimedDisk:
+    def test_charges_seek_and_transfer(self):
+        disk = TimedDisk(
+            DiskVolume(num_pages=64, page_size=PAGE),
+            seek_ms=1.0, transfer_ms_per_page=0.5,
+        )
+        disk.read_pages(0, 4)        # seek + 4 pages
+        disk.read_pages(4, 2)        # contiguous: transfer only
+        disk.read_page(40)           # head moved: seek again
+        assert disk.busy_ms == pytest.approx(1.0 + 2.0 + 1.0 + 0.5 + 1.0)
+
+    def test_untimed_passthrough_and_geometry(self):
+        inner = DiskVolume(num_pages=64, page_size=PAGE)
+        disk = TimedDisk(inner, seek_ms=5.0, transfer_ms_per_page=1.0)
+        disk.poke(0, b"\x07" * PAGE)
+        assert disk.peek(0)[:1] == b"\x07"
+        assert disk.busy_ms == 0.0
+        assert (disk.num_pages, disk.page_size) == (64, PAGE)
+        assert disk.stats is inner.stats
+
+    def test_database_over_timed_disk(self):
+        disk = TimedDisk(
+            DiskVolume(num_pages=PAGES, page_size=PAGE),
+            seek_ms=0.1, transfer_ms_per_page=0.01,
+        )
+        db = EOSDatabase.create(num_pages=PAGES, page_size=PAGE, disk=disk)
+        try:
+            oid = db.op_create(b"t" * 4096)
+            assert db.op_read(oid, offset=0, length=4096) == b"t" * 4096
+            assert disk.busy_ms > 0.0
+        finally:
+            db.close()
+
+    def test_rejects_negative_times(self):
+        inner = DiskVolume(num_pages=8, page_size=PAGE)
+        with pytest.raises(ValueError):
+            TimedDisk(inner, seek_ms=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Multi-shard exposition
+# ---------------------------------------------------------------------------
+
+
+class TestShardedExposition:
+    def test_snapshot_and_prometheus_labels(self):
+        from repro.obs.prom import render_prometheus
+        from repro.server.expo import gauges_from_status, status_snapshot
+
+        ss = make_shardset(2)
+        with ServerThread(shards=ss, port=0) as srv:
+            with EOSClient(port=srv.port) as c:
+                c.create(b"x" * 256)
+                doc = c.metrics()
+            assert doc["server"]["shards"] == 2
+            assert [s["shard"] for s in doc["shards"]] == [0, 1]
+            assert all("space" in s for s in doc["shards"])
+            total = sum(s["space"]["free_pages"] for s in doc["shards"])
+            assert doc["space"]["free_pages"] == total
+
+            gauges = gauges_from_status(status_snapshot(None, srv.server))
+            assert gauges['shard.up{shard="0"}'] == 1.0
+            assert 'buddy.free_pages{shard="1"}' in gauges
+            text = render_prometheus(
+                srv.server.obs.metrics, extra_gauges=gauges
+            )
+            assert 'eos_shard_up{shard="0"} 1.0' in text
+            assert "# TYPE eos_shard_up gauge" in text
+        assert srv.leaked_tasks == []
+        ss.close()
+
+    def test_single_shard_document_keeps_legacy_shape(self):
+        db = EOSDatabase.create(num_pages=PAGES, page_size=PAGE)
+        db.obs.enable()
+        with ServerThread(db, port=0) as srv:
+            with EOSClient(port=srv.port) as c:
+                c.create(b"x")
+                doc = c.metrics()
+        db.close()
+        assert "shards" not in doc          # no per-shard list for N=1
+        assert "stats" in doc and "space" in doc
+        assert doc["server"]["inflight"] == 0
