@@ -9,7 +9,8 @@ Each rule guards one invariant the type system cannot express:
   for you.  (Pin leaks surface much later as AllPagesPinned — see the
   pin-leak sanitizer for the dynamic half of this rule.)
 * **EOS002** — page I/O is confined to the storage substrate.  Only
-  ``storage/``, ``core/pager.py``, ``core/segio.py``, ``buddy/``,
+  ``storage/``, ``core/pager.py``, ``core/segio.py``,
+  ``versions/pager.py`` (the snapshot-read pagers), ``buddy/``,
   ``recovery/``, ``api.py`` (the page-0 catalog) and ``tools/fsck.py``
   may touch ``*.disk.read_page``-style primitives or construct
   ``DiskVolume``/``BufferPool``.  Everyone else goes through the pager,
@@ -188,6 +189,7 @@ _SUBSTRATE_PREFIXES = ("storage/", "recovery/", "buddy/")
 _SUBSTRATE_FILES = {
     "core/pager.py",
     "core/segio.py",
+    "versions/pager.py",  # snapshot pagers over immutable flushed pages
     "api.py",        # owns the page-0 catalog region
     "tools/fsck.py",  # validates raw pages by design
 }

@@ -27,6 +27,7 @@ root page to callers who want to embed it elsewhere.)
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import struct
 import threading
@@ -39,13 +40,25 @@ from repro.core.object import LargeObject
 from repro.core.pager import InPlacePager
 from repro.core.segio import SegmentIO
 from repro.core.tree import LargeObjectTree
-from repro.errors import DatabaseClosed, ObjectNotFound, VolumeLayoutError
+from repro.errors import (
+    DatabaseClosed,
+    ObjectNotFound,
+    VersionNotFound,
+    VolumeLayoutError,
+)
 from repro.obs.facade import DatabaseStats
 from repro.obs.tracer import Observability
-from repro.ops import ObjectStat, legacy_positional, require
+from repro.ops import ObjectStat, VersionInfo, legacy_positional, require
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskVolume
 from repro.storage.volume import Volume
+from repro.versions import (
+    VersionManager,
+    cow_append,
+    cow_replace,
+    pack_version_section,
+    unpack_version_section,
+)
 
 
 def _shift_offset_data(method: str, offset_in_data, args, offset):
@@ -115,6 +128,10 @@ class EOSDatabase:
             self.buddy.attach_invariant_sanitizer()
         self.pager = InPlacePager(self.pool, self.buddy, config.page_size)
         self.segio = SegmentIO(disk, config.page_size, obs=self.obs)
+        #: Copy-on-write version chains (None when versioning is off).
+        #: With versioning on, mutations go through op_* only — direct
+        #: handle mutations would overwrite pages older snapshots read.
+        self.versions = VersionManager(self) if config.versioning else None
         self.stats = DatabaseStats(self)
         self._objects: dict[int, LargeObject] = {}
         self._files: dict[str, "ObjectFile"] = {}
@@ -236,7 +253,15 @@ class EOSDatabase:
         self._next_oid += 1
         obj.oid = oid  # type: ignore[attr-defined]
         self._objects[oid] = obj
-        if data:
+        if self.versions is not None:
+            # Version 1 is the empty object; initial content commits as
+            # version 2 through the uniform CoW mutation path.
+            self.versions.publish_initial(oid, tree)
+            if data:
+                self.versions.mutate(
+                    oid, lambda o: cow_append(o.tree, o.segio, o.buddy, data)
+                )
+        elif data:
             obj.append(data)
         return obj
 
@@ -254,11 +279,21 @@ class EOSDatabase:
         tree = LargeObjectTree(self.pager, self.config, root_page, obs=self.obs)
         return LargeObject(tree, self.segio, self.buddy, obs=self.obs)
 
-    def delete_object(self, obj: LargeObject) -> None:
-        """Destroy the object and drop it from the catalog."""
+    def delete_object(self, obj: LargeObject | int) -> None:
+        """Destroy the object (a handle or its oid); drop it from the catalog.
+
+        On a versioned database this frees the union of every live
+        version's pages (old snapshot roots included), not just the
+        current tree.
+        """
         self._ensure_open("delete an object")
-        obj.destroy()
+        if isinstance(obj, int):
+            obj = self.get_object(obj)
         oid = getattr(obj, "oid", None)
+        if self.versions is not None and oid is not None:
+            self.versions.drop_object(oid)
+        else:
+            obj.destroy()
         if oid is not None:
             self._objects.pop(oid, None)
 
@@ -288,6 +323,11 @@ class EOSDatabase:
     def op_append(self, oid: int, data: bytes) -> int:
         """Append to the object; returns its new size."""
         with self.op_lock:
+            if self.versions is not None:
+                self.versions.mutate(
+                    oid, lambda o: cow_append(o.tree, o.segio, o.buddy, data)
+                )
+                return self.get_object(oid).size()
             obj = self.get_object(oid)
             obj.append(data)
             return obj.size()
@@ -295,19 +335,32 @@ class EOSDatabase:
     def op_read(
         self, oid: int, *args: int,
         offset: int | None = None, length: int | None = None,
+        version: int | None = None,
     ) -> bytes:
-        """Read ``length`` bytes at ``offset``."""
+        """Read ``length`` bytes at ``offset``.
+
+        On a versioned database every read — latest or explicit
+        ``version`` — resolves an immutable snapshot root and runs
+        lock-free (no ``op_lock``, no buffer pool)."""
         if args:
             offset, length = legacy_positional(
                 "op_read", ("offset", "length"), args, (offset, length)
             )
         require("op_read", offset=offset, length=length)
+        if self.versions is not None:
+            self._ensure_open("read an object")
+            return self.versions.read(
+                oid, offset=offset, length=length, version=version
+            )
+        if version:
+            raise VersionNotFound(oid, version)
         with self.op_lock:
             return self.get_object(oid).read(offset, length)
 
     def op_read_into(
         self, oid: int, dest, *,
         offset: int | None = None, length: int | None = None,
+        version: int | None = None,
     ) -> int:
         """Read ``length`` bytes at ``offset`` into a writable buffer.
 
@@ -315,6 +368,13 @@ class EOSDatabase:
         ``dest``.  Returns the byte count written.
         """
         require("op_read_into", offset=offset, length=length)
+        if self.versions is not None:
+            self._ensure_open("read an object")
+            return self.versions.read_into(
+                oid, dest, offset=offset, length=length, version=version
+            )
+        if version:
+            raise VersionNotFound(oid, version)
         with self.op_lock:
             return self.get_object(oid).read_into(offset, length, dest)
 
@@ -327,6 +387,14 @@ class EOSDatabase:
             data, offset = _shift_offset_data("op_write", data, args, offset)
         require("op_write", data=data, offset=offset)
         with self.op_lock:
+            if self.versions is not None:
+                self.versions.mutate(
+                    oid,
+                    lambda o: cow_replace(
+                        o.tree, o.segio, o.buddy, offset, data
+                    ),
+                )
+                return self.get_object(oid).size()
             obj = self.get_object(oid)
             obj.replace(offset, data)
             return obj.size()
@@ -340,9 +408,24 @@ class EOSDatabase:
             data, offset = _shift_offset_data("op_insert", data, args, offset)
         require("op_insert", data=data, offset=offset)
         with self.op_lock:
+            if self.versions is not None:
+                self.versions.mutate(
+                    oid, lambda o: self._versioned_insert(o, offset, data)
+                )
+                return self.get_object(oid).size()
             obj = self.get_object(oid)
             obj.insert(offset, data)
             return obj.size()
+
+    @staticmethod
+    def _versioned_insert(obj: LargeObject, offset: int, data) -> None:
+        # Insert-at-end takes the append fast path, which patches the
+        # partial tail page in place; under versioning those bytes may
+        # be live in an older snapshot, so route it through cow_append.
+        if offset == obj.size():
+            cow_append(obj.tree, obj.segio, obj.buddy, data)
+        else:
+            obj.insert(offset, data)
 
     def op_delete(
         self, oid: int, *args: int,
@@ -355,17 +438,30 @@ class EOSDatabase:
             )
         require("op_delete", offset=offset, length=length)
         with self.op_lock:
+            if self.versions is not None:
+                self.versions.mutate(
+                    oid, lambda o: o.delete(offset, length)
+                )
+                return self.get_object(oid).size()
             obj = self.get_object(oid)
             obj.delete(offset, length)
             return obj.size()
 
     def op_size(self, oid: int) -> int:
         """The object's size in bytes."""
+        if self.versions is not None:
+            self._ensure_open("stat an object")
+            return self.versions.size(oid)
         with self.op_lock:
             return self.get_object(oid).size()
 
-    def op_stat(self, oid: int) -> ObjectStat:
-        """Space accounting plus the root page."""
+    def op_stat(self, oid: int, *, version: int | None = None) -> ObjectStat:
+        """Space accounting plus the root page (lock-free when versioned)."""
+        if self.versions is not None:
+            self._ensure_open("stat an object")
+            return self.versions.stat(oid, version=version)
+        if version:
+            raise VersionNotFound(oid, version)
         with self.op_lock:
             obj = self.get_object(oid)
             stats = obj.stats()
@@ -377,6 +473,19 @@ class EOSDatabase:
                 height=stats.height,
                 root_page=obj.root_page,
             )
+
+    def op_versions(self, oid: int) -> list[VersionInfo]:
+        """The object's committed versions, ascending (lock-free).
+
+        An unversioned database returns ``[]`` for a live oid — the
+        object exists but nothing tracks its history.
+        """
+        if self.versions is not None:
+            self._ensure_open("list versions")
+            return self.versions.versions(oid)
+        with self.op_lock:
+            self.get_object(oid)
+            return []
 
     def op_list(self) -> list[tuple[int, int]]:
         """Every catalogued object as ``(oid, size)``, ascending by oid."""
@@ -429,7 +538,9 @@ class EOSDatabase:
     # 20-byte volume header: u16 count, then (u64 oid, u32 root) each,
     # then the file section — u16 file count, and per file: u8 name
     # length, the UTF-8 name, u32 threshold, u8 adaptive flag, u16
-    # member count, u64 member oids.
+    # member count, u64 member oids — then (versioned databases only)
+    # the magic-tagged version-chain section (see
+    # :func:`repro.versions.pack_version_section`).
     _CATALOG_OFFSET = 64
     _CATALOG_ENTRY = struct.Struct("<QI")
 
@@ -463,21 +574,36 @@ class EOSDatabase:
                 f"{len(entries)} are live (store roots client-side instead)"
             )
         files = self._pack_files()
-        offset = self._CATALOG_OFFSET
-        needed = offset + 2 + len(entries) * self._CATALOG_ENTRY.size + len(files)
+        chains = b""
+        if self.versions is not None:
+            chains = pack_version_section(
+                self.versions.snapshot_chains(), self.versions.retain
+            )
+        needed = (
+            self._CATALOG_OFFSET + 2
+            + len(entries) * self._CATALOG_ENTRY.size
+            + len(files) + len(chains)
+        )
         if needed > self.config.page_size:
             raise VolumeLayoutError(
                 f"catalog needs {needed} bytes but the header page holds "
-                f"{self.config.page_size} (fewer objects/files, or shorter "
-                "file names)"
+                f"{self.config.page_size} (fewer objects/files/retained "
+                "versions, or shorter file names)"
             )
         header = bytearray(self.disk.read_page(0))
+        offset = self._CATALOG_OFFSET
         struct.pack_into("<H", header, offset, len(entries))
         offset += 2
         for oid, root in entries:
             self._CATALOG_ENTRY.pack_into(header, offset, oid, root)
             offset += self._CATALOG_ENTRY.size
         header[offset : offset + len(files)] = files
+        offset += len(files)
+        header[offset : offset + len(chains)] = chains
+        offset += len(chains)
+        # Zero the tail so a shorter catalog never leaves a stale file
+        # or version section from an earlier save behind it.
+        header[offset:] = bytes(len(header) - offset)
         self.disk.write_page(0, header)
 
     def _read_catalog(self) -> None:
@@ -495,15 +621,19 @@ class EOSDatabase:
             obj.oid = oid  # type: ignore[attr-defined]
             self._objects[oid] = obj
             self._next_oid = max(self._next_oid, oid + 1)
-        self._read_file_section(header, offset)
+        offset = self._read_file_section(header, offset)
+        self._restore_versions(header, offset)
 
-    def _read_file_section(self, header: bytes, offset: int) -> None:
+    def _read_file_section(self, header: bytes, offset: int) -> int:
         """Restore ObjectFile handles; tolerate pre-file-section images.
 
         Images written before the file section existed leave zeros here
         (count 0), so they parse cleanly; anything structurally invalid
-        is treated the same way rather than failing the open.
+        is treated the same way rather than failing the open.  Returns
+        the offset just past the section (where the version-chain
+        section starts, if any).
         """
+        start = offset
         try:
             (n_files,) = struct.unpack_from("<H", header, offset)
             offset += 2
@@ -530,11 +660,42 @@ class EOSDatabase:
                 handle._oids = [oid for oid in oids if oid in self._objects]
                 files[name] = handle
         except (struct.error, UnicodeDecodeError):
-            return
+            return start
         self._files = files
         for handle in files.values():
             for obj in handle.objects():
                 obj.set_threshold(handle.threshold, adaptive=handle.adaptive)
+        return offset
+
+    def _restore_versions(self, header: bytes, offset: int) -> None:
+        """Rebuild version chains from the catalog.
+
+        An image written by a versioning-enabled database carries a
+        version section; attaching one re-enables versioning with the
+        saved retention bound even when the caller's config left it off,
+        so ``save``/``open_file`` round-trips keep the history.  Chains
+        whose latest root disagrees with the object catalog — and
+        objects with no persisted chain at all (images saved before
+        versioning was enabled) — restart from a fresh version 1 at the
+        current root.
+        """
+        chains, retain = unpack_version_section(header, offset)
+        if self.versions is None:
+            if retain is None:
+                return
+            self.config = dataclasses.replace(
+                self.config, versioning=True, version_retain=retain
+            )
+            self.versions = VersionManager(self)
+        restored = {}
+        for oid, obj in self._objects.items():
+            chain = chains.get(oid)
+            if chain and chain[-1].root_page == obj.root_page:
+                restored[oid] = chain
+        self.versions.restore(restored)
+        for oid, obj in self._objects.items():
+            if oid not in restored:
+                self.versions.publish_initial(oid, obj.tree)
 
     def save(self, path: str | os.PathLike) -> None:
         """Flush everything and persist the volume image to ``path``."""

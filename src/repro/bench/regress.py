@@ -191,12 +191,33 @@ def _extract_srv2(doc: Mapping) -> list[Metric]:
     return metrics
 
 
+def _extract_ver1(doc: Mapping) -> list[Metric]:
+    """VER1 rows: ``[server, mode, reads/s, p50, p99]`` — gate the
+    versioned snapshot-read throughput in both phases.  The contended
+    cell is the one the subsystem exists for: reads queueing behind the
+    appender's commits would tank it.  The p99 ratio itself is enforced
+    by the bench's own in-run assert against its fixed ceiling — a
+    run-to-run ratio diff would re-gate a noisy tail statistic more
+    tightly than its designed bound."""
+    metrics = []
+    for row in doc.get("rows", []):
+        if len(row) >= 3 and row[0] == "versioned":
+            metrics.append(
+                Metric(
+                    f"reads_per_s[{row[1]}]", float(row[2]),
+                    "higher", "throughput",
+                )
+            )
+    return metrics
+
+
 #: The benches the gate knows how to compare, with their extractors.
 GATED_BENCHES: dict[str, Callable[[Mapping], list[Metric]]] = {
     "DATAPATH": _extract_datapath,
     "E4": _extract_e4,
     "SRV1": _extract_srv1,
     "SRV2": _extract_srv2,
+    "VER1": _extract_ver1,
 }
 
 

@@ -39,6 +39,13 @@ class EOSConfig:
     # [Bili91a] extension: coalesce adjacent unsafe segments when the
     # parent index node would otherwise split.
     adaptive_threshold: bool = False
+    # Copy-on-write versioning (repro.versions): every committed
+    # mutation publishes a new persistent root, chained in the page-0
+    # catalog; readers resolve old versions lock-free.
+    versioning: bool = False
+    # How many committed versions per object the reclaimer retains
+    # (the latest version never expires; must be >= 1).
+    version_retain: int = 8
     # Debug-mode runtime sanitizers (see repro.analysis).  Off by
     # default: they cost a stack capture per pin / a directory
     # revalidation per alloc-free.  The EOS_SANITIZE environment
@@ -57,4 +64,8 @@ class EOSConfig:
         if self.initial_growth_pages < 1:
             raise ValueError(
                 f"initial growth must be >= 1 page, got {self.initial_growth_pages}"
+            )
+        if self.version_retain < 1:
+            raise ValueError(
+                f"version_retain must be >= 1, got {self.version_retain}"
             )

@@ -154,6 +154,20 @@ class TreeCorrupt(LargeObjectError):
     """A structural invariant of the positional tree was violated."""
 
 
+class VersionNotFound(LargeObjectError):
+    """A requested object version is not (or no longer) in the chain.
+
+    Raised for version numbers that were never committed and for
+    versions the reclaimer has already expired out of the retention
+    window.
+    """
+
+    def __init__(self, oid: int, version: int) -> None:
+        super().__init__(f"object {oid} has no live version {version}")
+        self.oid = oid
+        self.version = version
+
+
 # ---------------------------------------------------------------------------
 # Baselines
 # ---------------------------------------------------------------------------

@@ -71,14 +71,23 @@ def _format_attrs(attrs: dict) -> str:
 
 
 def format_tree(records: list[dict], *, max_spans: int = 200) -> str:
-    """The span forest, indented by nesting, with per-span I/O deltas."""
+    """The span forest, indented by nesting, with per-span I/O deltas.
+
+    Spans whose parent is missing from the input (the parent fell out of
+    the flight ring, or the capture window cut a trace in half) are not
+    silently promoted to look like roots: each trace's orphans render
+    under a labelled synthetic root, so a merged view distinguishes "a
+    request root" from "half a tree whose top is gone".
+    """
     spans = [r for r in records if r.get("kind", "span") == "span"]
     children: dict[int | None, list[dict]] = {}
     by_id = {r["span"]: r for r in spans}
+    orphans: list[dict] = []
     for record in spans:
         parent = record.get("parent")
         if parent is not None and parent not in by_id:
-            parent = None  # orphan (ring overflow): promote to root
+            orphans.append(record)
+            continue
         children.setdefault(parent, []).append(record)
 
     lines: list[str] = []
@@ -110,6 +119,20 @@ def format_tree(records: list[dict], *, max_spans: int = 200) -> str:
             lines.append(f"trace {root['trace']}:")
             previous_trace = root["trace"]
         walk(root, 1)
+    if orphans:
+        by_trace: dict[int, list[dict]] = {}
+        for record in orphans:
+            by_trace.setdefault(record["trace"], []).append(record)
+        for trace, group in by_trace.items():
+            if len(lines) >= max_spans:
+                break
+            lines.append(f"trace {trace}:")
+            lines.append(
+                f"  (orphaned: {len(group)} span(s) whose parent is not "
+                "in the input)"
+            )
+            for record in group:
+                walk(record, 2)
     total = len(spans)
     if total > max_spans:
         lines.append(f"... {total - max_spans} more spans")

@@ -34,7 +34,7 @@ import warnings
 from dataclasses import asdict, dataclass
 from typing import Protocol, runtime_checkable
 
-__all__ = ["ObjectOps", "ObjectStat", "legacy_positional"]
+__all__ = ["ObjectOps", "ObjectStat", "VersionInfo", "legacy_positional"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,9 @@ class ObjectStat:
 
     Field order matches the STAT response wire struct (u64 size, then
     five u32 counters), so ``pack_stat(stat)`` serializes positionally.
+    ``version`` is appended last (with a default) so positional packing
+    of the pre-versioning prefix is unchanged; it is 0 on backends that
+    do not version objects.
     """
 
     size_bytes: int
@@ -51,6 +54,7 @@ class ObjectStat:
     index_pages: int
     height: int
     root_page: int
+    version: int = 0
 
     def as_dict(self) -> dict:
         """The stat as a plain dict (for JSON documents)."""
@@ -72,6 +76,23 @@ class ObjectStat:
             return getattr(self, key)
         except AttributeError:
             raise KeyError(key) from None
+
+
+@dataclass(frozen=True)
+class VersionInfo:
+    """One committed version of an object, as listed by ``op_versions``.
+
+    Field order matches the VERSIONS response wire record (u32 version,
+    u64 size, f64 timestamp).
+    """
+
+    version: int
+    size_bytes: int
+    commit_ts: float
+
+    def as_dict(self) -> dict:
+        """The version record as a plain dict (for JSON documents)."""
+        return asdict(self)
 
 
 def legacy_positional(
@@ -139,11 +160,31 @@ class ObjectOps(Protocol):
         """Append bytes; the object's new size."""
         ...
 
-    def op_read(self, oid: int, *, offset: int, length: int) -> bytes:
-        """Read ``length`` bytes at ``offset``."""
+    def op_read(
+        self,
+        oid: int,
+        *,
+        offset: int,
+        length: int,
+        version: int | None = None,
+    ) -> bytes:
+        """Read ``length`` bytes at ``offset``.
+
+        ``version`` selects a committed snapshot on versioned backends
+        (None or 0 = latest); versioned backends serve all reads
+        lock-free against the immutable version root.
+        """
         ...
 
-    def op_read_into(self, oid: int, dest, *, offset: int, length: int) -> int:
+    def op_read_into(
+        self,
+        oid: int,
+        dest,
+        *,
+        offset: int,
+        length: int,
+        version: int | None = None,
+    ) -> int:
         """Read ``length`` bytes at ``offset`` into a writable buffer;
         the byte count."""
         ...
@@ -164,8 +205,14 @@ class ObjectOps(Protocol):
         """The object's size in bytes."""
         ...
 
-    def op_stat(self, oid: int) -> ObjectStat:
-        """Space accounting plus the root page."""
+    def op_stat(self, oid: int, *, version: int | None = None) -> ObjectStat:
+        """Space accounting plus the root page (of the selected version
+        on versioned backends; None or 0 = latest)."""
+        ...
+
+    def op_versions(self, oid: int) -> list["VersionInfo"]:
+        """The object's committed versions, ascending by version number
+        (empty on backends that do not version objects)."""
         ...
 
     def op_list(self) -> list[tuple[int, int]]:

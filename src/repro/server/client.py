@@ -266,13 +266,23 @@ class EOSClient:
             self.call(Opcode.APPEND, protocol.pack_oid_data(oid, data), oid=oid)
         )
 
-    def read(self, oid: int, offset: int, length: int) -> bytes:
-        """Read ``length`` bytes at ``offset``."""
+    def read(
+        self, oid: int, offset: int, length: int,
+        *, version: int | None = None,
+    ) -> bytes:
+        """Read ``length`` bytes at ``offset`` (of ``version``, if given).
+
+        With no ``version`` the request goes out in the short (legacy)
+        form, so the client interoperates with version-unaware servers.
+        """
         return self.call(
-            Opcode.READ, protocol.pack_oid_offset_length(oid, offset, length), oid=oid
+            Opcode.READ, protocol.pack_read(oid, offset, length, version), oid=oid
         )
 
-    def read_into(self, oid: int, offset: int, length: int, dest) -> int:
+    def read_into(
+        self, oid: int, offset: int, length: int, dest,
+        *, version: int | None = None,
+    ) -> int:
         """Read ``length`` bytes at ``offset`` directly into ``dest``.
 
         The zero-copy client read: the payload goes from the socket
@@ -287,7 +297,7 @@ class EOSClient:
             )
         return self._exchange(
             Opcode.READ,
-            protocol.pack_oid_offset_length(oid, offset, length),
+            protocol.pack_read(oid, offset, length, version),
             oid=oid,
             dest=out[:length],
         )
@@ -324,10 +334,26 @@ class EOSClient:
             self.call(Opcode.SIZE, protocol.pack_oid(oid), oid=oid)
         )
 
-    def stat(self, oid: int) -> RemoteStat:
-        """Space accounting plus the root page."""
+    def stat(self, oid: int, *, version: int | None = None) -> RemoteStat:
+        """Space accounting plus the root page (of ``version``, if given).
+
+        A plain ``stat(oid)`` sends the short (legacy) request form and
+        gets the short response, so it round-trips with version-unaware
+        servers; passing ``version`` (including ``0`` for "latest, with
+        its version number") opts into the long forms.
+        """
         return protocol.unpack_stat(
-            self.call(Opcode.STAT, protocol.pack_oid(oid), oid=oid)
+            self.call(Opcode.STAT, protocol.pack_stat_req(oid, version), oid=oid)
+        )
+
+    def versions(self, oid: int) -> list:
+        """The object's committed versions, ascending.
+
+        Returns :class:`~repro.ops.VersionInfo` records; an empty list
+        when the server's database has versioning disabled.
+        """
+        return protocol.unpack_versions(
+            self.call(Opcode.VERSIONS, protocol.pack_oid(oid), oid=oid)
         )
 
     def list_objects(self) -> list[tuple[int, int]]:
@@ -350,13 +376,19 @@ class EOSClient:
         """Append bytes; the new size (``ObjectOps`` spelling)."""
         return self.append(oid, data)
 
-    def op_read(self, oid: int, *, offset: int, length: int) -> bytes:
+    def op_read(
+        self, oid: int, *, offset: int, length: int,
+        version: int | None = None,
+    ) -> bytes:
         """Read a byte range (``ObjectOps`` spelling)."""
-        return self.read(oid, offset, length)
+        return self.read(oid, offset, length, version=version)
 
-    def op_read_into(self, oid: int, dest, *, offset: int, length: int) -> int:
+    def op_read_into(
+        self, oid: int, dest, *, offset: int, length: int,
+        version: int | None = None,
+    ) -> int:
         """Read into a buffer; the byte count (``ObjectOps`` spelling)."""
-        return self.read_into(oid, offset, length, dest)
+        return self.read_into(oid, offset, length, dest, version=version)
 
     def op_write(self, oid: int, data: bytes, *, offset: int) -> int:
         """Overwrite in place (``ObjectOps`` spelling)."""
@@ -374,9 +406,13 @@ class EOSClient:
         """The object's size in bytes (``ObjectOps`` spelling)."""
         return self.size(oid)
 
-    def op_stat(self, oid: int) -> RemoteStat:
+    def op_stat(self, oid: int, *, version: int | None = None) -> RemoteStat:
         """Space accounting plus the root page (``ObjectOps`` spelling)."""
-        return self.stat(oid)
+        return self.stat(oid, version=version)
+
+    def op_versions(self, oid: int) -> list:
+        """The object's committed versions (``ObjectOps`` spelling)."""
+        return self.versions(oid)
 
     def op_list(self) -> list[tuple[int, int]]:
         """Every object as ``(oid, size)`` (``ObjectOps`` spelling)."""

@@ -42,14 +42,20 @@ PING       opaque echo bytes                      the same bytes
 CREATE     u64 size_hint (0 = none) + data        u64 oid
 APPEND     u64 oid + data                         u64 new size
 READ       u64 oid, u64 offset, u64 length        the bytes read
+           [+ u64 version]
 WRITE      u64 oid, u64 offset + data             u64 size (unchanged)
 INSERT     u64 oid, u64 offset + data             u64 new size
 DELETE     u64 oid, u64 offset, u64 length        u64 new size
 SIZE       u64 oid                                u64 size
-STAT       u64 oid                                u64 size + u32 ×5
+STAT       u64 oid [+ u64 version]                u64 size + u32 ×5
                                                   (segments, leaf pages,
                                                   index pages, height,
-                                                  root page)
+                                                  root page) [+ u32
+                                                  version, long-form
+                                                  requesters only]
+VERSIONS   u64 oid                                u16 count + count ×
+                                                  (u32 version, u64
+                                                  size, f64 commit ts)
 LIST       (empty)                                u32 count + count ×
                                                   (u64 oid, u64 size)
 METRICS    (empty)                                UTF-8 JSON status
@@ -61,6 +67,14 @@ FLIGHT     (empty)                                UTF-8 JSON-lines
 
 METRICS and FLIGHT are exposition opcodes: the server answers them
 before admission control, so an overloaded server stays observable.
+
+Versioned reads are length-discriminated: READ and STAT requests carry
+an optional trailing u64 version number (0 = latest), so old clients'
+fixed-size payloads decode exactly as before, and the server replies
+with the version-carrying STAT form only to clients that sent the long
+request form.  :data:`Status.VERSION_NOT_FOUND` marshals
+:class:`~repro.errors.VersionNotFound` for expired or never-committed
+versions.
 
 Oids on the wire are *shard-tagged*: a server running N shards encodes
 the owning shard in the low bits (``oid % N`` names the shard; see
@@ -91,8 +105,9 @@ from repro.errors import (
     ServerOverloaded,
     ShardUnavailable,
     StorageError,
+    VersionNotFound,
 )
-from repro.ops import ObjectStat
+from repro.ops import ObjectStat, VersionInfo
 
 MAGIC = b"EOS1"
 HEADER = struct.Struct("<4sBBII")
@@ -125,6 +140,7 @@ class Opcode(enum.IntEnum):
     LIST = 10
     METRICS = 11
     FLIGHT = 12
+    VERSIONS = 13
 
 
 #: Opcodes answered before admission control (see the module docstring).
@@ -150,6 +166,7 @@ class Status(enum.IntEnum):
     LOCK_CONFLICT = 9
     DATABASE_CLOSED = 10
     SHARD_UNAVAILABLE = 11
+    VERSION_NOT_FOUND = 12
 
 
 # Ordered most-specific-first: the first isinstance match wins when a
@@ -159,6 +176,7 @@ _STATUS_OF: tuple[tuple[type[Exception], Status], ...] = (
     (RequestTimeout, Status.TIMEOUT),
     (ProtocolError, Status.PROTOCOL_ERROR),
     (ObjectNotFound, Status.OBJECT_NOT_FOUND),
+    (VersionNotFound, Status.VERSION_NOT_FOUND),
     (ByteRangeError, Status.BYTE_RANGE),
     (OutOfSpace, Status.OUT_OF_SPACE),
     (LockConflict, Status.LOCK_CONFLICT),
@@ -179,6 +197,7 @@ _CLASS_OF: dict[Status, type[ReproError]] = {
     Status.SHARD_UNAVAILABLE: ShardUnavailable,
     Status.DATABASE_CLOSED: DatabaseClosed,
     Status.STORAGE: StorageError,
+    Status.VERSION_NOT_FOUND: VersionNotFound,
 }
 
 
@@ -334,7 +353,12 @@ def decode_header(data: bytes, *, max_payload: int = MAX_PAYLOAD) -> Header:
 _U64 = struct.Struct("<Q")
 _OID_OFF = struct.Struct("<QQ")
 _OID_OFF_LEN = struct.Struct("<QQQ")
+_OID_OFF_LEN_VER = struct.Struct("<QQQQ")
+_OID_VER = struct.Struct("<QQ")
 _STAT = struct.Struct("<QIIIII")
+_STAT_VER = struct.Struct("<QIIIIII")
+_VERSION_COUNT = struct.Struct("<H")
+_VERSION_REC = struct.Struct("<IQd")
 
 
 def _unpack_prefix(fmt: struct.Struct, payload: bytes, what: str) -> tuple:
@@ -405,6 +429,65 @@ def unpack_oid_offset_length(payload: bytes) -> tuple[int, int, int]:
     return _OID_OFF_LEN.unpack(payload)
 
 
+def pack_read(
+    oid: int, offset: int, length: int, version: int | None = None
+) -> bytes:
+    """READ request payload; the versioned form appends a u64 version.
+
+    Version-unaware clients send the plain 24-byte form, which every
+    server reads as "latest" — the two forms are discriminated by
+    payload length, so no flag bits are spent and old clients
+    interoperate unchanged.
+    """
+    if not version:
+        return _OID_OFF_LEN.pack(oid, offset, length)
+    return _OID_OFF_LEN_VER.pack(oid, offset, length, version)
+
+
+def unpack_read(payload: bytes) -> tuple[int, int, int, int | None]:
+    """Decode a READ payload into (oid, offset, length, version-or-None)."""
+    if len(payload) == _OID_OFF_LEN.size:
+        oid, offset, length = _OID_OFF_LEN.unpack(payload)
+        return oid, offset, length, None
+    if len(payload) == _OID_OFF_LEN_VER.size:
+        oid, offset, length, version = _OID_OFF_LEN_VER.unpack(payload)
+        return oid, offset, length, (version or None)
+    raise ProtocolError(
+        f"expected a 24-byte (oid, offset, length) or 32-byte versioned "
+        f"read payload, got {len(payload)}"
+    )
+
+
+def pack_stat_req(oid: int, version: int | None = None) -> bytes:
+    """STAT request payload; the versioned form appends a u64 version.
+
+    ``None`` keeps the legacy 8-byte form (and the 28-byte response);
+    any integer — including ``0`` for "latest, but tell me its version
+    number" — opts into the 16-byte form and the long response.
+    """
+    if version is None:
+        return _U64.pack(oid)
+    return _OID_VER.pack(oid, version)
+
+
+def unpack_stat_req(payload: bytes) -> tuple[int, int | None, bool]:
+    """Decode a STAT payload into (oid, version-or-None, long_form).
+
+    ``long_form`` tells the server which response shape the requester
+    understands: old 8-byte requesters get the 28-byte versionless stat
+    response, 16-byte requesters get the version-carrying one.
+    """
+    if len(payload) == _U64.size:
+        return _U64.unpack(payload)[0], None, False
+    if len(payload) == _OID_VER.size:
+        oid, version = _OID_VER.unpack(payload)
+        return oid, (version or None), True
+    raise ProtocolError(
+        f"expected an 8-byte oid or 16-byte versioned stat payload, "
+        f"got {len(payload)}"
+    )
+
+
 # ---------------------------------------------------------------------------
 # Response payload codecs
 # ---------------------------------------------------------------------------
@@ -428,8 +511,18 @@ def unpack_u64(payload: bytes) -> int:
 RemoteStat = ObjectStat
 
 
-def pack_stat(stat: RemoteStat) -> bytes:
-    """The STAT response payload for a :class:`RemoteStat`."""
+def pack_stat(stat: RemoteStat, *, with_version: bool = False) -> bytes:
+    """The STAT response payload for a :class:`RemoteStat`.
+
+    The server packs the version-carrying long form only for requesters
+    that sent the long request form; version-unaware clients keep
+    receiving the exact 28-byte payload they always did.
+    """
+    if with_version:
+        return _STAT_VER.pack(
+            stat.size_bytes, stat.segments, stat.leaf_pages,
+            stat.index_pages, stat.height, stat.root_page, stat.version,
+        )
     return _STAT.pack(
         stat.size_bytes, stat.segments, stat.leaf_pages,
         stat.index_pages, stat.height, stat.root_page,
@@ -437,10 +530,46 @@ def pack_stat(stat: RemoteStat) -> bytes:
 
 
 def unpack_stat(payload: bytes) -> RemoteStat:
-    """Decode a STAT response payload into a :class:`RemoteStat`."""
-    if len(payload) != _STAT.size:
-        raise ProtocolError(f"expected a {_STAT.size}-byte stat payload")
-    return RemoteStat(*_STAT.unpack(payload))
+    """Decode a STAT response payload into a :class:`RemoteStat`.
+
+    Accepts both response shapes; the short form decodes with
+    ``version=0`` (its dataclass default).
+    """
+    if len(payload) == _STAT.size:
+        return RemoteStat(*_STAT.unpack(payload))
+    if len(payload) == _STAT_VER.size:
+        return RemoteStat(*_STAT_VER.unpack(payload))
+    raise ProtocolError(
+        f"expected a {_STAT.size}- or {_STAT_VER.size}-byte stat payload, "
+        f"got {len(payload)}"
+    )
+
+
+def pack_versions(versions: list[VersionInfo]) -> bytes:
+    """The VERSIONS response payload: u16 count + per-record
+    (u32 version, u64 size, f64 commit timestamp)."""
+    out = bytearray(_VERSION_COUNT.pack(len(versions)))
+    for v in versions:
+        out += _VERSION_REC.pack(v.version, v.size_bytes, v.commit_ts)
+    return bytes(out)
+
+
+def unpack_versions(payload: bytes) -> list[VersionInfo]:
+    """Decode a VERSIONS response payload into [VersionInfo, ...]."""
+    (count,) = _unpack_prefix(_VERSION_COUNT, payload, "versions")
+    need = _VERSION_COUNT.size + count * _VERSION_REC.size
+    if len(payload) != need:
+        raise ProtocolError(
+            f"versions payload of {len(payload)} bytes does not hold "
+            f"{count} records"
+        )
+    out = []
+    offset = _VERSION_COUNT.size
+    for _ in range(count):
+        version, size, ts = _VERSION_REC.unpack_from(payload, offset)
+        offset += _VERSION_REC.size
+        out.append(VersionInfo(version, size, ts))
+    return out
 
 
 def pack_listing(entries: list[tuple[int, int]]) -> bytes:
@@ -493,4 +622,10 @@ __all__ = [
     "decode_header",
     "status_for_exception",
     "exception_from",
+    "pack_read",
+    "unpack_read",
+    "pack_stat_req",
+    "unpack_stat_req",
+    "pack_versions",
+    "unpack_versions",
 ]

@@ -40,7 +40,11 @@ Every request passes three stages:
    (append/insert/delete) take X root locks, so concurrent readers
    proceed while writers to the same byte range serialize.  The lock
    table is try-acquire, so the scheduler retries on conflict, parking
-   the request on an event that release pulses.
+   the request on an event that release pulses.  On a shard whose
+   database has versioning enabled (:mod:`repro.versions`), READ, SIZE,
+   STAT and VERSIONS skip this stage entirely: they resolve against an
+   immutable version root, so the lock matrix shrinks to writer–writer
+   and snapshot reads never park behind an appender.
 
 3. **Execution** — the op runs in a worker thread through the
    database's thread-safe ``op_*`` entry points, keeping the event loop
@@ -617,6 +621,43 @@ class EOSServer:
         finally:
             req.exec_ms += (time.perf_counter() - t0) * 1000.0
 
+    async def _run_snapshot(
+        self, shard: Shard, opcode: Opcode, req: _RequestTrace,
+        op: Callable[[], object],
+    ) -> object:
+        """Run a lock-free snapshot read off the shard's worker thread.
+
+        Versioned reads resolve an immutable root and never touch the
+        buffer pool or lock table, so they go to the default executor
+        instead of the shard's single worker — concurrent snapshot reads
+        on one shard proceed in parallel with each other *and* with a
+        writer occupying the worker.  The execute span is hand-emitted
+        (no stack nesting off the worker thread) with ``snapshot`` set
+        so traces distinguish the two paths.
+        """
+        db = shard.db
+        loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
+        try:
+            return await loop.run_in_executor(None, op)
+        finally:
+            elapsed = (time.perf_counter() - t0) * 1000.0
+            req.exec_ms += elapsed
+            tracer = db.obs.tracer
+            if tracer.enabled:
+                tracer.record_span(
+                    "server.execute",
+                    trace_id=req.trace_id,
+                    span_id=tracer.new_span_id(),
+                    parent_id=req.root_id,
+                    elapsed_ms=elapsed,
+                    attrs={
+                        "opcode": opcode.name.lower(),
+                        "shard": shard.index,
+                        "snapshot": True,
+                    },
+                )
+
     async def _execute(
         self, opcode: Opcode, payload: bytes, txn_id: int, req: _RequestTrace
     ) -> bytes:
@@ -660,13 +701,19 @@ class EOSServer:
         # Everything below is a single-object op: route by the oid's
         # shard tag, lock on the owning shard's table (keyed by the wire
         # oid), and run against the shard-local oid.
+        version: int | None = None
+        long_stat = False
         if opcode is Opcode.APPEND:
             oid, data = protocol.unpack_oid_data(payload)
-        elif opcode in (Opcode.READ, Opcode.DELETE):
+        elif opcode is Opcode.READ:
+            oid, offset, length, version = protocol.unpack_read(payload)
+        elif opcode is Opcode.DELETE:
             oid, offset, length = protocol.unpack_oid_offset_length(payload)
         elif opcode in (Opcode.WRITE, Opcode.INSERT):
             oid, offset, data = protocol.unpack_oid_offset_data(payload)
-        elif opcode in (Opcode.SIZE, Opcode.STAT):
+        elif opcode is Opcode.STAT:
+            oid, version, long_stat = protocol.unpack_stat_req(payload)
+        elif opcode in (Opcode.SIZE, Opcode.VERSIONS):
             oid = protocol.unpack_oid(payload)
         else:
             raise ProtocolError(f"opcode {opcode} not implemented")
@@ -690,6 +737,13 @@ class EOSServer:
                     f"read of {length} bytes exceeds the "
                     f"{self.max_payload}-byte response cap"
                 )
+            if db.versions is not None:
+                return await self._run_snapshot(
+                    shard, opcode, req,
+                    lambda: db.op_read(
+                        local, offset=offset, length=length, version=version
+                    ),
+                )
             await self._acquire(
                 txn_id,
                 lambda: locks.acquire_range(
@@ -699,7 +753,9 @@ class EOSServer:
             )
             return await self._run_on(
                 shard, opcode, req,
-                lambda: db.op_read(local, offset=offset, length=length),
+                lambda: db.op_read(
+                    local, offset=offset, length=length, version=version
+                ),
             )
         if opcode is Opcode.WRITE:
             await self._acquire(
@@ -733,16 +789,45 @@ class EOSServer:
             )
             return protocol.pack_u64(size)
         if opcode is Opcode.SIZE:
+            if db.versions is not None:
+                size = await self._run_snapshot(
+                    shard, opcode, req, lambda: db.op_size(local)
+                )
+            else:
+                await self._acquire(
+                    txn_id,
+                    lambda: locks.acquire_root(txn_id, oid, LockMode.S),
+                    req,
+                )
+                size = await self._run_on(
+                    shard, opcode, req, lambda: db.op_size(local)
+                )
+            return protocol.pack_u64(size)
+        if opcode is Opcode.VERSIONS:
+            if db.versions is not None:
+                versions = await self._run_snapshot(
+                    shard, opcode, req, lambda: db.op_versions(local)
+                )
+            else:
+                await self._acquire(
+                    txn_id,
+                    lambda: locks.acquire_root(txn_id, oid, LockMode.S),
+                    req,
+                )
+                versions = await self._run_on(
+                    shard, opcode, req, lambda: db.op_versions(local)
+                )
+            return protocol.pack_versions(versions)
+        # STAT is the only single-object opcode left.
+        if db.versions is not None:
+            stat = await self._run_snapshot(
+                shard, opcode, req, lambda: db.op_stat(local, version=version)
+            )
+        else:
             await self._acquire(
                 txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S), req
             )
-            size = await self._run_on(
-                shard, opcode, req, lambda: db.op_size(local)
+            stat = await self._run_on(
+                shard, opcode, req, lambda: db.op_stat(local, version=version)
             )
-            return protocol.pack_u64(size)
-        # STAT is the only single-object opcode left.
-        await self._acquire(
-            txn_id, lambda: locks.acquire_root(txn_id, oid, LockMode.S), req
-        )
-        stat = await self._run_on(shard, opcode, req, lambda: db.op_stat(local))
-        return protocol.pack_stat(stat)
+        return protocol.pack_stat(stat, with_version=long_stat)

@@ -47,7 +47,7 @@ from repro.concurrency import LockManager
 from repro.core.config import EOSConfig
 from repro.errors import ObjectNotFound, ShardUnavailable
 from repro.obs.tracer import Observability
-from repro.ops import ObjectStat
+from repro.ops import ObjectStat, VersionInfo
 
 __all__ = ["Shard", "ShardSet", "make_oid", "split_oid", "shard_of"]
 
@@ -178,6 +178,20 @@ class Shard:
     def _run(self, fn: Callable, *args, **kwargs):
         return self.submit(fn, *args, **kwargs).result()
 
+    def _run_snapshot(self, fn: Callable, *args, **kwargs):
+        """Run a lock-free snapshot read, bypassing the worker thread.
+
+        Versioned reads touch no shard-exclusive state (no buffer pool,
+        no op lock, no lock table) — they resolve an immutable version
+        root and read straight from the shard's disk — so serializing
+        them through the single worker would only reintroduce the
+        contention versioning removes.  Dead-shard semantics are kept:
+        a killed shard refuses reads like any other op.
+        """
+        if not self.alive:
+            raise ShardUnavailable(f"shard {self.index} is not serving")
+        return fn(*args, **kwargs)
+
     def op_create(
         self, data: bytes = b"", *, size_hint: int | None = None
     ) -> int:
@@ -190,17 +204,34 @@ class Shard:
         """Append bytes; the object's new size."""
         return self._run(self.db.op_append, self.local_oid(oid), data)
 
-    def op_read(self, oid: int, *, offset: int, length: int) -> bytes:
-        """Read ``length`` bytes at ``offset``."""
+    def op_read(
+        self, oid: int, *, offset: int, length: int,
+        version: int | None = None,
+    ) -> bytes:
+        """Read ``length`` bytes at ``offset`` (lock-free when versioned)."""
+        if self.db.versions is not None:
+            return self._run_snapshot(
+                self.db.op_read, self.local_oid(oid),
+                offset=offset, length=length, version=version,
+            )
         return self._run(
-            self.db.op_read, self.local_oid(oid), offset=offset, length=length
+            self.db.op_read, self.local_oid(oid),
+            offset=offset, length=length, version=version,
         )
 
-    def op_read_into(self, oid: int, dest, *, offset: int, length: int) -> int:
+    def op_read_into(
+        self, oid: int, dest, *, offset: int, length: int,
+        version: int | None = None,
+    ) -> int:
         """Read into a writable buffer; the byte count."""
+        if self.db.versions is not None:
+            return self._run_snapshot(
+                self.db.op_read_into, self.local_oid(oid), dest,
+                offset=offset, length=length, version=version,
+            )
         return self._run(
             self.db.op_read_into, self.local_oid(oid), dest,
-            offset=offset, length=length,
+            offset=offset, length=length, version=version,
         )
 
     def op_write(self, oid: int, data: bytes, *, offset: int) -> int:
@@ -224,11 +255,23 @@ class Shard:
 
     def op_size(self, oid: int) -> int:
         """The object's size in bytes."""
+        if self.db.versions is not None:
+            return self._run_snapshot(self.db.op_size, self.local_oid(oid))
         return self._run(self.db.op_size, self.local_oid(oid))
 
-    def op_stat(self, oid: int) -> ObjectStat:
+    def op_stat(self, oid: int, *, version: int | None = None) -> ObjectStat:
         """Space accounting plus the root page."""
-        return self._run(self.db.op_stat, self.local_oid(oid))
+        if self.db.versions is not None:
+            return self._run_snapshot(
+                self.db.op_stat, self.local_oid(oid), version=version
+            )
+        return self._run(self.db.op_stat, self.local_oid(oid), version=version)
+
+    def op_versions(self, oid: int) -> list[VersionInfo]:
+        """The object's committed versions, ascending."""
+        if self.db.versions is not None:
+            return self._run_snapshot(self.db.op_versions, self.local_oid(oid))
+        return self._run(self.db.op_versions, self.local_oid(oid))
 
     def op_list(self) -> list[tuple[int, int]]:
         """This shard's objects as ``(wire_oid, size)``, ascending."""

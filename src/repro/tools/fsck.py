@@ -14,7 +14,16 @@ Cross-checks four independent sources of truth:
    oid must resolve to an object entry in the same persisted catalog.
    (The in-memory loader tolerates and silently drops bad records —
    fsck is where they get *reported*.)  A volume never saved has an
-   all-zero catalog region, which parses as empty and stays clean.
+   all-zero catalog region, which parses as empty and stays clean;
+5. on a versioning-enabled database (:mod:`repro.versions`), every
+   object's *version chain*: version numbers must be strictly
+   increasing, the newest record's root must be the catalog root (a
+   mismatch means the chain and the object diverged), and every
+   retained version's root must resolve to a readable tree.  Old
+   versions' trees join the page ledger — pages shared between two
+   versions of the *same* object are the normal CoW case, while a page
+   claimed by two different objects is still corruption, and a page
+   reachable from no live version (and no latest tree) is a leak.
 
 CLI::
 
@@ -40,6 +49,7 @@ class FsckReport:
     objects_checked: int = 0
     spaces_checked: int = 0
     files_checked: int = 0
+    versions_checked: int = 0
     pages_free: int = 0
     pages_claimed: int = 0
     leaked_pages: list[int] = field(default_factory=list)
@@ -47,6 +57,9 @@ class FsckReport:
     claims_of_free_pages: list[int] = field(default_factory=list)
     duplicate_file_names: list[str] = field(default_factory=list)
     dangling_file_members: list[tuple[str, int]] = field(default_factory=list)
+    dangling_version_roots: list[tuple[int, int]] = field(default_factory=list)
+    nonmonotonic_chains: list[int] = field(default_factory=list)
+    stale_catalog_roots: list[int] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -58,6 +71,9 @@ class FsckReport:
             or self.claims_of_free_pages
             or self.duplicate_file_names
             or self.dangling_file_members
+            or self.dangling_version_roots
+            or self.nonmonotonic_chains
+            or self.stale_catalog_roots
         )
 
     def summary(self) -> str:
@@ -88,6 +104,22 @@ class FsckReport:
                     f"{name!r} -> oid {oid}"
                     for name, oid in self.dangling_file_members[:10]
                 )
+            )
+        if self.dangling_version_roots:
+            lines.append(
+                "  dangling version roots: "
+                + ", ".join(
+                    f"oid {oid} v{version}"
+                    for oid, version in self.dangling_version_roots[:10]
+                )
+            )
+        if self.nonmonotonic_chains:
+            lines.append(
+                f"  non-monotonic version chains: {self.nonmonotonic_chains[:10]}"
+            )
+        if self.stale_catalog_roots:
+            lines.append(
+                f"  chain/catalog root mismatches: {self.stale_catalog_roots[:10]}"
             )
         lines.extend(f"  error: {e}" for e in self.errors)
         return "\n".join(lines)
@@ -130,20 +162,29 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
             else:
                 report.pages_free += seg.size
 
-    # 2. Object trees, and the pages they claim.
+    # 2. Object trees, and the pages they claim.  ``claim_oid`` records
+    # which object a page belongs to: on a versioned database, pages
+    # shared between two versions of the *same* object are the normal
+    # CoW case and re-claim silently, while a page claimed by two
+    # different objects stays a double-claim finding.
     claims: dict[int, str] = {}
+    claim_oid: dict[int, object] = {}
 
-    def claim(page: int, n: int, what: str) -> None:
+    def claim(page: int, n: int, what: str, oid: object = None) -> None:
         for p in range(page, page + n):
             if p in claims:
+                if oid is not None and claim_oid.get(p) == oid:
+                    continue
                 report.double_claimed.append(p)
             elif p not in allocated:
                 report.claims_of_free_pages.append(p)
             else:
                 claims[p] = what
+                if oid is not None:
+                    claim_oid[p] = oid
 
-    for obj in db.objects():
-        oid = getattr(obj, "oid", "?")
+    versioned = db.versions is not None
+    for oid, obj in sorted(db._objects.items()):
         try:
             obj.verify()
         except ReproError as exc:
@@ -153,17 +194,21 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
             report.errors.append(f"object {oid}: {exc}")
             continue
         report.objects_checked += 1
-        claim(obj.root_page, 1, f"root of oid {oid}")
+        share = oid if versioned else None
+        claim(obj.root_page, 1, f"root of oid {oid}", share)
 
-        def walk(node: Node, oid=oid) -> None:
+        def walk(node: Node, oid=oid, share=share) -> None:
             for entry in node.entries:
                 if node.level == 0:
-                    claim(entry.child, entry.pages, f"segment of oid {oid}")
+                    claim(entry.child, entry.pages, f"segment of oid {oid}", share)
                 else:
-                    claim(entry.child, 1, f"index of oid {oid}")
+                    claim(entry.child, 1, f"index of oid {oid}", share)
                     walk(db.pager.read(entry.child))
 
         walk(obj.tree.read_root())
+
+    if versioned:
+        _check_version_chains(db, report, allocated, claim)
 
     report.pages_claimed = len(claims)
     if expect_no_leaks:
@@ -172,6 +217,62 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
     # 3. The persisted page-0 catalog's file section.
     _check_file_catalog(db, report)
     return report
+
+
+def _check_version_chains(
+    db: EOSDatabase, report: FsckReport, allocated: set[int], claim
+) -> None:
+    """Validate every version chain and ledger its retained trees.
+
+    Chains come from the live :class:`~repro.versions.VersionManager`
+    (the catalog loader already cross-checked the persisted section
+    against object roots on attach).  The newest record is the object's
+    catalog state — its tree was walked by the main object pass — so
+    only *older* retained versions are walked here, claiming their pages
+    with the owning oid so intra-object CoW sharing is not a finding.
+    """
+    for oid, chain in sorted(db.versions.snapshot_chains().items()):
+        if any(a.version >= b.version for a, b in zip(chain, chain[1:])):
+            report.nonmonotonic_chains.append(oid)
+        try:
+            catalog_root = db._objects[oid].root_page
+        except KeyError:
+            report.errors.append(f"version chain for unknown oid {oid}")
+            continue
+        if chain and chain[-1].root_page != catalog_root:
+            report.stale_catalog_roots.append(oid)
+        for record in chain:
+            if record.root_page not in allocated:
+                report.dangling_version_roots.append((oid, record.version))
+                continue
+            report.versions_checked += 1
+            if record is chain[-1]:
+                continue  # the latest tree was walked by the object pass
+            try:
+                _walk_version(db, oid, record, claim)
+            except (ReproError, AssertionError, ValueError) as exc:
+                report.dangling_version_roots.append((oid, record.version))
+                report.errors.append(
+                    f"object {oid} version {record.version}: {exc}"
+                )
+
+
+def _walk_version(db: EOSDatabase, oid: int, record, claim) -> None:
+    """Claim every page reachable from one retained version's root."""
+    claim(record.root_page, 1, f"root of oid {oid} v{record.version}", oid)
+
+    def walk(node: Node) -> None:
+        for entry in node.entries:
+            if node.level == 0:
+                claim(
+                    entry.child, entry.pages,
+                    f"segment of oid {oid} v{record.version}", oid,
+                )
+            else:
+                claim(entry.child, 1, f"index of oid {oid} v{record.version}", oid)
+                walk(db.pager.read(entry.child))
+
+    walk(db.pager.read(record.root_page))
 
 
 def _check_file_catalog(db: EOSDatabase, report: FsckReport) -> None:

@@ -48,11 +48,27 @@ from repro.server.server import EOSServer
 DEFAULT_PORT = 7433
 
 
+def _config_for(args: argparse.Namespace):
+    """An EOSConfig for a fresh served volume, or None for the defaults."""
+    if not getattr(args, "versioning", False):
+        return None
+    from repro.core.config import EOSConfig
+
+    return EOSConfig(
+        page_size=args.page_size,
+        versioning=True,
+        version_retain=args.version_retain,
+    )
+
+
 def _make_database(args: argparse.Namespace) -> EOSDatabase:
     if getattr(args, "image", None):
         db = EOSDatabase.open_file(args.image)
     else:
-        db = EOSDatabase.create(num_pages=args.pages, page_size=args.page_size)
+        db = EOSDatabase.create(
+            num_pages=args.pages, page_size=args.page_size,
+            config=_config_for(args),
+        )
     sinks = []
     if getattr(args, "trace", None):
         from repro.obs.sinks import JsonLinesSink
@@ -79,7 +95,8 @@ def _make_shardset(args: argparse.Namespace):
 
         sinks.append(JsonLinesSink(args.trace))
     return ShardSet.create(
-        args.shards, args.pages, args.page_size, sinks=sinks
+        args.shards, args.pages, args.page_size,
+        config=_config_for(args), sinks=sinks,
     )
 
 
@@ -173,14 +190,31 @@ def cmd_get(args: argparse.Namespace) -> int:
     with EOSClient(args.host, args.port, timeout=args.timeout) as client:
         length = args.length
         if length is None:
-            length = client.size(args.oid) - args.offset
-        data = client.read(args.oid, args.offset, max(length, 0))
+            if args.version is not None:
+                length = client.stat(args.oid, version=args.version).size_bytes
+            else:
+                length = client.size(args.oid)
+            length -= args.offset
+        data = client.read(
+            args.oid, args.offset, max(length, 0), version=args.version
+        )
     if args.output:
         with open(args.output, "wb") as f:
             f.write(data)
     else:
         sys.stdout.buffer.write(data)
         sys.stdout.buffer.flush()
+    return 0
+
+
+def cmd_versions(args: argparse.Namespace) -> int:
+    """Print an object's version chain as ``version<TAB>size<TAB>age``."""
+    with EOSClient(args.host, args.port, timeout=args.timeout) as client:
+        chain = client.versions(args.oid)
+    now = time.time()
+    for v in chain:
+        print(f"{v.version}\t{v.size_bytes}\t{now - v.commit_ts:.1f}s ago")
+    print(f"({len(chain)} live versions)", file=sys.stderr)
     return 0
 
 
@@ -375,10 +409,16 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         if args.shards > 1:
             from repro.server.sharding import ShardSet
 
-            shardset = ShardSet.create(args.shards, args.pages, args.page_size)
+            shardset = ShardSet.create(
+                args.shards, args.pages, args.page_size,
+                config=_config_for(args),
+            )
             spawned = ServerThread(shards=shardset, host="127.0.0.1", port=0)
         else:
-            db = EOSDatabase.create(num_pages=args.pages, page_size=args.page_size)
+            db = EOSDatabase.create(
+                num_pages=args.pages, page_size=args.page_size,
+                config=_config_for(args),
+            )
             db.obs.enable()
             spawned = ServerThread(db, host="127.0.0.1", port=0)
         spawned.start()
@@ -433,6 +473,11 @@ def _add_volume(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shards", type=int, default=1,
                         help="serve N shared-nothing shards, each with its "
                              "own volume, buffer pool and worker (default 1)")
+    parser.add_argument("--versioning", action="store_true",
+                        help="enable copy-on-write object versioning "
+                             "(snapshot reads run lock-free)")
+    parser.add_argument("--version-retain", type=int, default=8,
+                        help="live versions retained per object (default 8)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -475,8 +520,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--offset", type=int, default=0)
     p.add_argument("--length", type=int, default=None,
                    help="bytes to read (default: to the end)")
+    p.add_argument("--version", type=int, default=None,
+                   help="read this committed version instead of the latest "
+                        "(requires a versioning-enabled server)")
     p.add_argument("-o", "--output")
     p.set_defaults(func=cmd_get)
+
+    p = sub.add_parser(
+        "versions",
+        help="list an object's live versions as version<TAB>size<TAB>age",
+    )
+    _add_endpoint(p)
+    p.add_argument("oid", type=int)
+    p.set_defaults(func=cmd_versions)
 
     p = sub.add_parser("list", help="list objects as oid<TAB>size")
     _add_endpoint(p)

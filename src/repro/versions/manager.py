@@ -1,0 +1,413 @@
+"""Version chains, snapshot reads, and the page reclaimer.
+
+:class:`VersionManager` owns one database's per-object version chains:
+ascending lists of :class:`VersionRecord` ``(version, root_page,
+commit_ts, byte_size)``.  Writers (already serialized under the
+database ``op_lock``) publish a record per committed mutation through
+:meth:`mutate`; readers resolve any live record and traverse its frozen
+tree straight from disk — the only shared state they touch is the
+chain table, guarded by one short-hold lock that protects record
+resolution and per-version pin counts.
+
+Reclamation is strictly oldest-first.  When a chain exceeds the
+retention window and its oldest version is unpinned, that record is
+*removed from the chain first* (so no new reader can resolve or pin
+it) and only then are its pages freed — exactly the pages reachable
+from the expired root but not from the next surviving one.  Pages
+never re-enter a newer tree while still allocated, so the difference
+sets of successive expiries are disjoint: every page is freed exactly
+once (the fsck version-chain check re-proves this offline).
+
+The chains are persisted as a tolerantly-parsed, magic-tagged section
+appended to the page-0 catalog; pre-versioning images simply have no
+section and load as empty.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.core.search import read_range, read_range_into
+from repro.core.segio import SegmentIO
+from repro.core.tree import LargeObjectTree
+from repro.errors import LargeObjectError, ObjectNotFound, VersionNotFound
+from repro.ops import ObjectStat, VersionInfo
+from repro.storage.page import PageId
+from repro.versions.ops import cow_append
+from repro.versions.pager import (
+    DeferredFreeBuddy,
+    DiskNodePager,
+    VersionPager,
+    _runs,
+)
+
+# Version-chain catalog section: magic, u16 retention bound, u16 chain
+# count; per chain a u64 oid + u16 record count; per record u32 version,
+# u32 root page, f64 commit timestamp, u64 byte size.
+_SECTION_MAGIC = 0x45565231  # "EVR1"
+_MAGIC = struct.Struct("<I")
+_COUNT = struct.Struct("<H")
+_CHAIN_HEAD = struct.Struct("<QH")
+_RECORD = struct.Struct("<IIdQ")
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One committed version: an immutable root and its metadata."""
+
+    version: int
+    root_page: PageId
+    commit_ts: float
+    byte_size: int
+
+    def info(self) -> VersionInfo:
+        """The record as the public :class:`~repro.ops.VersionInfo`."""
+        return VersionInfo(self.version, self.byte_size, self.commit_ts)
+
+
+class VersionManager:
+    """Per-object version chains for one :class:`~repro.api.EOSDatabase`."""
+
+    def __init__(self, db) -> None:
+        self.db = db
+        self.retain = db.config.version_retain
+        self._lock = threading.Lock()
+        self._chains: dict[int, list[VersionRecord]] = {}
+        self._pins: dict[tuple[int, int], int] = {}
+        self._snap_pager = DiskNodePager(db.disk, db.config.page_size)
+        self._snap_segio = SegmentIO(db.disk, db.config.page_size)
+
+    # ------------------------------------------------------------------
+    # Writer side (caller holds the database op_lock)
+    # ------------------------------------------------------------------
+
+    def publish_initial(self, oid: int, tree: LargeObjectTree) -> None:
+        """Record version 1 of a just-created (or adopted) object."""
+        self.db.pool.flush_page(tree.root_page)
+        record = VersionRecord(1, tree.root_page, time.time(), tree.size())
+        with self._lock:
+            self._chains[oid] = [record]
+        metrics = self.db.obs.metrics
+        metrics.counter("versions.published").inc()
+        metrics.gauge("versions.live").set(self._live_count())
+
+    def mutate(self, oid: int, fn):
+        """Run one mutation as a version unit and publish its root.
+
+        ``fn(obj)`` executes with the object's tree pager swapped to a
+        :class:`VersionPager` and its buddy to a
+        :class:`DeferredFreeBuddy`, so index and data pages of older
+        versions are never overwritten nor freed.  On success the new
+        root is published as the next version and the retention window
+        is enforced; on failure every unit-local page is freed and the
+        old tree is untouched.
+        """
+        db = self.db
+        obj = db.get_object(oid)
+        tree = obj.tree
+        unit_pager = VersionPager(db.pager, obs=db.obs)
+        unit_buddy = DeferredFreeBuddy(db.buddy)
+        saved_pager, saved_buddy = tree.pager, obj.buddy
+        tree.pager, obj.buddy = unit_pager, unit_buddy
+        unit_pager.begin_unit()
+        try:
+            result = fn(obj)
+        except BaseException:
+            unit_pager.abort_unit()
+            unit_buddy.abort()
+            tree.pager, obj.buddy = saved_pager, saved_buddy
+            raise
+        with self._lock:
+            next_version = self._chains[oid][-1].version + 1
+        superseded = unit_pager.superseded_pages
+        new_root = unit_pager.commit_unit(lsn=next_version)
+        tree.pager, obj.buddy = saved_pager, saved_buddy
+        if new_root is None:
+            return result
+        tree.root_page = new_root
+        record = VersionRecord(
+            next_version, new_root, time.time(), tree.size()
+        )
+        with self._lock:
+            self._chains[oid].append(record)
+        metrics = db.obs.metrics
+        metrics.counter("versions.published").inc()
+        metrics.counter("versions.deferred_frees").inc(
+            superseded + unit_buddy.dropped_pages
+        )
+        self._reclaim(oid)
+        metrics.gauge("versions.live").set(self._live_count())
+        return result
+
+    def drop_object(self, oid: int) -> None:
+        """Delete the object: free the union of all versions' pages."""
+        with self._lock:
+            chain = self._chains.get(oid)
+            if chain is None:
+                raise ObjectNotFound(f"no version chain for oid {oid}")
+            if any(self._pins.get((oid, r.version)) for r in chain):
+                raise LargeObjectError(
+                    f"object {oid} has pinned versions and cannot be deleted"
+                )
+            del self._chains[oid]
+        pages: set[PageId] = set()
+        for record in chain:
+            pages |= self._page_set(record.root_page)
+        self._free_pages(pages)
+        self.db.obs.metrics.gauge("versions.live").set(self._live_count())
+
+    # ------------------------------------------------------------------
+    # Lock-free reader side (any thread; never takes the op_lock)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def pinned(self, oid: int, version: int | None = None):
+        """Resolve a record (None/0 = latest) and pin it for the scope."""
+        with self._lock:
+            record = self._resolve(oid, version)
+            key = (oid, record.version)
+            self._pins[key] = self._pins.get(key, 0) + 1
+        try:
+            yield record
+        finally:
+            with self._lock:
+                remaining = self._pins[key] - 1
+                if remaining:
+                    self._pins[key] = remaining
+                else:
+                    del self._pins[key]
+
+    def read(
+        self, oid: int, *, offset: int, length: int, version: int | None = None
+    ) -> bytes:
+        """Read a byte range of one version's immutable tree, lock-free."""
+        with self.pinned(oid, version) as record:
+            self.db.obs.metrics.counter("versions.snapshot_reads").inc()
+            return read_range(
+                self._snap_tree(record), self._snap_segio, offset, length
+            )
+
+    def read_into(
+        self,
+        oid: int,
+        dest,
+        *,
+        offset: int,
+        length: int,
+        version: int | None = None,
+    ) -> int:
+        """Read a version's byte range straight into ``dest``."""
+        with self.pinned(oid, version) as record:
+            self.db.obs.metrics.counter("versions.snapshot_reads").inc()
+            return read_range_into(
+                self._snap_tree(record), self._snap_segio, offset, length, dest
+            )
+
+    def stat(self, oid: int, *, version: int | None = None) -> ObjectStat:
+        """Space accounting for one version, walked from its frozen tree."""
+        with self.pinned(oid, version) as record:
+            tree = self._snap_tree(record)
+            segments = leaf_pages = 0
+            index_pages = 1
+            height = tree.height()
+
+            def walk(node) -> None:
+                nonlocal segments, leaf_pages, index_pages
+                for entry in node.entries:
+                    if node.level == 0:
+                        segments += 1
+                        leaf_pages += entry.pages
+                    else:
+                        index_pages += 1
+                        walk(tree.pager.read(entry.child))
+
+            walk(tree.read_root())
+            return ObjectStat(
+                size_bytes=record.byte_size,
+                segments=segments,
+                leaf_pages=leaf_pages,
+                index_pages=index_pages,
+                height=height,
+                root_page=record.root_page,
+                version=record.version,
+            )
+
+    def size(self, oid: int, *, version: int | None = None) -> int:
+        """A version's byte size (its commit-time record; no tree walk)."""
+        with self._lock:
+            return self._resolve(oid, version).byte_size
+
+    def versions(self, oid: int) -> list[VersionInfo]:
+        """The object's live versions, ascending by version number."""
+        with self._lock:
+            chain = self._chains.get(oid)
+            if chain is None:
+                raise ObjectNotFound(f"no version chain for oid {oid}")
+            return [record.info() for record in chain]
+
+    def latest(self, oid: int) -> VersionRecord:
+        """The newest committed record for ``oid``."""
+        with self._lock:
+            return self._resolve(oid, None)
+
+    def _resolve(self, oid: int, version: int | None) -> VersionRecord:
+        chain = self._chains.get(oid)
+        if chain is None:
+            raise ObjectNotFound(f"no version chain for oid {oid}")
+        if not version:  # None or 0: the latest committed version
+            return chain[-1]
+        for record in chain:
+            if record.version == version:
+                return record
+        raise VersionNotFound(oid, version)
+
+    def _snap_tree(self, record: VersionRecord) -> LargeObjectTree:
+        return LargeObjectTree(
+            self._snap_pager, self.db.config, record.root_page
+        )
+
+    # ------------------------------------------------------------------
+    # Reclamation
+    # ------------------------------------------------------------------
+
+    def _reclaim(self, oid: int) -> None:
+        """Expire beyond-retention versions, strictly oldest-first.
+
+        Records are removed from the chain *before* their pages are
+        freed: resolution and pinning go through the same lock, so once
+        a record is out of the chain no reader can reach its pages.
+        """
+        victims: list[VersionRecord] = []
+        with self._lock:
+            chain = self._chains[oid]
+            while len(chain) > self.retain:
+                oldest = chain[0]
+                if self._pins.get((oid, oldest.version)):
+                    break  # a reader holds it; retry after the next commit
+                victims.append(oldest)
+                chain.pop(0)
+            if not victims:
+                return
+            survivor_root = chain[0].root_page
+        page_sets = [self._page_set(v.root_page) for v in victims]
+        page_sets.append(self._page_set(survivor_root))
+        freed = 0
+        for current, newer in zip(page_sets, page_sets[1:]):
+            dead = current - newer
+            freed += len(dead)
+            self._free_pages(dead)
+        metrics = self.db.obs.metrics
+        metrics.counter("versions.reclaimed").inc(len(victims))
+        metrics.counter("versions.pages_reclaimed").inc(freed)
+
+    def _page_set(self, root_page: PageId) -> set[PageId]:
+        """Every page reachable from a version root (index + full runs).
+
+        Leaf runs count all ``entry.pages`` — spare pages a later trim
+        deferred are thereby reclaimed with the version that last
+        reached them.
+        """
+        pages: set[PageId] = set()
+
+        def walk(page: PageId) -> None:
+            pages.add(page)
+            node = self._snap_pager.read(page)
+            for entry in node.entries:
+                if node.level == 0:
+                    pages.update(range(entry.child, entry.child + entry.pages))
+                else:
+                    walk(entry.child)
+
+        walk(root_page)
+        return pages
+
+    def _free_pages(self, pages: set[PageId]) -> None:
+        pool = self.db.pool
+        for first, count in _runs(pages):
+            for page in range(first, first + count):
+                pool.drop(page)
+            self.db.buddy.free(first, count)
+
+    def _live_count(self) -> int:
+        with self._lock:
+            return sum(len(chain) for chain in self._chains.values())
+
+    # ------------------------------------------------------------------
+    # Persistence (page-0 catalog section)
+    # ------------------------------------------------------------------
+
+    def snapshot_chains(self) -> dict[int, list[VersionRecord]]:
+        """A consistent copy of every chain (for the catalog and fsck)."""
+        with self._lock:
+            return {oid: list(chain) for oid, chain in self._chains.items()}
+
+    def restore(self, chains: dict[int, list[VersionRecord]]) -> None:
+        """Replace the chain table (catalog attach path)."""
+        with self._lock:
+            self._chains = {oid: list(chain) for oid, chain in chains.items()}
+        self.db.obs.metrics.gauge("versions.live").set(self._live_count())
+
+
+def pack_version_section(
+    chains: dict[int, list[VersionRecord]], retain: int
+) -> bytes:
+    """Serialize version chains (and the retention bound) for page 0."""
+    out = bytearray(_MAGIC.pack(_SECTION_MAGIC))
+    out += _COUNT.pack(retain)
+    out += _COUNT.pack(len(chains))
+    for oid in sorted(chains):
+        chain = chains[oid]
+        out += _CHAIN_HEAD.pack(oid, len(chain))
+        for r in chain:
+            out += _RECORD.pack(r.version, r.root_page, r.commit_ts, r.byte_size)
+    return bytes(out)
+
+
+def unpack_version_section(
+    buf: bytes, offset: int
+) -> tuple[dict[int, list[VersionRecord]], int | None]:
+    """Parse the catalog's version section; tolerant of its absence.
+
+    Returns ``(chains, retain)``.  Pre-versioning images have zeros (or
+    nothing) where the section would start; any malformed read yields
+    ``({}, None)`` rather than an error, so old volumes attach cleanly.
+    A ``retain`` that is not ``None`` marks the image as written by a
+    versioning-enabled database — the attach path uses it to turn
+    versioning back on with the saved retention bound.
+    """
+    try:
+        (magic,) = _MAGIC.unpack_from(buf, offset)
+        if magic != _SECTION_MAGIC:
+            return {}, None
+        offset += _MAGIC.size
+        (retain,) = _COUNT.unpack_from(buf, offset)
+        offset += _COUNT.size
+        if retain < 1:
+            return {}, None
+        (n_chains,) = _COUNT.unpack_from(buf, offset)
+        offset += _COUNT.size
+        chains: dict[int, list[VersionRecord]] = {}
+        for _ in range(n_chains):
+            oid, n_records = _CHAIN_HEAD.unpack_from(buf, offset)
+            offset += _CHAIN_HEAD.size
+            chain: list[VersionRecord] = []
+            for _ in range(n_records):
+                version, root, ts, size = _RECORD.unpack_from(buf, offset)
+                offset += _RECORD.size
+                chain.append(VersionRecord(version, root, ts, size))
+            if chain:
+                chains[oid] = chain
+        return chains, retain
+    except struct.error:
+        return {}, None
+
+
+def initial_append(manager: VersionManager, oid: int, data) -> None:
+    """Publish the initial content of a just-created object as v2."""
+    manager.mutate(
+        oid, lambda obj: cow_append(obj.tree, obj.segio, obj.buddy, data)
+    )

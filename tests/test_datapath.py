@@ -261,6 +261,11 @@ def _write_trio(directory, *, copies=1.0, mbps=1000.0, seeks=100, rps=3000):
                [[1, rps * 0.8, 0.3, 0.6], [8, rps, 2.0, 4.0]])
     _bench_doc(directory, "SRV2",
                [[1, 8, rps * 0.3, 2.0, 4.0], [4, 8, rps, 2.0, 4.0]])
+    _bench_doc(directory, "VER1",
+               [["versioned", "idle", rps * 0.05, 6.0, 7.5],
+                ["versioned", "appender", rps * 0.045, 7.0, 9.0],
+                ["unversioned", "idle", rps * 0.05, 6.0, 7.5],
+                ["unversioned", "appender", rps * 0.045, 7.0, 9.5]])
 
 
 class TestRegressGate:

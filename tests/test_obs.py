@@ -490,6 +490,33 @@ class TestSummariesAndSinks:
         tree = format_tree(records)
         assert "op.append" in tree and "  buddy.alloc" not in tree.split("\n")[0]
 
+    def test_orphans_render_under_synthetic_root(self):
+        records = [
+            {"kind": "span", "trace": 7, "span": 1, "parent": None,
+             "name": "server.request", "attrs": {}},
+            # Half a tree: its top fell out of the capture window.
+            {"kind": "span", "trace": 7, "span": 3, "parent": 99,
+             "name": "server.execute", "attrs": {}},
+            {"kind": "span", "trace": 7, "span": 4, "parent": 3,
+             "name": "pool.read", "attrs": {}},
+        ]
+        tree = format_tree(records)
+        assert "(orphaned: 1 span(s)" in tree
+        # The orphan and its own child both render, nested.
+        assert "server.execute" in tree and "pool.read" in tree
+        lines = tree.splitlines()
+        exec_line = next(ln for ln in lines if "server.execute" in ln)
+        child_line = next(ln for ln in lines if "pool.read" in ln)
+        assert len(child_line) - len(child_line.lstrip()) > \
+            len(exec_line) - len(exec_line.lstrip())
+        # The orphan is not disguised as a root: only one genuine root
+        # sits at root depth.
+        root_depth = [
+            ln for ln in lines
+            if ln.startswith("  ") and not ln.startswith("    ")
+        ]
+        assert sum("server.execute" in ln for ln in root_depth) == 0
+
     def test_summary_sink_renders(self):
         sink = SummarySink()
         for record in self._records():

@@ -6,7 +6,7 @@ import warnings
 import pytest
 
 from repro.api import EOSDatabase
-from repro.errors import ObjectNotFound, ShardUnavailable
+from repro.errors import ObjectNotFound, ShardUnavailable, VersionNotFound
 from repro.ops import ObjectOps, ObjectStat
 from repro.server import EOSClient, ServerThread, ShardSet, Status
 from repro.server.protocol import exception_from, status_for_exception
@@ -187,6 +187,16 @@ def exercise_object_ops(ops: ObjectOps):
     other = ops.op_create()
     assert ops.op_size(other) == 0
     assert {o for o, _ in ops.op_list()} >= {oid, other}
+    # The versioned-read surface exists on every conformer.  On an
+    # unversioned backend: no chain, latest-read passthrough, and an
+    # explicit version is an error rather than a silent latest.
+    assert ops.op_versions(oid) == []
+    assert ops.op_read(oid, offset=0, length=5, version=None) == b"HELLO"
+    assert ops.op_stat(oid, version=None).version == 0
+    with pytest.raises(VersionNotFound):
+        ops.op_read(oid, offset=0, length=1, version=1)
+    with pytest.raises(VersionNotFound):
+        ops.op_stat(oid, version=1)
 
 
 class TestObjectOpsConformance:
