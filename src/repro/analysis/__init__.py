@@ -8,21 +8,28 @@ Section 3), and the buddy directory must stay internally consistent
 after every alloc/free (Section 2.2/3).  This package enforces those
 disciplines twice over:
 
-* **statically** — an AST linter with repo-specific rules EOS001-EOS005
-  (:mod:`repro.analysis.lintcore`, :mod:`repro.analysis.rules`), run as
+* **statically** — an AST linter with repo-specific rules: the
+  syntactic EOS001-EOS006 (:mod:`repro.analysis.lintcore`,
+  :mod:`repro.analysis.rules`) plus the flow-sensitive EOS007-EOS010
+  (:mod:`repro.analysis.flowrules`, on the CFG/dataflow engine in
+  :mod:`repro.analysis.cfg`, :mod:`repro.analysis.dataflow` and
+  :mod:`repro.analysis.summaries`), run as
   ``python -m repro.tools.lint``;
 * **dynamically** — opt-in runtime sanitizers
   (:mod:`repro.analysis.pinleak`, :mod:`repro.analysis.lockorder`,
-  :mod:`repro.analysis.buddycheck`), enabled per
-  :class:`~repro.core.config.EOSConfig` flag or the ``EOS_SANITIZE``
-  environment variable (see :mod:`repro.analysis.sanitize`).
+  :mod:`repro.analysis.buddycheck`, :mod:`repro.analysis.confine`),
+  enabled per :class:`~repro.core.config.EOSConfig` flag or the
+  ``EOS_SANITIZE`` environment variable (see
+  :mod:`repro.analysis.sanitize`).
 """
 
 from repro.analysis.buddycheck import SpaceCheck, check_space
+from repro.analysis.confine import ThreadConfinement
 from repro.analysis.lintcore import Finding, lint_paths, render_json, render_text
 from repro.analysis.lockorder import LockOrderSanitizer
 from repro.analysis.pinleak import PinLeakSanitizer
 from repro.analysis.sanitize import SanitizerSettings, sanitizers_from_env
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
     "Finding",
@@ -30,9 +37,11 @@ __all__ = [
     "PinLeakSanitizer",
     "SanitizerSettings",
     "SpaceCheck",
+    "ThreadConfinement",
     "check_space",
     "lint_paths",
     "render_json",
+    "render_sarif",
     "render_text",
     "sanitizers_from_env",
 ]

@@ -33,6 +33,7 @@ manager imports *us*, and the checker only needs the ``verify()`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import ReproError
 
@@ -46,7 +47,7 @@ class SpaceCheck:
     failed.  ``problems`` is empty iff every invariant held.
     """
 
-    segments: list | None = None
+    segments: list[Any] | None = None
     problems: list[str] = field(default_factory=list)
 
     @property
@@ -54,7 +55,7 @@ class SpaceCheck:
         return not self.problems
 
 
-def check_space(space) -> SpaceCheck:
+def check_space(space: Any) -> SpaceCheck:
     """Validate one :class:`~repro.buddy.space.BuddySpace` in memory."""
     check = SpaceCheck()
     try:
@@ -81,7 +82,7 @@ def check_space(space) -> SpaceCheck:
     return check
 
 
-def check_manager(manager) -> list[str]:
+def check_manager(manager: Any) -> list[str]:
     """Validate every space of a :class:`~repro.buddy.manager.BuddyManager`.
 
     Also cross-checks the superdirectory: guesses start optimistic and

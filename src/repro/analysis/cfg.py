@@ -1,0 +1,206 @@
+"""Per-function control-flow graphs over the Python AST.
+
+The point-matching rules (EOS001-EOS006) ask "does this statement look
+right"; the flow rules (EOS007-EOS010) ask "can execution reach this
+statement in a bad state", which needs a CFG.  :func:`build_cfg` turns
+one ``def``/``async def`` into a statement-level graph:
+
+* every statement is a node (compound statements — ``if``, ``while``,
+  ``for``, ``try``, ``with`` — get a node for their header: the test,
+  the iterable, the context expression);
+* ``ENTRY`` and ``EXIT`` are synthetic nodes 0 and 1;
+* loops carry a back edge from the last body statement to the header;
+* ``if``/``while`` headers record which successor is the true branch
+  (``CFG.branches``), so a dataflow client can refine facts per edge;
+* ``try`` is conservative: every statement in the try body may also
+  jump to each handler and to the ``finally`` entry (exceptions can
+  fire mid-block), the else body runs after a clean body, and handlers
+  fall through to the ``finally``;
+* ``return`` edges to ``EXIT`` and, when enclosed by a ``try`` with a
+  ``finally``, to that finally's entry as well (the finally runs before
+  the function actually returns); ``raise`` edges to ``EXIT`` and picks
+  up the blanket exceptional edges of any enclosing ``try``;
+* nested ``def``/``lambda`` bodies are *not* inlined — a definition is
+  one ordinary statement; analyze nested functions with their own CFG.
+
+The graph is deliberately a may-analysis substrate: extra edges are
+fine (they only make clients more conservative), missing edges are not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["CFG", "build_cfg", "function_cfgs"]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+_LOOPS = (ast.While, ast.For, ast.AsyncFor)
+
+
+class CFG:
+    """A statement-level control-flow graph for one function."""
+
+    ENTRY = 0
+    EXIT = 1
+
+    def __init__(self, function: FunctionNode) -> None:
+        self.function = function
+        self.succs: dict[int, list[int]] = {self.ENTRY: [], self.EXIT: []}
+        self.preds: dict[int, list[int]] = {self.ENTRY: [], self.EXIT: []}
+        #: node id -> the statement it models (ENTRY/EXIT have none).
+        self.stmt_of: dict[int, ast.stmt] = {}
+        #: statement -> node id (header node for compound statements).
+        self.node_of: dict[ast.stmt, int] = {}
+        #: branch headers (If/While): node -> (true_successor, false_successor).
+        self.branches: dict[int, tuple[int, int]] = {}
+        self._next = 2
+
+    # -- construction (used by the builder) ---------------------------------
+
+    def add_node(self, stmt: ast.stmt) -> int:
+        """Allocate a node for one statement; returns its id."""
+        nid = self._next
+        self._next += 1
+        self.succs[nid] = []
+        self.preds[nid] = []
+        self.stmt_of[nid] = stmt
+        self.node_of[stmt] = nid
+        return nid
+
+    def add_edge(self, a: int, b: int) -> None:
+        """Add a directed edge a -> b (idempotent)."""
+        if b not in self.succs[a]:
+            self.succs[a].append(b)
+            self.preds[b].append(a)
+
+    # -- queries ------------------------------------------------------------
+
+    def nodes(self) -> list[int]:
+        """Every node id, ENTRY and EXIT included."""
+        return list(self.succs)
+
+    def back_edges(self) -> set[tuple[int, int]]:
+        """Edges (u, v) where v is reachable on a path ENTRY->..->v->..->u."""
+        out: set[tuple[int, int]] = set()
+        state: dict[int, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: int) -> None:
+            state[node] = 0
+            for succ in self.succs[node]:
+                if succ not in state:
+                    visit(succ)
+                elif state[succ] == 0:
+                    out.add((node, succ))
+            state[node] = 1
+
+        visit(self.ENTRY)
+        return out
+
+
+class _Builder:
+    def __init__(self, function: FunctionNode) -> None:
+        self.cfg = CFG(function)
+        # (continue target, break target) per enclosing loop.
+        self.loops: list[tuple[int, int]] = []
+        # Entry node of each enclosing finally block, innermost last.
+        self.finallies: list[int] = []
+
+    def build(self) -> CFG:
+        entry = self.block(self.cfg.function.body, CFG.EXIT)
+        self.cfg.add_edge(CFG.ENTRY, entry)
+        return self.cfg
+
+    def block(self, stmts: list[ast.stmt], succ: int) -> int:
+        """Wire a statement list; returns the entry node (succ if empty)."""
+        nxt = succ
+        for stmt in reversed(stmts):
+            nxt = self.stmt(stmt, nxt)
+        return nxt
+
+    def stmt(self, stmt: ast.stmt, succ: int) -> int:
+        cfg = self.cfg
+        nid = cfg.add_node(stmt)
+        if isinstance(stmt, ast.If):
+            true_entry = self.block(stmt.body, succ)
+            false_entry = self.block(stmt.orelse, succ)
+            cfg.add_edge(nid, true_entry)
+            cfg.add_edge(nid, false_entry)
+            cfg.branches[nid] = (true_entry, false_entry)
+        elif isinstance(stmt, _LOOPS):
+            exit_entry = self.block(stmt.orelse, succ)
+            self.loops.append((nid, succ))
+            body_entry = self.block(stmt.body, nid)  # back edge via continuation
+            self.loops.pop()
+            cfg.add_edge(nid, body_entry)
+            cfg.add_edge(nid, exit_entry)
+            if isinstance(stmt, ast.While):
+                cfg.branches[nid] = (body_entry, exit_entry)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cfg.add_edge(nid, self.block(stmt.body, succ))
+        elif isinstance(stmt, ast.Try):
+            fin_entry = (
+                self.block(stmt.finalbody, succ) if stmt.finalbody else succ
+            )
+            handler_entries = [
+                self.block(handler.body, fin_entry)
+                for handler in stmt.handlers
+            ]
+            after_body = (
+                self.block(stmt.orelse, fin_entry) if stmt.orelse else fin_entry
+            )
+            if stmt.finalbody:
+                self.finallies.append(fin_entry)
+            body_entry = self.block(stmt.body, after_body)
+            if stmt.finalbody:
+                self.finallies.pop()
+            cfg.add_edge(nid, body_entry)
+            # Any statement of the try body may raise mid-block: give each
+            # an edge to every handler and to the finally.  Extra paths
+            # only make may-analyses more conservative.
+            body_nodes = [
+                cfg.node_of[s]
+                for body_stmt in stmt.body
+                for s in ast.walk(body_stmt)
+                if isinstance(s, ast.stmt) and s in cfg.node_of
+            ]
+            for body_node in [nid] + body_nodes:
+                for handler_entry in handler_entries:
+                    cfg.add_edge(body_node, handler_entry)
+                if stmt.finalbody:
+                    cfg.add_edge(body_node, fin_entry)
+        elif isinstance(stmt, ast.Return):
+            cfg.add_edge(nid, CFG.EXIT)
+            if self.finallies:
+                cfg.add_edge(nid, self.finallies[-1])
+        elif isinstance(stmt, ast.Raise):
+            cfg.add_edge(nid, CFG.EXIT)
+            if self.finallies:
+                cfg.add_edge(nid, self.finallies[-1])
+        elif isinstance(stmt, ast.Break):
+            cfg.add_edge(nid, self.loops[-1][1] if self.loops else CFG.EXIT)
+        elif isinstance(stmt, ast.Continue):
+            cfg.add_edge(nid, self.loops[-1][0] if self.loops else CFG.EXIT)
+        elif isinstance(stmt, ast.Match):
+            for case in stmt.cases:
+                cfg.add_edge(nid, self.block(case.body, succ))
+            cfg.add_edge(nid, succ)  # no case may match
+        else:
+            # Simple statements — and nested def/class, whose bodies are
+            # not part of this function's flow.
+            cfg.add_edge(nid, succ)
+        return nid
+
+
+def build_cfg(function: FunctionNode) -> CFG:
+    """The statement-level CFG of one function definition."""
+    return _Builder(function).build()
+
+
+def function_cfgs(tree: ast.AST) -> list[CFG]:
+    """A CFG per function in the tree, nested functions included."""
+    return [
+        build_cfg(node)
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]

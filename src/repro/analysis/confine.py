@@ -1,0 +1,64 @@
+"""Runtime thread-confinement sanitizer (the dynamic twin of EOS008).
+
+A shard's buffer pool and buddy manager are shared-nothing: after the
+shard claims them, only its worker thread may call their entry points
+(the lock-free snapshot readers bypass both by design, so they never
+trip this).  The static rule EOS008 catches the escapes it can see;
+this sanitizer catches the rest at runtime, at the exact substrate
+entry point, with both thread names in the error.
+
+Enable with ``EOS_SANITIZE=confinement`` (or
+``EOSConfig.sanitize_confinement``).  It is deliberately *not* part of
+``EOS_SANITIZE=all``: ownership is claimed for the shard's lifetime,
+and tests legitimately adopt a database back after stopping a server —
+blanket enablement would flag that teardown pattern, not a bug.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ConfinementViolation
+
+__all__ = ["ThreadConfinement"]
+
+
+class ThreadConfinement:
+    """Ownership tag asserting single-thread access to substrate state.
+
+    A shard claims ownership from its worker thread (``claim()`` in the
+    executor initializer); every guarded entry point calls ``check()``.
+    ``release()`` — on shard close/kill — returns the substrate to
+    unconfined use (e.g. a test adopting the database afterwards).
+    """
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self._owner: threading.Thread | None = None
+
+    def claim(self) -> None:
+        """Bind ownership to the calling thread."""
+        self._owner = threading.current_thread()
+
+    def release(self) -> None:
+        """Drop ownership; any thread may touch the substrate again."""
+        self._owner = None
+
+    @property
+    def owner(self) -> threading.Thread | None:
+        """The owning thread, or None while unclaimed/released."""
+        return self._owner
+
+    def check(self, entry: str) -> None:
+        """Raise unless the calling thread owns the substrate."""
+        owner = self._owner
+        if owner is None:
+            return
+        current = threading.current_thread()
+        if current is not owner:
+            raise ConfinementViolation(
+                f"{entry} entered from thread {current.name!r}, but "
+                f"{self.label} confines it to worker {owner.name!r}; "
+                "route the access through shard.submit(...) or the "
+                "snapshot-read pagers (EOS008)"
+            )

@@ -1,0 +1,228 @@
+"""Forward dataflow solving over :mod:`repro.analysis.cfg` graphs.
+
+Two pieces live here:
+
+* :func:`solve_forward` — a generic worklist solver.  The client
+  supplies the lattice implicitly: an entry state, a ``transfer``
+  function mapping (node, in-state) to an out-state, and a ``join``
+  combining states at merge points.  A transfer may return per-edge
+  overrides — ``(default, {successor: state})`` — which is how branch
+  tests refine facts along their true/false edges (``CFG.branches``
+  names the edges).  States are compared with ``==``; transfers must be
+  monotone and the lattice of reachable states finite, which every
+  client in this package satisfies (finite sets of AST facts).
+* :func:`reaching_definitions` — the classic may-analysis instantiated
+  on that solver: for each node, which definition sites can have
+  produced the current value of each local name.  Flow rules use it to
+  ask "could this name be a shard handle / a borrowed view here".
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Callable, TypeVar, Union
+
+from repro.analysis.cfg import CFG
+
+__all__ = [
+    "solve_forward",
+    "reaching_definitions",
+    "assigned_names",
+    "own_expressions",
+    "scoped_walk",
+    "PARAM_DEF",
+]
+
+S = TypeVar("S")
+Transfer = Callable[[int, S], Union[S, tuple[S, dict[int, S]]]]
+Join = Callable[[S, S], S]
+
+#: Pseudo definition site for function parameters in reaching-defs maps.
+PARAM_DEF = -1
+
+
+def solve_forward(
+    cfg: CFG, entry_state: S, transfer: Transfer[S], join: Join[S]
+) -> dict[int, S]:
+    """Least fixed point of a forward dataflow problem.
+
+    Returns the IN state of every reached node (ENTRY's is the entry
+    state; unreachable nodes are absent).  ``transfer`` is only applied
+    to real statement nodes, never to ENTRY/EXIT.
+    """
+    edge_out: dict[tuple[int, int], S] = {}
+    in_states: dict[int, S] = {CFG.ENTRY: entry_state}
+    work: deque[int] = deque([CFG.ENTRY])
+    while work:
+        node = work.popleft()
+        if node == CFG.ENTRY:
+            state = entry_state
+        else:
+            pred_states = [
+                edge_out[(pred, node)]
+                for pred in cfg.preds[node]
+                if (pred, node) in edge_out
+            ]
+            if not pred_states:
+                continue
+            state = pred_states[0]
+            for other in pred_states[1:]:
+                state = join(state, other)
+        in_states[node] = state
+        if node in (CFG.ENTRY, CFG.EXIT):
+            default: S = state
+            overrides: dict[int, S] = {}
+        else:
+            result = transfer(node, state)
+            if isinstance(result, tuple):
+                default, overrides = result
+            else:
+                default, overrides = result, {}
+        for succ in cfg.succs[node]:
+            new = overrides.get(succ, default)
+            if edge_out.get((node, succ)) != new:
+                edge_out[(node, succ)] = new
+                work.append(succ)
+    return in_states
+
+
+def own_expressions(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions evaluated *at* a statement's own CFG node.
+
+    For compound statements that is just the header (an ``if``'s test,
+    a ``for``'s iterable and target, a ``with``'s context managers) —
+    the body belongs to other nodes.  Simple statements own their whole
+    subtree.  Nested ``def``/``class`` own nothing: their bodies are a
+    different scope and their decorators/defaults are rare enough to
+    ignore.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out: list[ast.AST] = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    if isinstance(
+        stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return [stmt]
+
+
+def scoped_walk(node: ast.AST) -> list[ast.AST]:
+    """Like ``ast.walk`` but does not enter nested def/lambda bodies."""
+    out: list[ast.AST] = [node]
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return out
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                out.append(child)  # the binding/value, not the body
+                continue
+            out.append(child)
+            stack.append(child)
+    return out
+
+
+def assigned_names(stmt: ast.stmt) -> list[str]:
+    """Local names a statement (re)binds, nested scopes excluded.
+
+    Covers assignment targets, loop targets, ``with ... as``, walrus
+    expressions, imports, and the names of nested ``def``/``class``
+    statements (the binding, not their bodies).
+    """
+    names: list[str] = []
+
+    def targets(node: ast.expr) -> None:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                targets(elt)
+        elif isinstance(node, ast.Starred):
+            targets(node.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            targets(target)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                targets(item.optional_vars)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        names.append(stmt.name)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            names.append(alias.asname or alias.name.split(".")[0])
+    # Walrus targets in the statement's own expressions (nested
+    # def/lambda bodies are another scope and are not entered).
+    for expr in own_expressions(stmt):
+        for node in scoped_walk(expr):
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                names.append(node.target.id)
+    return names
+
+
+def reaching_definitions(cfg: CFG) -> dict[int, dict[str, frozenset[int]]]:
+    """IN reaching-definitions per node: name -> set of defining nodes.
+
+    Function parameters reach with the pseudo-site :data:`PARAM_DEF`.
+    A node id in the set means "the value bound at that statement may
+    be the current one"; multiple ids mean a merge.
+    """
+    args = cfg.function.args
+    params = [
+        a.arg
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+    ]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    entry: dict[str, frozenset[int]] = {
+        name: frozenset([PARAM_DEF]) for name in params
+    }
+
+    def transfer(
+        node: int, state: dict[str, frozenset[int]]
+    ) -> dict[str, frozenset[int]]:
+        stmt = cfg.stmt_of[node]
+        killed = assigned_names(stmt)
+        if not killed:
+            return state
+        new = dict(state)
+        for name in killed:
+            new[name] = frozenset([node])
+        return new
+
+    def join(
+        a: dict[str, frozenset[int]], b: dict[str, frozenset[int]]
+    ) -> dict[str, frozenset[int]]:
+        if a == b:
+            return a
+        merged = dict(a)
+        for name, defs in b.items():
+            merged[name] = merged.get(name, frozenset()) | defs
+        return merged
+
+    return solve_forward(cfg, entry, transfer, join)

@@ -42,7 +42,7 @@ class Finding:
     col: int
     message: str
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, str | int]:
         """The finding as a JSON-serializable dict."""
         return {
             "rule": self.rule,
@@ -74,9 +74,11 @@ def register_rule(code: str) -> Callable[[Rule], Rule]:
 
 
 def registered_rules() -> dict[str, Rule]:
-    """All registered rules, keyed by code (loads the rules module)."""
-    # Importing the rules module populates the registry on first use.
-    from repro.analysis import rules  # noqa: F401
+    """All registered rules, keyed by code (loads the rule modules)."""
+    # Importing the rule modules populates the registry on first use:
+    # rules has the per-statement matchers (EOS001-EOS006), flowrules
+    # the CFG/dataflow rules (EOS007-EOS010).
+    from repro.analysis import flowrules, rules  # noqa: F401
 
     return dict(_RULES)
 

@@ -26,7 +26,7 @@ import threading
 from repro.errors import LockOrderViolation
 
 #: A resource key: hashable, self-describing (e.g. ``("object", 7)``).
-Key = tuple
+Key = tuple[object, ...]
 
 
 class LockOrderSanitizer:

@@ -1,6 +1,11 @@
-"""The six repo-specific lint rules, EOS001-EOS006.
+"""The six syntactic lint rules, EOS001-EOS006.
 
-Each rule guards one invariant the type system cannot express:
+The flow-sensitive rules EOS007-EOS010 (borrow escapes, shard
+confinement, async blocking, version discipline) live in
+:mod:`repro.analysis.flowrules`; they run over the CFG/dataflow layer
+instead of per-statement matching.
+
+Each rule here guards one invariant the type system cannot express:
 
 * **EOS001** — every ``BufferPool.fetch``/``fetch_new`` must be paired
   with an ``unpin`` that runs on *all* paths: either the fetch sits
@@ -46,6 +51,7 @@ finding's line (file-wide within the first five lines) — see
 from __future__ import annotations
 
 import ast
+from typing import Iterator
 
 import repro.errors as _errors_module
 from repro.analysis.lintcore import Finding, register_rule
@@ -65,7 +71,9 @@ def _parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
     return parents
 
 
-def _ancestors(node: ast.AST, parents: dict[ast.AST, ast.AST]):
+def _ancestors(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> Iterator[ast.AST]:
     while node in parents:
         node = parents[node]
         yield node
@@ -108,7 +116,9 @@ def _block_of(parent: ast.AST, stmt: ast.stmt) -> list[ast.stmt] | None:
     return None
 
 
-def _enclosing_function(node: ast.AST, parents: dict[ast.AST, ast.AST]):
+def _enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
     for ancestor in _ancestors(node, parents):
         if isinstance(ancestor, _FUNCTION_NODES):
             return ancestor

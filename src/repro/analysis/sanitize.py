@@ -17,8 +17,15 @@ stay off unless asked for.  There are two ways to ask:
       EOS_SANITIZE=pins,locks pytest ...   # a subset
 
 Accepted values: ``all`` or ``1`` (everything), or a comma-separated
-subset of ``pins``, ``locks``, ``buddy``.  Anything else is ignored
-(sanitizers must never break production by typo).
+subset of ``pins``, ``locks``, ``buddy``, ``confinement``.  Anything
+else is ignored (sanitizers must never break production by typo).
+
+``confinement`` (the thread-confinement sanitizer, see
+:mod:`repro.analysis.confine`) is *excluded* from ``all`` on purpose:
+a shard claims its substrate for its whole lifetime, and tests
+legitimately adopt a database back after stopping a server, so blanket
+enablement would flag that teardown pattern rather than a bug.  Ask
+for it explicitly: ``EOS_SANITIZE=confinement``.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from dataclasses import dataclass
 
 ENV_VAR = "EOS_SANITIZE"
 
-_KNOWN = frozenset({"pins", "locks", "buddy"})
+_KNOWN = frozenset({"pins", "locks", "buddy", "confinement"})
 
 
 @dataclass(frozen=True)
@@ -38,10 +45,11 @@ class SanitizerSettings:
     pins: bool = False
     locks: bool = False
     buddy: bool = False
+    confinement: bool = False
 
     @property
     def any(self) -> bool:
-        return self.pins or self.locks or self.buddy
+        return self.pins or self.locks or self.buddy or self.confinement
 
 
 def sanitizers_from_env(value: str | None = None) -> SanitizerSettings:
@@ -56,8 +64,13 @@ def sanitizers_from_env(value: str | None = None) -> SanitizerSettings:
     if not value:
         return SanitizerSettings()
     if value in ("all", "1", "true", "yes"):
+        # confinement is lifetime-scoped, not request-scoped: see the
+        # module docstring for why "all" leaves it off.
         return SanitizerSettings(pins=True, locks=True, buddy=True)
     wanted = {part.strip() for part in value.split(",")} & _KNOWN
     return SanitizerSettings(
-        pins="pins" in wanted, locks="locks" in wanted, buddy="buddy" in wanted
+        pins="pins" in wanted,
+        locks="locks" in wanted,
+        buddy="buddy" in wanted,
+        confinement="confinement" in wanted,
     )

@@ -1,0 +1,113 @@
+"""SARIF 2.1.0 output for the EOS invariant lint.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format code-hosting UIs ingest — GitHub's code-scanning tab renders a
+SARIF upload as inline annotations on the exact flagged lines.  The
+renderer here maps the lint's :class:`~repro.analysis.lintcore.Finding`
+list onto the minimal conforming document:
+
+* one ``run`` by the ``eos-lint`` driver;
+* one ``reportingDescriptor`` per registered rule, described by the
+  first line of the rule function's docstring (the same text
+  ``--list-rules`` prints);
+* one ``result`` per finding, with a 1-based line/column region
+  (findings carry 0-based columns, as ``ast`` does).
+
+``python -m repro.tools.lint --format sarif src/`` emits the document;
+CI uploads it with ``github/codeql-action/upload-sarif``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePosixPath
+
+from repro.analysis.lintcore import Finding, Rule, registered_rules
+
+__all__ = ["render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Findings are invariant violations, never style nits.
+_LEVEL = "error"
+
+
+def _rule_descriptor(code: str, rule: Rule) -> dict[str, object]:
+    doc = (rule.__doc__ or "").strip().splitlines()
+    short = doc[0] if doc else rule.__name__
+    return {
+        "id": code,
+        "name": rule.__name__,
+        "shortDescription": {"text": short},
+        "defaultConfiguration": {"level": _LEVEL},
+    }
+
+
+def _uri(path: str) -> str:
+    # SARIF wants forward slashes regardless of the linting platform.
+    return PurePosixPath(*path.replace("\\", "/").split("/")).as_posix()
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _LEVEL,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _uri(finding.path),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # Finding columns are 0-based (ast convention);
+                        # SARIF columns are 1-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    # EOS000 (parse failure) has no registered rule object; every other
+    # code resolves to its descriptor index for the viewers that use it.
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    return result
+
+
+def render_sarif(
+    findings: list[Finding], *, rules: dict[str, Rule] | None = None
+) -> str:
+    """The findings as a SARIF 2.1.0 JSON document (a string)."""
+    if rules is None:
+        rules = registered_rules()
+    ordered = sorted(rules.items())
+    rule_index = {code: i for i, (code, _) in enumerate(ordered)}
+    document: dict[str, object] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "eos-lint",
+                        "rules": [
+                            _rule_descriptor(code, rule)
+                            for code, rule in ordered
+                        ],
+                    }
+                },
+                "results": [
+                    _result(finding, rule_index) for finding in findings
+                ],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -290,8 +290,13 @@ class EOSDatabase:
         if isinstance(obj, int):
             obj = self.get_object(obj)
         oid = getattr(obj, "oid", None)
-        if self.versions is not None and oid is not None:
-            self.versions.drop_object(oid)
+        # Uncatalogued handles (open_root) never published a version
+        # chain, so only catalogued objects dispatch to the reclaimer;
+        # anything else provably has no versions and may destroy in
+        # place.
+        versions = self.versions if oid is not None else None
+        if versions is not None:
+            versions.drop_object(oid)
         else:
             obj.destroy()
         if oid is not None:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import NamedTuple
 
 from repro.analysis.buddycheck import check_space
+from repro.analysis.confine import ThreadConfinement
 from repro.analysis.sanitize import sanitizers_from_env
 from repro.buddy.space import BuddySpace
 from repro.concurrency.latch import Latch
@@ -88,10 +89,21 @@ class BuddyManager:
         # Debug-mode invariant checking: revalidate a space's directory
         # right after every alloc/free (see repro.analysis.buddycheck).
         self.check_invariants = sanitizers_from_env().buddy
+        # Thread-confinement guard; attached by the owning shard (see
+        # repro.analysis.confine), None means unconfined.
+        self.confinement: ThreadConfinement | None = None
 
     def attach_invariant_sanitizer(self) -> None:
         """Enable post-operation directory revalidation on this manager."""
         self.check_invariants = True
+
+    def attach_confinement(self, confinement: ThreadConfinement) -> None:
+        """Confine alloc/free entry points to the claiming worker thread."""
+        self.confinement = confinement
+
+    def _confine(self, entry: str) -> None:
+        if self.confinement is not None:
+            self.confinement.check(entry)
 
     def _check_after(self, operation: str, index: int, space: BuddySpace) -> None:
         # The in-memory space is checked (not a reload) so the sanitizer
@@ -151,6 +163,7 @@ class BuddyManager:
         and :class:`SegmentTooLarge` above the maximum segment size (the
         large object manager splits such objects across segments).
         """
+        self._confine("BuddyManager.allocate")
         if n_pages > self.max_segment_pages:
             raise SegmentTooLarge(n_pages, self.max_segment_pages)
         with self.obs.tracer.span("buddy.alloc", pages=n_pages) as span:
@@ -164,6 +177,7 @@ class BuddyManager:
 
     def allocate_up_to(self, n_pages: int) -> SegmentRef:
         """Allocate the largest contiguous run available, at most ``n_pages``."""
+        self._confine("BuddyManager.allocate_up_to")
         want = min(n_pages, self.max_segment_pages)
         with self.obs.tracer.span("buddy.alloc", pages=want, up_to=True) as span:
             self.stats.allocations += 1
@@ -228,6 +242,7 @@ class BuddyManager:
 
     def free(self, first_page: PageId, n_pages: int) -> None:
         """Free any previously allocated run (whole segments or portions)."""
+        self._confine("BuddyManager.free")
         if n_pages <= 0:
             raise ValueError(f"free size must be positive, got {n_pages}")
         extent = self.volume.space_of_physical(first_page)

@@ -53,6 +53,10 @@ class EOSConfig:
     sanitize_pins: bool = False
     sanitize_locks: bool = False
     sanitize_buddy: bool = False
+    # Thread-confinement sanitizer (EOS008's runtime twin): a shard
+    # claims its pool/buddy and any other thread touching them raises.
+    # Not part of EOS_SANITIZE=all; see repro.analysis.confine.
+    sanitize_confinement: bool = False
 
     def __post_init__(self) -> None:
         if self.page_size < 32:

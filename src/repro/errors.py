@@ -270,6 +270,16 @@ class InvariantViolation(SanitizerError):
     """
 
 
+class ConfinementViolation(SanitizerError):
+    """Shard-confined substrate was entered from a foreign thread.
+
+    Raised by the thread-confinement sanitizer
+    (``EOS_SANITIZE=confinement``) when a buffer-pool or buddy-manager
+    entry point of a shard-owned database runs on any thread other than
+    the shard's worker — the runtime twin of lint rule EOS008.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Object server
 # ---------------------------------------------------------------------------

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import asdict, dataclass
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, cast, runtime_checkable
 
 __all__ = ["ObjectOps", "ObjectStat", "VersionInfo", "legacy_positional"]
 
@@ -56,7 +56,7 @@ class ObjectStat:
     root_page: int
     version: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int]:
         """The stat as a plain dict (for JSON documents)."""
         return asdict(self)
 
@@ -73,7 +73,7 @@ class ObjectStat:
             stacklevel=2,
         )
         try:
-            return getattr(self, key)
+            return cast(int, getattr(self, key))
         except AttributeError:
             raise KeyError(key) from None
 
@@ -90,7 +90,7 @@ class VersionInfo:
     size_bytes: int
     commit_ts: float
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int | float]:
         """The version record as a plain dict (for JSON documents)."""
         return asdict(self)
 
@@ -98,9 +98,9 @@ class VersionInfo:
 def legacy_positional(
     method: str,
     names: tuple[str, ...],
-    args: tuple,
-    values: tuple,
-) -> list:
+    args: tuple[object, ...],
+    values: tuple[object | None, ...],
+) -> list[object | None]:
     """Map pre-interface positional arguments onto keyword-only params.
 
     ``names`` are the keyword-only parameter names in the *old
@@ -120,7 +120,7 @@ def legacy_positional(
         DeprecationWarning,
         stacklevel=3,
     )
-    out = list(values)
+    out: list[object | None] = list(values)
     for i, value in enumerate(args):
         if out[i] is not None:
             raise TypeError(
@@ -130,7 +130,7 @@ def legacy_positional(
     return out
 
 
-def require(method: str, **kwargs) -> None:
+def require(method: str, **kwargs: object) -> None:
     """Raise TypeError for any still-missing required keyword argument."""
     for name, value in kwargs.items():
         if value is None:
@@ -179,14 +179,14 @@ class ObjectOps(Protocol):
     def op_read_into(
         self,
         oid: int,
-        dest,
+        dest: Any,
         *,
         offset: int,
         length: int,
         version: int | None = None,
     ) -> int:
-        """Read ``length`` bytes at ``offset`` into a writable buffer;
-        the byte count."""
+        """Read ``length`` bytes at ``offset`` into a writable buffer
+        (anything exposing a writable buffer protocol); the byte count."""
         ...
 
     def op_write(self, oid: int, data: bytes, *, offset: int) -> int:

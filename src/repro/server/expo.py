@@ -35,7 +35,9 @@ from repro.obs.prom import render_prometheus
 
 def _space_doc(db) -> dict:
     # free_pages() reads buddy directory pages, so serialise with the op
-    # entry points rather than racing them.
+    # entry points rather than racing them.  Walks pool/buddy state:
+    # when the database belongs to a shard this must run on the shard
+    # worker — call it via _space_for / shard.submit, never directly.
     with db.op_lock:
         free = db.free_pages()
     total = db.volume.total_data_pages
@@ -44,6 +46,31 @@ def _space_doc(db) -> dict:
         "total_pages": total,
         "utilization": round(1.0 - free / total, 4) if total else 0.0,
     }
+
+
+def _owning_shard(db, server):
+    """The live shard whose worker thread owns this database, if any."""
+    shard_set = getattr(server, "shards", None)
+    if shard_set is None:
+        return None
+    for shard in shard_set.shards:
+        if shard.db is db and shard.alive:
+            return shard
+    return None
+
+
+def _space_for(db, server) -> dict:
+    """A space document, routed through the owning shard's worker.
+
+    The exposition endpoints run on sidecar/executor threads; a served
+    database's pool and buddy are confined to its shard worker, so the
+    walk is submitted there (EOS008).  Unserved databases have no
+    worker and are walked inline.
+    """
+    shard = _owning_shard(db, server)
+    if shard is not None:
+        return shard.submit(_space_doc, db).result()
+    return _space_doc(db)
 
 
 def status_snapshot(db, server=None, *, include_space: bool = True) -> dict:
@@ -86,7 +113,7 @@ def status_snapshot(db, server=None, *, include_space: bool = True) -> dict:
                 return doc
             doc["stats"] = db.stats.snapshot().as_dict()
             if include_space:
-                doc["space"] = _space_doc(db)
+                doc["space"] = _space_for(db, server)
         except Exception as exc:  # a snapshot must never take the server down
             doc["error"] = f"{exc.__class__.__name__}: {exc}"
         return doc
@@ -103,7 +130,10 @@ def status_snapshot(db, server=None, *, include_space: bool = True) -> dict:
             else:
                 sdoc["stats"] = shard.db.stats.snapshot().as_dict()
                 if include_space:
-                    sdoc["space"] = _space_doc(shard.db)
+                    # The walk touches this shard's pool/buddy: run it
+                    # on the owning worker (a dead shard raises
+                    # ShardUnavailable into the per-shard error slot).
+                    sdoc["space"] = shard.submit(_space_doc, shard.db).result()
                     total_free += sdoc["space"]["free_pages"]
                     total_pages += sdoc["space"]["total_pages"]
         except Exception as exc:  # one sick shard must not hide the rest

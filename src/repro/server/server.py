@@ -297,13 +297,24 @@ class EOSServer:
         return self.flight.dump(self.flight_dump_dir, reason)
 
     def _incident(self, reason: str) -> None:
-        """Rate-limited evidence dump on an error or rejection."""
+        """Rate-limited evidence dump on an error or rejection.
+
+        Writes a JSONL file; never call it from the event loop — async
+        paths go through :meth:`_dump_incident_async` (EOS009).
+        """
         if self.flight_dump_dir is None:
             return
         try:
             self.flight.maybe_dump(self.flight_dump_dir, reason)
         except OSError:
             pass  # a full disk must not take the serving path down
+
+    async def _dump_incident_async(self, reason: str) -> None:
+        """The executor-hopped :meth:`_incident` for async serving paths."""
+        if self.flight_dump_dir is None:
+            return
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._incident, reason)
 
     # ------------------------------------------------------------------
     # Sessions
@@ -389,7 +400,7 @@ class EOSServer:
                 metrics.counter("server.bytes_out").inc(len(response))
                 writer.write(response)
                 await writer.drain()
-                self._incident("overloaded")
+                await self._dump_incident_async("overloaded")
                 continue
 
             await self._serve_request(
@@ -507,6 +518,9 @@ class EOSServer:
         total_ms = admission_ms + (time.perf_counter() - t0) * 1000.0
         bytes_out = sum(len(frame) for frame in frames)
         self._account(req, request_id, status, error, total_ms, bytes_out)
+        if status is not Status.OK:
+            # The evidence dump is disk I/O: hop off the event loop.
+            await self._dump_incident_async(f"status-{status.name.lower()}")
         metrics.counter("server.bytes_out").inc(bytes_out)
         for frame in frames:
             writer.write(frame)
@@ -559,8 +573,6 @@ class EOSServer:
             entry["trace"] = req.trace_id
             entry["span"] = req.root_id
         self.flight.record(entry)
-        if status is not Status.OK:
-            self._incident(f"status-{status.name.lower()}")
 
     def _pulse_released(self) -> None:
         """Wake every request parked on a lock conflict."""

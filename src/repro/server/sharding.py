@@ -42,6 +42,8 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable
 
+from repro.analysis.confine import ThreadConfinement
+from repro.analysis.sanitize import sanitizers_from_env
 from repro.api import EOSDatabase
 from repro.concurrency import LockManager
 from repro.core.config import EOSConfig
@@ -92,6 +94,7 @@ class Shard:
         n_shards: int,
         *,
         locks: LockManager | None = None,
+        confine: bool = True,
     ) -> None:
         self.index = index
         self.db = db
@@ -104,6 +107,19 @@ class Shard:
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"eos-shard-{index}"
         )
+        # Thread-confinement sanitizer (EOS008's runtime twin): claim
+        # the substrate from the worker itself, then arm the guards.
+        # The .result() barrier orders the claim before any real op.
+        # ``confine=False`` is for adopted databases, whose outside
+        # owner legitimately keeps direct access.
+        self.confinement: ThreadConfinement | None = None
+        if confine and (
+            sanitizers_from_env().confinement or db.config.sanitize_confinement
+        ):
+            self.confinement = ThreadConfinement(f"shard-{index}")
+            self._pool.submit(self.confinement.claim).result()
+            db.pool.attach_confinement(self.confinement)
+            db.buddy.attach_confinement(self.confinement)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -165,11 +181,15 @@ class Shard:
         """
         self.alive = False
         self._pool.shutdown(wait=False, cancel_futures=True)
+        if self.confinement is not None:
+            self.confinement.release()
 
     def close(self) -> None:
         """Drain the worker and close the shard's database."""
         self.alive = False
         self._pool.shutdown(wait=True)
+        if self.confinement is not None:
+            self.confinement.release()
         if not self.db.is_closed:
             self.db.close()
 
@@ -307,8 +327,10 @@ class ShardSet:
         The oid mapping is the identity and the database's own
         observability bundle is used, so a server over an adopted set
         is wire- and metrics-compatible with the pre-sharding server.
+        The caller keeps direct access to the database it handed in, so
+        the thread-confinement sanitizer is not armed for adopted sets.
         """
-        return cls([Shard(0, db, 1, locks=locks)])
+        return cls([Shard(0, db, 1, locks=locks, confine=False)])
 
     @classmethod
     def create(

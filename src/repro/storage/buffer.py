@@ -25,6 +25,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.analysis.confine import ThreadConfinement
 from repro.analysis.pinleak import PinLeakSanitizer
 from repro.analysis.sanitize import sanitizers_from_env
 from repro.errors import AllPagesPinned, PageNotPinned
@@ -71,6 +72,9 @@ class BufferPool:
         self.pin_sanitizer: PinLeakSanitizer | None = None
         if sanitizers_from_env().pins:
             self.attach_pin_sanitizer()
+        # Thread-confinement guard; attached by the owning shard (see
+        # repro.analysis.confine), None means unconfined.
+        self.confinement: ThreadConfinement | None = None
 
     def attach_pin_sanitizer(self) -> PinLeakSanitizer:
         """Enable pin-origin tracking (see :mod:`repro.analysis.pinleak`)."""
@@ -78,10 +82,19 @@ class BufferPool:
             self.pin_sanitizer = PinLeakSanitizer()
         return self.pin_sanitizer
 
+    def attach_confinement(self, confinement: ThreadConfinement) -> None:
+        """Confine every entry point to the claiming worker thread."""
+        self.confinement = confinement
+
+    def _confine(self, entry: str) -> None:
+        if self.confinement is not None:
+            self.confinement.check(entry)
+
     # -- core protocol ------------------------------------------------------
 
     def fetch(self, page: PageId) -> bytearray:
         """Pin ``page`` and return its (shared, mutable) in-memory image."""
+        self._confine("BufferPool.fetch")
         frame = self._frames.get(page)
         if frame is None:
             self.stats.misses += 1
@@ -103,6 +116,7 @@ class BufferPool:
         garbage, so reading it would charge I/O for bytes nobody needs.
         The frame starts dirty and pinned.
         """
+        self._confine("BufferPool.fetch_new")
         existing = self._frames.get(page)
         if existing is not None and existing.pin_count:
             raise AllPagesPinned(f"page {page} is pinned and cannot be replaced")
@@ -127,6 +141,7 @@ class BufferPool:
 
     def unpin(self, page: PageId, *, dirty: bool = False) -> None:
         """Release one pin; ``dirty=True`` schedules write-back."""
+        self._confine("BufferPool.unpin")
         frame = self._frames.get(page)
         if frame is None or frame.pin_count == 0:
             raise PageNotPinned(f"page {page} is not pinned")
@@ -150,6 +165,7 @@ class BufferPool:
 
     def mark_dirty(self, page: PageId) -> None:
         """Mark a currently resident page dirty without changing pins."""
+        self._confine("BufferPool.mark_dirty")
         frame = self._frames.get(page)
         if frame is None:
             raise PageNotPinned(f"page {page} is not resident")
@@ -159,6 +175,7 @@ class BufferPool:
 
     def flush_page(self, page: PageId) -> None:
         """Write one dirty frame back to disk (no-op if clean or absent)."""
+        self._confine("BufferPool.flush_page")
         frame = self._frames.get(page)
         if frame is not None and frame.dirty:
             self.disk.write_page(page, frame.image)
@@ -167,11 +184,13 @@ class BufferPool:
 
     def flush_all(self) -> None:
         """Write back every dirty frame (frames stay resident)."""
+        self._confine("BufferPool.flush_all")
         for page in list(self._frames):
             self.flush_page(page)
 
     def drop(self, page: PageId) -> None:
         """Discard a frame without write-back (page was freed)."""
+        self._confine("BufferPool.drop")
         frame = self._frames.get(page)
         if frame is not None:
             if frame.pin_count:
@@ -180,6 +199,7 @@ class BufferPool:
 
     def clear(self) -> None:
         """Flush everything and empty the pool (simulates a cold cache)."""
+        self._confine("BufferPool.clear")
         self.flush_all()
         for page, frame in self._frames.items():
             if frame.pin_count:

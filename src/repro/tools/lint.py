@@ -4,17 +4,25 @@ Usage::
 
     python -m repro.tools.lint src/
     python -m repro.tools.lint --format json src/ > findings.json
+    python -m repro.tools.lint --format sarif src/ > eos-lint.sarif
+    python -m repro.tools.lint --changed-only --base-ref origin/main src/
     python -m repro.tools.lint --list-rules
 
 Exit status is 0 when clean, 1 when any finding is reported (including
 EOS000 parse failures), 2 on usage errors.  Suppress a justified
 finding with ``# eos-lint: disable=EOS00x`` on the flagged line.
+
+``--changed-only`` restricts the run to files changed against a git
+base ref (plus untracked files) — the fast pre-push mode; the ``paths``
+arguments still bound which files are considered.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.lintcore import (
@@ -24,12 +32,13 @@ from repro.analysis.lintcore import (
     render_json,
     render_text,
 )
+from repro.analysis.sarif import render_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.lint",
-        description="EOS repo-specific invariant lint (rules EOS001-EOS005).",
+        description="EOS repo-specific invariant lint (rules EOS001-EOS010).",
     )
     parser.add_argument(
         "paths",
@@ -39,9 +48,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only files changed against --base-ref (plus untracked)",
+    )
+    parser.add_argument(
+        "--base-ref",
+        default="origin/main",
+        help="git ref --changed-only diffs against (default: origin/main)",
     )
     parser.add_argument(
         "--list-rules",
@@ -49,6 +68,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the registered rule codes and exit",
     )
     return parser
+
+
+def changed_files(base_ref: str) -> set[Path] | None:
+    """Files changed against ``base_ref`` plus untracked ones, resolved.
+
+    Returns None when git itself fails (no repo, unknown ref) — the
+    caller treats that as a usage error rather than silently linting
+    nothing.
+    """
+    changed: set[Path] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "-z", base_ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+    ):
+        try:
+            out = subprocess.run(
+                cmd, capture_output=True, check=True
+            ).stdout.decode("utf-8", errors="replace")
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        for name in out.split("\0"):
+            if name:
+                path = Path(name)
+                if path.exists():
+                    changed.add(path.resolve())
+    return changed
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -60,11 +105,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{code}: {doc[0] if doc else rule.__name__}")
         return 0
     files = iter_python_files(args.paths)
-    if not files:
+    if args.changed_only:
+        changed = changed_files(args.base_ref)
+        if changed is None:
+            print(
+                f"eos-lint: git diff against {args.base_ref!r} failed",
+                file=sys.stderr,
+            )
+            return 2
+        files = [f for f in files if f.resolve() in changed]
+        if not files:
+            # Nothing under the given paths changed: trivially clean.
+            print("eos-lint: no changed Python files", file=sys.stderr)
+            return 0
+    elif not files:
         print(f"eos-lint: no Python files under {args.paths}", file=sys.stderr)
         return 2
-    findings = lint_paths(args.paths)
-    render = render_json if args.format == "json" else render_text
+    findings = lint_paths(files)
+    render = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.format]
     print(render(findings))
     return 1 if findings else 0
 

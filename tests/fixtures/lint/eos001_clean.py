@@ -1,0 +1,9 @@
+"""EOS001 negative: the pin is released in a finally on every path."""
+
+
+def page_checksum(pool, page):
+    image = pool.fetch(page)
+    try:
+        return sum(image) & 0xFFFF
+    finally:
+        pool.unpin(page)

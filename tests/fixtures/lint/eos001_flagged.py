@@ -1,0 +1,6 @@
+"""EOS001 positive: a pin with no unpin guaranteed on all paths."""
+
+
+def page_checksum(pool, page):
+    image = pool.fetch(page)
+    return sum(image) & 0xFFFF

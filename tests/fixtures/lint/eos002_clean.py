@@ -1,0 +1,5 @@
+"""EOS002 negative: leaf I/O routed through the SegmentIO facade."""
+
+
+def read(segio, page):
+    return segio.read_page(page)

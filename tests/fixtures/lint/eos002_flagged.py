@@ -1,0 +1,5 @@
+"""EOS002 positive: raw disk access outside the storage substrate."""
+
+
+def raw_read(segio, page):
+    return segio.disk.read_page(page)

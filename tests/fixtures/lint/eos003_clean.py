@@ -1,0 +1,9 @@
+"""EOS003 negative: the broad handler records what it caught."""
+
+
+def run_logged(op, log):
+    try:
+        return op()
+    except Exception as exc:
+        log.append(exc)
+        return None

@@ -1,0 +1,8 @@
+"""EOS003 positive: a broad handler that silently drops repro errors."""
+
+
+def run_quietly(op):
+    try:
+        return op()
+    except Exception:
+        return None

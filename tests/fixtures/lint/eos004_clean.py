@@ -1,0 +1,9 @@
+"""EOS004 negative: release_all runs in a finally on every path."""
+
+
+def locked_write(locks, txn, oid, mode):
+    locks.acquire_range(txn, oid, 0, 10, mode)
+    try:
+        return txn.apply()
+    finally:
+        locks.release_all(txn)

@@ -1,0 +1,6 @@
+"""EOS004 positive: locks acquired with no release on exception paths."""
+
+
+def locked_write(locks, txn, oid, mode):
+    locks.acquire_range(txn, oid, 0, 10, mode)
+    return txn.apply()

@@ -1,0 +1,5 @@
+"""EOS005 negative: reading buddy state is fine anywhere."""
+
+
+def free_pages_at(space, order):
+    return space.counts[order]

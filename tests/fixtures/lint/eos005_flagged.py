@@ -1,0 +1,5 @@
+"""EOS005 positive: buddy directory state mutated outside buddy/."""
+
+
+def tamper(space):
+    space.counts[3] = 0

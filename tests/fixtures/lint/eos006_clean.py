@@ -1,0 +1,6 @@
+# lint-as: core/stream.py
+"""EOS006 negative: the payload moves as a memoryview slice."""
+
+
+def assemble(chunk, lo, hi):
+    return memoryview(chunk)[lo:hi]

@@ -1,0 +1,6 @@
+# lint-as: core/stream.py
+"""EOS006 positive: bytes() materializes a buffer copy on the data path."""
+
+
+def assemble(chunk):
+    return bytes(chunk)

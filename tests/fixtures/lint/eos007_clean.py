@@ -1,0 +1,6 @@
+"""EOS007 negative: the borrow is materialized before it leaves."""
+
+
+def copy_run(segio, first, n_pages):
+    view = segio.view_run(first, n_pages)
+    return bytes(view)

@@ -1,0 +1,6 @@
+"""EOS007 positive: a borrowed segment view escapes through a return."""
+
+
+def leak_run(segio, first, n_pages):
+    view = segio.view_run(first, n_pages)
+    return view

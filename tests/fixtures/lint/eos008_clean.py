@@ -1,0 +1,6 @@
+"""EOS008 negative: the substrate access rides the shard's worker."""
+
+
+def pool_hits(shards, oid):
+    shard = shards.shard_for(oid)
+    return shard.submit(lambda: shard.db.pool.stats.hits).result()

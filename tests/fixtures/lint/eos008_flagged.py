@@ -1,0 +1,6 @@
+"""EOS008 positive: a shard-owned substrate touched off-worker."""
+
+
+def pool_hits(shards, oid):
+    shard = shards.shard_for(oid)
+    return shard.db.pool.stats.hits

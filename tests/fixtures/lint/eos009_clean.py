@@ -1,0 +1,7 @@
+"""EOS009 negative: the sleep yields to the event loop."""
+
+import asyncio
+
+
+async def throttle(delay):
+    await asyncio.sleep(delay)

@@ -1,0 +1,7 @@
+"""EOS009 positive: a blocking call on the event loop."""
+
+import time
+
+
+async def throttle(delay):
+    time.sleep(delay)

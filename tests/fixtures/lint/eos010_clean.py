@@ -1,0 +1,9 @@
+"""EOS010 negative: mutations branch on the versioning mode."""
+
+
+def grow(db, oid, data):
+    obj = db.get_object(oid)
+    if db.versions is None:
+        obj.append(data)
+    else:
+        db.versions.mutate(oid, lambda o: o.append(data))

@@ -1,0 +1,6 @@
+"""EOS010 positive: a direct mutation on a possibly-versioned path."""
+
+
+def grow(db, oid, data):
+    obj = db.get_object(oid)
+    obj.append(data)

@@ -1,0 +1,367 @@
+"""Tests for the CFG builder and the forward dataflow solver.
+
+These are the substrate of the flow rules (EOS007-EOS010): the graphs
+must have the loop back edges, exceptional ``try`` edges and branch
+annotations the rules rely on, and the solver must reach the classic
+reaching-definitions fixpoints on them.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import CFG, build_cfg, function_cfgs
+from repro.analysis.dataflow import (
+    PARAM_DEF,
+    assigned_names,
+    own_expressions,
+    reaching_definitions,
+    scoped_walk,
+    solve_forward,
+)
+
+
+def cfg_of(source: str) -> CFG:
+    tree = ast.parse(textwrap.dedent(source))
+    function = next(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(function)
+
+
+def node_for(cfg: CFG, kind: type) -> int:
+    for nid, stmt in cfg.stmt_of.items():
+        if isinstance(stmt, kind):
+            return nid
+    raise AssertionError(f"no {kind.__name__} node in CFG")
+
+
+class TestCFGShape:
+    def test_linear_chain(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                a = x + 1
+                b = a * 2
+                return b
+            """
+        )
+        entry_succ = cfg.succs[CFG.ENTRY]
+        assert len(entry_succ) == 1
+        a, b, ret = entry_succ[0], None, None
+        b = cfg.succs[a][0]
+        ret = cfg.succs[b][0]
+        assert isinstance(cfg.stmt_of[ret], ast.Return)
+        assert cfg.succs[ret] == [CFG.EXIT]
+
+    def test_if_branches_recorded(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    y = 1
+                else:
+                    y = 2
+                return y
+            """
+        )
+        test = node_for(cfg, ast.If)
+        true_entry, false_entry = cfg.branches[test]
+        assert set(cfg.succs[test]) == {true_entry, false_entry}
+        assert ast.unparse(cfg.stmt_of[true_entry]) == "y = 1"
+        assert ast.unparse(cfg.stmt_of[false_entry]) == "y = 2"
+        # Both arms join at the return.
+        ret = node_for(cfg, ast.Return)
+        assert cfg.succs[true_entry] == [ret]
+        assert cfg.succs[false_entry] == [ret]
+
+    def test_while_back_edge(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                while n:
+                    n = n - 1
+                return n
+            """
+        )
+        header = node_for(cfg, ast.While)
+        back = cfg.back_edges()
+        assert any(v == header for (_, v) in back)
+        # The header is also a recorded branch (loop vs exit).
+        body_entry, exit_entry = cfg.branches[header]
+        assert ast.unparse(cfg.stmt_of[body_entry]) == "n = n - 1"
+        assert isinstance(cfg.stmt_of[exit_entry], ast.Return)
+
+    def test_for_loop_back_edge_and_else(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    use(item)
+                else:
+                    cleanup()
+                return 0
+            """
+        )
+        header = node_for(cfg, ast.For)
+        body = next(
+            nid
+            for nid, stmt in cfg.stmt_of.items()
+            if isinstance(stmt, ast.Expr) and "use" in ast.unparse(stmt)
+        )
+        assert (body, header) in cfg.back_edges()
+        # The loop-else entry is a successor of the header.
+        else_entry = next(
+            nid
+            for nid in cfg.succs[header]
+            if nid != body
+        )
+        assert "cleanup" in ast.unparse(cfg.stmt_of[else_entry])
+
+    def test_break_and_continue_targets(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                    continue
+                return 0
+            """
+        )
+        header = node_for(cfg, ast.For)
+        brk = node_for(cfg, ast.Break)
+        cont = node_for(cfg, ast.Continue)
+        ret = node_for(cfg, ast.Return)
+        assert cfg.succs[brk] == [ret]
+        assert cfg.succs[cont] == [header]
+
+    def test_try_finally_covers_return(self):
+        cfg = cfg_of(
+            """
+            def f(pool, page):
+                image = pool.fetch(page)
+                try:
+                    return len(image)
+                finally:
+                    pool.unpin(page)
+            """
+        )
+        ret = node_for(cfg, ast.Return)
+        fin = next(
+            nid
+            for nid, stmt in cfg.stmt_of.items()
+            if isinstance(stmt, ast.Expr) and "unpin" in ast.unparse(stmt)
+        )
+        # The return reaches EXIT *and* the finally (which runs first).
+        assert CFG.EXIT in cfg.succs[ret]
+        assert fin in cfg.succs[ret]
+        assert cfg.succs[fin] == [CFG.EXIT]
+
+    def test_try_body_has_exceptional_edges_to_handler(self):
+        cfg = cfg_of(
+            """
+            def f(op, log):
+                try:
+                    a = op()
+                    b = op()
+                except ValueError:
+                    log.fail()
+            """
+        )
+        handler_entry = next(
+            nid
+            for nid, stmt in cfg.stmt_of.items()
+            if isinstance(stmt, ast.Expr) and "fail" in ast.unparse(stmt)
+        )
+        assign_nodes = [
+            nid
+            for nid, stmt in cfg.stmt_of.items()
+            if isinstance(stmt, ast.Assign)
+        ]
+        assert len(assign_nodes) == 2
+        # Every try-body statement may raise into the handler mid-block.
+        for nid in assign_nodes:
+            assert handler_entry in cfg.succs[nid]
+
+    def test_nested_with_is_one_header_plus_body(self):
+        cfg = cfg_of(
+            """
+            def f(pool, p, q):
+                with pool.page(p) as a:
+                    with pool.page(q) as b:
+                        merge(a, b)
+            """
+        )
+        withs = [
+            nid
+            for nid, stmt in cfg.stmt_of.items()
+            if isinstance(stmt, ast.With)
+        ]
+        assert len(withs) == 2
+        outer = min(withs, key=lambda n: cfg.stmt_of[n].lineno)
+        inner = max(withs, key=lambda n: cfg.stmt_of[n].lineno)
+        assert cfg.succs[outer] == [inner]
+        body = cfg.succs[inner][0]
+        assert "merge" in ast.unparse(cfg.stmt_of[body])
+
+    def test_nested_def_is_a_plain_statement(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                def g(y):
+                    return y * 2
+                return g(x)
+            """
+        )
+        inner = node_for(cfg, ast.FunctionDef)
+        # One successor (the return); the inner body is not in this graph.
+        assert len(cfg.succs[inner]) == 1
+        inner_return = next(
+            s for s in ast.walk(cfg.stmt_of[inner]) if isinstance(s, ast.Return)
+        )
+        assert inner_return not in cfg.node_of
+
+    def test_function_cfgs_includes_nested(self):
+        tree = ast.parse(
+            "def outer():\n    def inner():\n        pass\n    return inner\n"
+        )
+        cfgs = function_cfgs(tree)
+        assert {c.function.name for c in cfgs} == {"outer", "inner"}
+
+
+class TestHelpers:
+    def test_own_expressions_compound_headers_only(self):
+        stmt = ast.parse("if x > 1:\n    y = 2\n").body[0]
+        owned = own_expressions(stmt)
+        assert [ast.unparse(e) for e in owned] == ["x > 1"]
+        for_stmt = ast.parse("for i in items:\n    pass\n").body[0]
+        assert {ast.unparse(e) for e in own_expressions(for_stmt)} == {
+            "items",
+            "i",
+        }
+        try_stmt = ast.parse("try:\n    pass\nfinally:\n    pass\n").body[0]
+        assert own_expressions(try_stmt) == []
+
+    def test_scoped_walk_skips_lambda_bodies(self):
+        expr = ast.parse("submit(lambda: pool.fetch(p))").body[0]
+        names = {
+            n.id for n in scoped_walk(expr) if isinstance(n, ast.Name)
+        }
+        assert "submit" in names
+        assert "pool" not in names  # inside the lambda body
+
+    def test_assigned_names_forms(self):
+        cases = {
+            "x = 1": ["x"],
+            "x, (y, z) = t": ["x", "y", "z"],
+            "x += 1": ["x"],
+            "for a, b in items:\n    pass": ["a", "b"],
+            "with open(p) as fh:\n    pass": ["fh"],
+            "import os.path": ["os"],
+            "from a import b as c": ["c"],
+            "if (n := next(it)):\n    pass": ["n"],
+        }
+        for source, expected in cases.items():
+            stmt = ast.parse(source).body[0]
+            assert sorted(assigned_names(stmt)) == sorted(expected), source
+
+    def test_assigned_names_excludes_lambda_walrus(self):
+        stmt = ast.parse("f = lambda: (y := 3)").body[0]
+        assert assigned_names(stmt) == ["f"]
+
+
+class TestDataflow:
+    def test_params_reach_with_pseudo_site(self):
+        cfg = cfg_of(
+            """
+            def f(x, y):
+                return x + y
+            """
+        )
+        ret = node_for(cfg, ast.Return)
+        state = reaching_definitions(cfg)[ret]
+        assert state["x"] == frozenset([PARAM_DEF])
+        assert state["y"] == frozenset([PARAM_DEF])
+
+    def test_redefinition_kills(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                x = 1
+                return x
+            """
+        )
+        ret = node_for(cfg, ast.Return)
+        assign = node_for(cfg, ast.Assign)
+        state = reaching_definitions(cfg)[ret]
+        assert state["x"] == frozenset([assign])
+
+    def test_branch_merge_unions_definitions(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    v = 1
+                else:
+                    v = 2
+                return v
+            """
+        )
+        ret = node_for(cfg, ast.Return)
+        state = reaching_definitions(cfg)[ret]
+        assert len(state["v"]) == 2
+
+    def test_loop_header_sees_both_initial_and_looped_defs(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                total = 0
+                while n:
+                    total = total + n
+                    n = n - 1
+                return total
+            """
+        )
+        header = node_for(cfg, ast.While)
+        state = reaching_definitions(cfg)[header]
+        # The back edge merges the in-loop redefinition into the header.
+        assert len(state["total"]) == 2
+
+    def test_unreachable_nodes_are_absent(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                x = 2
+            """
+        )
+        dead = node_for(cfg, ast.Assign)
+        assert dead not in reaching_definitions(cfg)
+
+    def test_edge_refinement_overrides(self):
+        # A toy constant-ness analysis that marks the variable "known"
+        # only along the true edge of its `if v:` test.
+        cfg = cfg_of(
+            """
+            def f(v):
+                if v:
+                    use(v)
+                else:
+                    other(v)
+            """
+        )
+        test = node_for(cfg, ast.If)
+        true_entry, false_entry = cfg.branches[test]
+
+        def transfer(node, state):
+            if node == test:
+                return state, {true_entry: "truthy", false_entry: "falsy"}
+            return state
+
+        states = solve_forward(cfg, "unknown", transfer, lambda a, b: "both")
+        assert states[true_entry] == "truthy"
+        assert states[false_entry] == "falsy"
