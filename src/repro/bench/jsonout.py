@@ -43,9 +43,18 @@ def bench_json_path(directory: str | os.PathLike, bench_id: str) -> str:
 
 
 def _jsonable(value: object) -> object:
-    """Raw values where JSON allows, repr-strings where it does not."""
+    """Raw values where JSON allows, repr-strings where it does not.
+
+    Mappings and sequences recurse (string keys enforced), so benches
+    can record structured params — e.g. AGE1's per-mix scan ratios —
+    and the regression gate can read them back as objects.
+    """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
     return str(value)
 
 

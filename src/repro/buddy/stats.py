@@ -10,8 +10,11 @@ than a page".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
+from repro.buddy.amap import SegmentView
 from repro.buddy.space import BuddySpace
+from repro.util.bitops import ceil_log2
 
 
 @dataclass(frozen=True)
@@ -66,6 +69,43 @@ def space_usage(space: BuddySpace) -> SpaceUsage:
         allocated_runs=allocated_runs,
         largest_free=largest_free,
     )
+
+
+def free_extents(segments: Iterable[SegmentView]) -> list[tuple[int, int]]:
+    """Maximal free extents over a canonical segment list, as (start, pages).
+
+    Adjacent free *segments* of different sizes are legal buddy state
+    (freeing part of a segment leaves its remainder decomposed into
+    buddy-aligned pieces), but a disk head does not care about segment
+    boundaries — fragmentation metrics must merge them.  The input is
+    what :meth:`~repro.buddy.amap.AllocationMap.decode` returns:
+    left-to-right, non-overlapping segments.
+    """
+    extents: list[tuple[int, int]] = []
+    for seg in segments:
+        if seg.allocated:
+            continue
+        if extents and extents[-1][0] + extents[-1][1] == seg.start:
+            start, size = extents[-1]
+            extents[-1] = (start, size + seg.size)
+        else:
+            extents.append((seg.start, seg.size))
+    return extents
+
+
+def extent_size_histogram(sizes: Iterable[int]) -> dict[int, int]:
+    """Counts of extents per power-of-two bucket, keyed by upper bound.
+
+    Key ``b`` counts extents with ``b/2 < pages <= b`` — upper-inclusive,
+    the shape Prometheus ``le`` labels expect.  Keys ascend.
+    """
+    histogram: dict[int, int] = {}
+    for size in sizes:
+        if size <= 0:
+            raise ValueError(f"extent size must be positive, got {size}")
+        bucket = 1 << ceil_log2(size)
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return dict(sorted(histogram.items()))
 
 
 def internal_waste_pages(requested_pages: int, granted_pages: int) -> int:

@@ -234,6 +234,23 @@ class LargeObject:
         """(global_offset, entry) for every leaf segment, left to right."""
         return self.tree.leaf_entries()
 
+    def extent_runs(self) -> list[tuple[int, int]]:
+        """Physically contiguous ``(first_page, n_pages)`` runs of the leaves.
+
+        Adjacent leaf segments whose page runs abut on disk are merged:
+        the result is the sequence of disk runs a full sequential scan
+        visits (index pages excluded), the basis of the layout metrics
+        in :mod:`repro.obs.health`.
+        """
+        runs: list[tuple[int, int]] = []
+        for _, entry in self.tree.leaf_entries():
+            if runs and runs[-1][0] + runs[-1][1] == entry.child:
+                first, pages = runs[-1]
+                runs[-1] = (first, pages + entry.pages)
+            else:
+                runs.append((entry.child, entry.pages))
+        return runs
+
     def stats(self) -> ObjectStats:
         """Space accounting (reads the whole index, no leaf I/O)."""
         size = self.tree.size()

@@ -16,7 +16,10 @@ individual operations instead of reading three global counter bags:
   tests, a JSON-lines file for offline analysis (rendered by
   ``python -m repro.tools.tracefmt``), and a human summary;
 * :mod:`repro.obs.facade` — ``db.stats``: one snapshot/reset/delta
-  surface over the disk, buffer-pool and allocator counters.
+  surface over the disk, buffer-pool and allocator counters;
+* :mod:`repro.obs.health` — storage health: the :class:`VolumeHealth`
+  fragmentation/layout collector, decayed per-object heat, and the
+  background :class:`HealthMonitor` with its jsonl time series.
 
 Tracing is off by default: every component holds a shared
 :data:`NULL_OBS` whose tracer and registry are no-op singletons, so hot
@@ -32,6 +35,14 @@ paths pay one attribute lookup and an empty method call::
 
 from repro.obs.facade import DatabaseStats, StatsDelta, StatsSnapshot
 from repro.obs.flight import FlightRecorder, load_flight
+from repro.obs.health import (
+    HealthMonitor,
+    HeatTracker,
+    ObjectLayout,
+    SpaceHealth,
+    VolumeHealth,
+    collect_volume_health,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -56,6 +67,8 @@ __all__ = [
     "DatabaseStats",
     "FlightRecorder",
     "Gauge",
+    "HealthMonitor",
+    "HeatTracker",
     "Histogram",
     "JsonLinesSink",
     "MetricsRegistry",
@@ -63,14 +76,18 @@ __all__ = [
     "NULL_OBS",
     "NULL_TRACER",
     "NullTracer",
+    "ObjectLayout",
     "Observability",
     "RingSink",
     "Span",
+    "SpaceHealth",
     "StatsDelta",
     "StatsSnapshot",
     "SummarySink",
     "Tracer",
+    "VolumeHealth",
     "aggregate_spans",
+    "collect_volume_health",
     "format_summary",
     "format_tree",
     "load_flight",

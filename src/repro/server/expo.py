@@ -105,6 +105,11 @@ def status_snapshot(db, server=None, *, include_space: bool = True) -> dict:
         }
         if shard_set is not None:
             doc["server"]["shards"] = shard_set.n_shards
+    monitor = getattr(server, "health", None)
+    if monitor is not None:
+        # The HEALTH section: the monitor's cached last tick (never a
+        # fresh walk — a scrape must stay cheap) plus the heat top-k.
+        doc["health"] = monitor.status_doc()
     if db is not None:
         doc["metrics"] = db.obs.metrics.snapshot()
         try:
@@ -166,6 +171,27 @@ def gauges_from_status(status: dict) -> dict[str, float]:
     stats = status.get("stats")
     if stats:
         out["buffer.hit_ratio"] = stats["buffer"]["hit_ratio"]
+    health = status.get("health")
+    if health:
+        for sample in health.get("samples", ()):
+            if "error" in sample:
+                continue
+            shard = sample.get("shard")
+            tag = '{shard="%d"}' % shard if shard is not None else ""
+            out[f"frag_index{tag}"] = sample["frag_index"]
+            out[f"free_extent_largest{tag}"] = sample["largest_free_extent"]
+            out[f"free_extent_count{tag}"] = sample["free_extent_count"]
+            for edge, count in sample.get("free_extent_histogram", {}).items():
+                if shard is not None:
+                    btag = '{shard="%d",le="%s"}' % (shard, edge)
+                else:
+                    btag = '{le="%s"}' % edge
+                # A snapshot histogram (per-bucket counts at the last
+                # sample), not a cumulative Prometheus histogram.
+                out[f"free_extents{btag}"] = count
+        for row in health.get("heat", ()):
+            out['object_heat{oid="%d",kind="read"}' % row["oid"]] = row["read"]
+            out['object_heat{oid="%d",kind="write"}' % row["oid"]] = row["write"]
     if server and "shards" in server:
         out["server.shards"] = server["shards"]
     for sdoc in status.get("shards", ()):

@@ -225,6 +225,11 @@ class EOSServer:
         self.flight_dump_dir = (
             os.fspath(flight_dump_dir) if flight_dump_dir is not None else None
         )
+        #: Optional storage-health monitor (:mod:`repro.obs.health`).
+        #: servectl attaches one; when present, request accounting feeds
+        #: its per-object heat counters and status_snapshot/Prometheus
+        #: expose its HEALTH section.
+        self.health = None
         self.started_at = 0.0
         self.inflight = 0
         self.write_queued = 0
@@ -548,6 +553,10 @@ class EOSServer:
         metrics.histogram("server.lock_wait_ms").observe(req.lock_wait_ms)
         metrics.histogram("server.execute_ms").observe(req.exec_ms)
         metrics.histogram("server.encode_ms").observe(req.encode_ms)
+        if self.health is not None and req.oid is not None:
+            self.health.heat.touch(
+                req.oid, write=req.opcode in protocol.WRITE_OPCODES
+            )
         req.emit(status, error, total_ms)
         entry = {
             "ts": round(time.time(), 3),

@@ -30,6 +30,15 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 
+def seeks_per_mb(seeks: int, page_transfers: int, page_size: int) -> float:
+    """Seeks per MiB transferred — the layout-quality number the paper's
+    cost model cares about (0.0 when nothing moved)."""
+    transferred = page_transfers * page_size
+    if transferred <= 0:
+        return 0.0
+    return seeks / (transferred / (1 << 20))
+
+
 @dataclass
 class IOSnapshot:
     """Immutable copy of the counters at one instant."""
@@ -44,6 +53,10 @@ class IOSnapshot:
     def page_transfers(self) -> int:
         """Total pages moved in either direction."""
         return self.page_reads + self.page_writes
+
+    def seeks_per_mb(self, page_size: int) -> float:
+        """Seeks per MiB transferred since the counters were zeroed."""
+        return seeks_per_mb(self.seeks, self.page_transfers, page_size)
 
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
         return IOSnapshot(
@@ -68,6 +81,10 @@ class IODelta:
     @property
     def page_transfers(self) -> int:
         return self.page_reads + self.page_writes
+
+    def seeks_per_mb(self, page_size: int) -> float:
+        """Seeks per MiB transferred inside the measured block."""
+        return seeks_per_mb(self.seeks, self.page_transfers, page_size)
 
     def _fill(self, snap: IOSnapshot) -> None:
         self.seeks = snap.seeks

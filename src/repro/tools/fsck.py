@@ -23,7 +23,10 @@ Cross-checks four independent sources of truth:
    versions' trees join the page ledger — pages shared between two
    versions of the *same* object are the normal CoW case, while a page
    claimed by two different objects is still corruption, and a page
-   reachable from no live version (and no latest tree) is a leak.
+   reachable from no live version (and no latest tree) is a leak;
+6. the *storage-health collector* (:mod:`repro.obs.health`): its free
+   totals and utilization are re-derived from fsck's own segment walk —
+   a disagreement means dashboards show numbers the ledger disowns.
 
 CLI::
 
@@ -60,6 +63,7 @@ class FsckReport:
     dangling_version_roots: list[tuple[int, int]] = field(default_factory=list)
     nonmonotonic_chains: list[int] = field(default_factory=list)
     stale_catalog_roots: list[int] = field(default_factory=list)
+    health_disagreements: list[str] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -74,6 +78,7 @@ class FsckReport:
             or self.dangling_version_roots
             or self.nonmonotonic_chains
             or self.stale_catalog_roots
+            or self.health_disagreements
         )
 
     def summary(self) -> str:
@@ -121,6 +126,11 @@ class FsckReport:
             lines.append(
                 f"  chain/catalog root mismatches: {self.stale_catalog_roots[:10]}"
             )
+        if self.health_disagreements:
+            lines.extend(
+                f"  health collector disagreement: {d}"
+                for d in self.health_disagreements[:10]
+            )
         lines.extend(f"  error: {e}" for e in self.errors)
         return "\n".join(lines)
 
@@ -138,6 +148,7 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
     # (repro.analysis.buddycheck) — fsck reports what the sanitizer
     # raises, so on-disk and in-memory validation cannot drift apart.
     allocated: set[int] = set()
+    space_free: dict[int, int] = {}
     for index in range(db.volume.n_spaces):
         extent = db.volume.spaces[index]
         try:
@@ -152,6 +163,7 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
         segments = check.segments
         if check.ok:
             report.spaces_checked += 1
+        space_free[index] = 0
         for seg in segments:
             pages = range(
                 extent.to_physical(seg.start),
@@ -161,6 +173,7 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
                 allocated.update(pages)
             else:
                 report.pages_free += seg.size
+                space_free[index] += seg.size
 
     # 2. Object trees, and the pages they claim.  ``claim_oid`` records
     # which object a page belongs to: on a versioned database, pages
@@ -216,7 +229,56 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
 
     # 3. The persisted page-0 catalog's file section.
     _check_file_catalog(db, report)
+
+    # 4. The storage-health collector must agree with this independent
+    # segment walk — it is what monitoring dashboards and ``servectl
+    # health`` report, so a drift between the two would mean operators
+    # see numbers fsck cannot vouch for.
+    _check_health_agreement(db, report, space_free)
     return report
+
+
+def _check_health_agreement(
+    db: EOSDatabase, report: FsckReport, space_free: dict[int, int]
+) -> None:
+    """Cross-check :func:`~repro.obs.health.collect_volume_health`.
+
+    The collector derives free totals by merging decoded segments into
+    extents; fsck derives them from :func:`check_space`'s canonical
+    segment list.  Both must report the same free-page totals per space
+    and volume-wide, and the collector's utilization must match the
+    ledger's.
+    """
+    from repro.obs.health import collect_volume_health
+
+    try:
+        health = collect_volume_health(db, max_objects=0, cow_sharing=False)
+    except ReproError as exc:
+        # Spaces fsck already reported broken will fail the collector
+        # too; that is not a *disagreement*.
+        if not report.errors:
+            report.health_disagreements.append(f"collector failed: {exc}")
+        return
+    if health.free_pages != report.pages_free:
+        report.health_disagreements.append(
+            f"free pages: collector {health.free_pages} "
+            f"vs fsck {report.pages_free}"
+        )
+    for space in health.spaces:
+        expected = space_free.get(space.index)
+        if expected is not None and space.free_pages != expected:
+            report.health_disagreements.append(
+                f"space {space.index} free pages: collector "
+                f"{space.free_pages} vs fsck {expected}"
+            )
+    total = db.volume.total_data_pages
+    if total:
+        ledger_utilization = 1.0 - report.pages_free / total
+        if abs(health.utilization - ledger_utilization) > 1e-9:
+            report.health_disagreements.append(
+                f"utilization: collector {health.utilization:.6f} "
+                f"vs fsck {ledger_utilization:.6f}"
+            )
 
 
 def _check_version_chains(

@@ -7,8 +7,13 @@ per canonical segment, with the raw map bytes alongside — and
 CLI::
 
     python -m repro.tools.inspect image.db            # whole volume
+    python -m repro.tools.inspect image.db --objects  # + layout table
     python -m repro.tools.inspect image.db --space 0  # one directory
     python -m repro.tools.inspect image.db --root 42  # one object tree
+
+The volume summary is computed by the storage-health collector
+(:func:`repro.obs.health.collect_volume_health`), so the offline report
+shows exactly what a running server's ``servectl health`` would.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from repro.api import EOSDatabase
 from repro.buddy.space import BuddySpace
 from repro.core.node import Node
 from repro.core.tree import LargeObjectTree
+from repro.obs.health import VolumeHealth, collect_volume_health
 from repro.util.fmt import human_bytes
 
 
@@ -85,24 +91,60 @@ def dump_object(tree: LargeObjectTree, *, max_entries: int = 32) -> str:
     return "\n".join(lines)
 
 
-def dump_volume(db: EOSDatabase) -> str:
-    """Summarise a database: layout, free space, catalogued objects."""
+def dump_objects(health: VolumeHealth) -> str:
+    """The per-object layout table (extents, contiguity, est. seeks/MB)."""
+    lines = [
+        f"{'oid':>6}  {'size':>10}  {'extents':>7}  {'runs':>5}  "
+        f"{'contig':>6}  {'seeks/MB':>8}  {'cow':>5}"
+    ]
+    for layout in health.objects:
+        cow = "-" if layout.cow_sharing is None else f"{layout.cow_sharing:.2f}"
+        lines.append(
+            f"{layout.oid:>6}  {human_bytes(layout.size_bytes):>10}  "
+            f"{layout.extents:>7}  {layout.runs:>5}  "
+            f"{layout.contiguity:>6.2f}  {layout.est_seeks_per_mb:>8.1f}  "
+            f"{cow:>5}"
+        )
+    if health.objects_total > len(health.objects):
+        lines.append(
+            f"  ... {health.objects_total - len(health.objects)} more objects"
+        )
+    return "\n".join(lines)
+
+
+def dump_volume(db: EOSDatabase, *, objects: bool = False) -> str:
+    """Summarise a database: layout, free-space health, catalogued objects.
+
+    The space and layout numbers come from one
+    :func:`~repro.obs.health.collect_volume_health` walk — the same
+    collector the server's HealthMonitor samples — so the offline
+    report and the live HEALTH section can never disagree about what
+    "fragmented" means.  ``objects=True`` appends the full per-object
+    layout table.
+    """
+    health = collect_volume_health(db, max_objects=None)
     lines = [
         f"volume: {db.disk.num_pages} pages of {db.disk.page_size} bytes "
         f"({human_bytes(db.disk.size_bytes)}), {db.volume.n_spaces} buddy "
         f"space(s) of {db.volume.space_capacity} pages",
-        f"free: {db.free_pages()} pages "
-        f"({human_bytes(db.free_pages() * db.disk.page_size)})",
-        f"objects: {len(db.objects())}",
+        f"free: {health.free_pages} pages "
+        f"({human_bytes(health.free_pages * db.disk.page_size)}) in "
+        f"{health.free_extent_count} extent(s), largest "
+        f"{health.largest_free_extent} pages",
+        f"health: utilization {health.utilization:.1%}, fragmentation "
+        f"index {health.frag_index:.3f}",
+        f"objects: {health.objects_total}",
     ]
-    for obj in db.objects():
-        stats = obj.stats()
+    for layout in health.objects:
         lines.append(
-            f"  oid {getattr(obj, 'oid', '?')}: root page {obj.root_page}, "
-            f"{human_bytes(stats.size_bytes)} in {stats.segments} segments, "
-            f"height {stats.height}, utilization "
-            f"{stats.utilization(db.disk.page_size):.1%}"
+            f"  oid {layout.oid}: {human_bytes(layout.size_bytes)} in "
+            f"{layout.extents} extent(s) over {layout.runs} disk run(s), "
+            f"contiguity {layout.contiguity:.2f}, "
+            f"~{layout.est_seeks_per_mb:.1f} seeks/MB"
         )
+    if objects and health.objects:
+        lines.append("object layout:")
+        lines.append(dump_objects(health))
     return "\n".join(lines)
 
 
@@ -112,6 +154,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("image", help="file written by EOSDatabase.save()")
     parser.add_argument("--space", type=int, help="dump one buddy space's map")
     parser.add_argument("--root", type=int, help="dump the object tree at this root page")
+    parser.add_argument("--objects", action="store_true",
+                        help="include the per-object layout table "
+                             "(extents, contiguity, est. seeks/MB)")
     args = parser.parse_args(argv)
     db = EOSDatabase.open_file(args.image)
     if args.space is not None:
@@ -119,7 +164,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.root is not None:
         print(dump_object(db.open_root(args.root).tree))
     else:
-        print(dump_volume(db))
+        print(dump_volume(db, objects=args.objects))
     return 0
 
 

@@ -8,7 +8,9 @@ Subcommands::
     python -m repro.tools.servectl put --port 7433 somefile
     python -m repro.tools.servectl get --port 7433 1 --offset 0 --length 64
     python -m repro.tools.servectl list --port 7433
+    python -m repro.tools.servectl serve --health-dir eos-health
     python -m repro.tools.servectl metrics --port 7433
+    python -m repro.tools.servectl health --port 7433 --watch
     python -m repro.tools.servectl top --port 7433 --interval 2
     python -m repro.tools.servectl dump-flight --port 7433 -o flight.jsonl
     python -m repro.tools.servectl bench-smoke --port 7433 --clients 4 --ops 50
@@ -18,9 +20,12 @@ Subcommands::
 saved volume) until interrupted; ``--shards N`` serves N shared-nothing
 shards instead (each with its own volume, buffer pool and worker thread;
 ``--pages`` is per shard), ``--metrics-port`` adds the Prometheus
-/healthz HTTP sidecar, ``--flight-dir`` is where incident flight dumps
-land (SIGUSR1 forces one), and ``--trace`` writes the server's span
-stream to a JSON-lines file.  ``metrics``/``top``/``dump-flight`` use
+/healthz HTTP sidecar, ``--health-dir`` starts the background
+storage-health monitor (fragmentation, per-object layout and heat —
+view it with ``servectl health``, optionally ``--watch``),
+``--flight-dir`` is where incident flight dumps land (SIGUSR1 forces
+one), and ``--trace`` writes the server's span stream to a JSON-lines
+file.  ``metrics``/``top``/``dump-flight`` use
 the exposition opcodes, which the server answers even while overloaded.
 ``bench-smoke`` drives concurrent clients through an append/read/insert
 mix and verifies every byte; with ``--spawn`` it also starts the server
@@ -117,6 +122,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
         db = _make_database(args)
         server = EOSServer(db, args.host, args.port, **common)
     sidecar: MetricsHTTPServer | None = None
+    monitor = None
+    if args.health_dir is not None:
+        from repro.obs.health import HealthMonitor
+
+        # Per-shard sampling runs on each shard's worker (EOS008); the
+        # single-database form walks inline under the op lock.
+        targets = (
+            dict(shards=shardset.shards) if shardset is not None else dict(db=db)
+        )
+        monitor = HealthMonitor(
+            interval_s=args.health_interval,
+            health_dir=args.health_dir,
+            registry=server.obs.metrics,
+            **targets,
+        )
+        server.health = monitor
+        monitor.start()
 
     def dump_flight() -> None:
         path = server.dump_flight("sigusr1")
@@ -137,6 +159,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if sidecar is not None:
             print(f"metrics on http://{sidecar.host}:{sidecar.port}/metrics "
                   f"(health on /healthz)", flush=True)
+        if monitor is not None:
+            print(f"storage-health samples every {monitor.interval_s:g}s "
+                  f"-> {monitor.jsonl_path}", flush=True)
         await server.serve_forever()
 
     if args.metrics_port is not None:
@@ -148,6 +173,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("interrupted; shutting down")
     finally:
+        if monitor is not None:
+            monitor.stop()
         if sidecar is not None:
             sidecar.stop()
         if shardset is not None:
@@ -293,6 +320,82 @@ def render_top(doc: dict, rate: float | None) -> str:
         f"{flight.get('dumps', 0)} dump(s)"
     )
     return "\n".join(lines)
+
+
+def render_health(doc: dict) -> str:
+    """The HEALTH section of a status document as a console table."""
+    from repro.util.fmt import human_bytes
+
+    health = doc.get("health") or {}
+    samples = health.get("samples") or []
+    if not samples:
+        return ("no HEALTH section: start the server with --health-dir to "
+                "enable the storage-health monitor")
+    lines = [
+        f"storage health  (interval {health.get('interval_s', '?')}s, "
+        f"{health.get('samples_taken', 0)} sample tick(s))",
+        f"{'shard':>5}  {'util%':>6}  {'frag':>5}  {'free pages':>10}  "
+        f"{'largest':>8}  {'extents':>7}",
+    ]
+    for s in samples:
+        shard = s.get("shard")
+        tag = str(shard) if shard is not None else "-"
+        if "error" in s:
+            lines.append(f"{tag:>5}  ERROR {s['error']}")
+            continue
+        lines.append(
+            f"{tag:>5}  {s['utilization'] * 100.0:6.1f}  "
+            f"{s['frag_index']:5.2f}  {s['free_pages']:>10}  "
+            f"{s['largest_free_extent']:>8}  {s['free_extent_count']:>7}"
+        )
+    worst = []
+    for s in samples:
+        for obj in (s.get("objects") or {}).get("worst", ()):
+            worst.append((s.get("shard"), obj))
+    worst.sort(key=lambda pair: -pair[1]["est_seeks_per_mb"])
+    if worst:
+        lines.append("worst layouts:")
+        lines.append(
+            f"  {'oid':>6}  {'shard':>5}  {'size':>10}  {'extents':>7}  "
+            f"{'contig':>6}  {'seeks/MB':>8}  {'cow':>5}"
+        )
+        for shard, obj in worst[:10]:
+            tag = str(shard) if shard is not None else "-"
+            cow = obj.get("cow_sharing")
+            cow_s = f"{cow:5.2f}" if cow is not None else f"{'-':>5}"
+            lines.append(
+                f"  {obj['oid']:>6}  {tag:>5}  "
+                f"{human_bytes(obj['size_bytes']):>10}  {obj['extents']:>7}  "
+                f"{obj['contiguity']:6.2f}  {obj['est_seeks_per_mb']:8.1f}  "
+                f"{cow_s}"
+            )
+    heat = health.get("heat") or []
+    if heat:
+        lines.append("hottest objects (decayed op temperature):")
+        for row in heat[:10]:
+            lines.append(
+                f"  oid {row['oid']:>6}  read {row['read']:8.2f}  "
+                f"write {row['write']:8.2f}"
+            )
+    return "\n".join(lines)
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Storage health: one-shot table, or --watch for a live view."""
+    try:
+        with EOSClient(args.host, args.port, timeout=args.timeout) as client:
+            while True:
+                doc = client.metrics()
+                if args.watch and sys.stdout.isatty():
+                    sys.stdout.write("\x1b[H\x1b[J")  # clear, like top(1)
+                print(render_health(doc), flush=True)
+                if not args.watch:
+                    has_samples = bool((doc.get("health") or {}).get("samples"))
+                    return 0 if has_samples else 1
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def cmd_top(args: argparse.Namespace) -> int:
@@ -503,6 +606,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="FILE",
                    help="write the server's span stream to a JSON-lines file "
                         "(render with repro.tools.tracefmt)")
+    p.add_argument("--health-dir", default=None, metavar="DIR",
+                   help="enable the background storage-health monitor and "
+                        "append its samples to DIR/health.jsonl")
+    p.add_argument("--health-interval", type=float, default=5.0,
+                   help="seconds between health samples (default 5)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("ping", help="round-trip a frame")
@@ -541,6 +649,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("metrics", help="print the live status document (JSON)")
     _add_endpoint(p)
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "health",
+        help="storage health: fragmentation, per-object layout, heat",
+    )
+    _add_endpoint(p)
+    p.add_argument("--watch", action="store_true",
+                   help="refresh continuously instead of one-shot")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between --watch refreshes (default 2)")
+    p.set_defaults(func=cmd_health)
 
     p = sub.add_parser("top", help="live req/s, inflight, latency quantiles")
     _add_endpoint(p)

@@ -265,6 +265,26 @@ class VersionManager:
                 return record
         raise VersionNotFound(oid, version)
 
+    def sharing_stats(self, oid: int) -> tuple[int, int]:
+        """CoW page sharing for one chain: ``(total_refs, distinct_pages)``.
+
+        ``total_refs`` sums every retained version's reachable page set;
+        ``distinct_pages`` is the size of their union.  A chain that
+        shares nothing has equal numbers; the health collector turns the
+        pair into a sharing ratio.  Unknown oids yield ``(0, 0)``.  The
+        frozen trees are walked disk-direct through the snapshot pager,
+        so no buffer-pool or buddy state is touched.
+        """
+        with self._lock:
+            chain = list(self._chains.get(oid, ()))
+        total_refs = 0
+        union: set[PageId] = set()
+        for record in chain:
+            pages = self._page_set(record.root_page)
+            total_refs += len(pages)
+            union |= pages
+        return total_refs, len(union)
+
     def _snap_tree(self, record: VersionRecord) -> LargeObjectTree:
         return LargeObjectTree(
             self._snap_pager, self.db.config, record.root_page

@@ -6,9 +6,11 @@ frame accessing of a movie"), document processing ("pictures may be
 annotated and movie spots may be edited"), and long lists / insertable
 arrays ("elements may be removed from or new ones inserted at any place
 within the list").  Each has a generator here, all seeded and
-deterministic.
+deterministic.  :mod:`repro.workloads.aging` adds the multi-day churn
+harness that fragments a volume for the storage-health experiments.
 """
 
+from repro.workloads.aging import SIZE_MIXES, AgingWorkload, SizeMix
 from repro.workloads.generator import (
     Operation,
     append_build,
@@ -23,7 +25,10 @@ from repro.workloads.traces import (
 )
 
 __all__ = [
+    "AgingWorkload",
     "Operation",
+    "SIZE_MIXES",
+    "SizeMix",
     "append_build",
     "random_edits",
     "random_reads",

@@ -1,0 +1,192 @@
+"""Multi-day churn that ages a volume (the fragmentation stressor).
+
+EOS's experiments run on fresh volumes; Sears & van Ingen show object
+stores degrade as weeks of create/append/delete churn fragment free
+space.  :class:`AgingWorkload` simulates that history against one live
+database: each :meth:`run_epoch` is a "day" of churn — creates drawn
+from a size mix, appends extending survivors, deletes freeing others —
+while a utilization band keeps the volume realistically full (deletes
+dominate above the band, creates below it).  Everything is driven by a
+seeded :class:`random.Random`, so a trajectory is reproducible run to
+run and the AGE1 benchmark can gate on deterministic head-model I/O.
+
+The workload goes through the database's thread-safe ``op_*`` entry
+points plus :meth:`~repro.api.EOSDatabase.delete_object`, so it runs
+unchanged on versioned databases (every mutation publishes a version).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import OutOfSpace
+
+
+@dataclass(frozen=True)
+class SizeMix:
+    """A named distribution of object sizes: ``(lo, hi, weight)`` ranges."""
+
+    name: str
+    ranges: tuple[tuple[int, int, float], ...]
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one object size (bytes) from the weighted ranges."""
+        total = sum(weight for _, _, weight in self.ranges)
+        point = rng.random() * total
+        for lo, hi, weight in self.ranges:
+            point -= weight
+            if point <= 0:
+                return rng.randint(lo, hi)
+        lo, hi, _ = self.ranges[-1]
+        return rng.randint(lo, hi)
+
+
+#: The size mixes the aging experiments run at (bytes).
+SIZE_MIXES: dict[str, SizeMix] = {
+    "small": SizeMix("small", ((2_000, 30_000, 1.0),)),
+    "large": SizeMix("large", ((100_000, 600_000, 1.0),)),
+    # The Sears & van Ingen shape: mostly small objects, a heavy tail
+    # of large ones holding most of the bytes.
+    "mixed": SizeMix(
+        "mixed", ((2_000, 30_000, 0.7), (30_000, 200_000, 0.25),
+                  (200_000, 600_000, 0.05))
+    ),
+}
+
+
+class AgingWorkload:
+    """Seeded create/append/delete churn against one database.
+
+    ``target_utilization`` is the center of the band the workload holds
+    the volume in (±``band``): :meth:`build` fills a fresh volume up to
+    the target, and :meth:`run_epoch` steers each day's action mix so
+    the volume stays there while objects turn over.
+    """
+
+    def __init__(
+        self,
+        db,
+        *,
+        mix: str | SizeMix = "mixed",
+        seed: int = 0,
+        target_utilization: float = 0.6,
+        band: float = 0.08,
+        append_fraction: float = 0.3,
+        append_chunk: int = 8_192,
+    ) -> None:
+        self.db = db
+        self.mix = SIZE_MIXES[mix] if isinstance(mix, str) else mix
+        self.rng = random.Random(seed)
+        self.target_utilization = target_utilization
+        self.band = band
+        self.append_fraction = append_fraction
+        self.append_chunk = append_chunk
+        self._live: list[int] = []
+        self.created = 0
+        self.deleted = 0
+        self.appended = 0
+        self.out_of_space = 0
+
+    # -- state ---------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Allocated fraction of the volume's data pages, right now."""
+        total = self.db.volume.total_data_pages
+        if not total:
+            return 0.0
+        return 1.0 - self.db.free_pages() / total
+
+    def live_oids(self) -> list[int]:
+        """Objects currently alive, oldest first."""
+        return list(self._live)
+
+    # -- actions -------------------------------------------------------------
+
+    def _payload(self, n: int) -> bytes:
+        # One repeated byte per object: the storage layer is content-
+        # oblivious and O(n) pseudo-random generation would dominate the
+        # churn loop at the multi-hundred-KB sizes the mixes draw.
+        return bytes([self.rng.randrange(256)]) * n
+
+    def _create(self) -> bool:
+        size = self.mix.sample(self.rng)
+        try:
+            oid = self.db.op_create(self._payload(size), size_hint=size)
+        except OutOfSpace:
+            self.out_of_space += 1
+            return self._delete()
+        self._live.append(oid)
+        self.created += 1
+        return True
+
+    def _delete(self) -> bool:
+        if not self._live:
+            return False
+        oid = self._live.pop(self.rng.randrange(len(self._live)))
+        self.db.delete_object(oid)
+        self.deleted += 1
+        return True
+
+    def _append(self) -> bool:
+        if not self._live:
+            return False
+        oid = self._live[self.rng.randrange(len(self._live))]
+        n = self.rng.randint(1, self.append_chunk)
+        try:
+            self.db.op_append(oid, self._payload(n))
+        except OutOfSpace:
+            self.out_of_space += 1
+            return self._delete()
+        self.appended += 1
+        return True
+
+    # -- driving -------------------------------------------------------------
+
+    def build(self, *, max_objects: int = 10_000) -> int:
+        """Fill a fresh volume with creates up to the utilization target.
+
+        Returns the number of objects created.  This is the "fresh"
+        state the aging benchmark scans before any churn.
+        """
+        before = self.created
+        while (
+            self.utilization() < self.target_utilization
+            and self.created - before < max_objects
+        ):
+            size = self.mix.sample(self.rng)
+            try:
+                oid = self.db.op_create(self._payload(size), size_hint=size)
+            except OutOfSpace:
+                self.out_of_space += 1
+                break
+            self._live.append(oid)
+            self.created += 1
+        return self.created - before
+
+    def run_epoch(self, ops: int = 200) -> dict:
+        """One simulated day of churn; returns that day's action counts.
+
+        Outside the utilization band the action is forced (delete when
+        too full, create when too empty); inside it, creates and deletes
+        balance and ``append_fraction`` of operations extend survivors.
+        """
+        counts = {"create": 0, "append": 0, "delete": 0}
+        for _ in range(ops):
+            utilization = self.utilization()
+            if utilization > self.target_utilization + self.band:
+                action = "delete"
+            elif utilization < self.target_utilization - self.band:
+                action = "create"
+            else:
+                point = self.rng.random()
+                if point < self.append_fraction:
+                    action = "append"
+                elif point < self.append_fraction + 0.5 * (1 - self.append_fraction):
+                    action = "create"
+                else:
+                    action = "delete"
+            did = getattr(self, f"_{action}")()
+            if did:
+                counts[action] += 1
+        return counts

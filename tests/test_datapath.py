@@ -237,12 +237,12 @@ class TestBufferPoolLRU:
             pool.fetch(3)
 
 
-def _bench_doc(directory, bench, rows, io=None):
+def _bench_doc(directory, bench, rows, io=None, params=None):
     write_bench_json(
         directory,
         bench=bench,
         title=f"test doc {bench}",
-        params={"page_size": 4096},
+        params=params or {"page_size": 4096},
         columns=["c1", "c2", "c3", "c4"],
         rows=rows,
         io=io or {},
@@ -266,6 +266,13 @@ def _write_trio(directory, *, copies=1.0, mbps=1000.0, seeks=100, rps=3000):
                 ["versioned", "appender", rps * 0.045, 7.0, 9.0],
                 ["unversioned", "idle", rps * 0.05, 6.0, 7.5],
                 ["unversioned", "appender", rps * 0.045, 7.0, 9.5]])
+    _bench_doc(directory, "AGE1",
+               [["mixed", 0, 0.55, 0.40, seeks * 0.5, 120],
+                ["mixed", 5, 0.55, 0.90, seeks * 0.7, 130]],
+               params={"page_size": 4096,
+                       "scan": {"mixed": {"fresh_mb_s": 2.0,
+                                          "aged_mb_s": 2.0 * mbps / 1000.0 * 0.85,
+                                          "ratio": mbps / 1000.0 * 0.85}}})
 
 
 class TestRegressGate:
