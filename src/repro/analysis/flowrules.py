@@ -517,7 +517,12 @@ _SHARD_SOURCE_CALLS = frozenset({"shard_for", "pick_for_create"})
 def _eos008_in_scope(mod: str) -> bool:
     if mod == "server/sharding.py":
         return False  # the shard's own definition
-    return mod == "" or mod.startswith("server/") or mod == "tools/servectl.py"
+    return (
+        mod == ""
+        or mod.startswith("server/")
+        or mod.startswith("compact/")
+        or mod == "tools/servectl.py"
+    )
 
 
 def _is_shards_collection(expr: ast.AST) -> bool:
@@ -810,7 +815,9 @@ def rule_eos009(tree: ast.AST, mod: str, lines: list[str]) -> list[Finding]:
 # EOS010 — version-unit discipline
 # ---------------------------------------------------------------------------
 
-_MUTATORS = frozenset({"append", "insert", "delete", "replace", "destroy"})
+_MUTATORS = frozenset(
+    {"append", "insert", "delete", "replace", "destroy", "replace_leaf_range"}
+)
 _HANDLE_CALLS = frozenset({"get_object", "create_object", "open_root"})
 _HANDLE_TYPES = frozenset({"LargeObject", "ObjectFile"})
 # Versions-enabled lattice: NONE and SOME join to MAYBE.
@@ -818,7 +825,7 @@ _V_NONE, _V_SOME, _V_MAYBE = "none", "some", "maybe"
 
 
 def _eos010_in_scope(mod: str) -> bool:
-    return mod in {"", "api.py"}
+    return mod in {"", "api.py"} or mod.startswith("compact/")
 
 
 def _versions_test(expr: ast.AST) -> tuple[bool, bool] | None:
@@ -894,6 +901,14 @@ def rule_eos010(tree: ast.AST, mod: str, lines: list[str]) -> list[Finding]:
                 ):
                     continue
                 receiver = call.func.value
+                if (
+                    isinstance(receiver, ast.Attribute)
+                    and receiver.attr == "tree"
+                ):
+                    # ``obj.tree.replace_leaf_range(...)`` relocates
+                    # the handle's extents just as surely as
+                    # ``obj.replace(...)`` does.
+                    receiver = receiver.value
                 if not isinstance(receiver, ast.Name):
                     continue
                 defs = reaching.get(node, {}).get(receiver.id, frozenset())

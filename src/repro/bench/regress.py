@@ -244,9 +244,47 @@ def _extract_age1(doc: Mapping) -> list[Metric]:
     return metrics
 
 
+def _extract_age2(doc: Mapping) -> list[Metric]:
+    """AGE2 rows: ``[phase, util, frag, est seeks/MB, modelled MB/s]`` —
+    gate the compacted phase's fragmentation index and est. seeks/MB
+    (seeded churn + deterministic victim plan, so both get the io
+    tolerance), the fractional frag-index drop from ``params.frag``,
+    and the compacted-over-rebuilt modelled scan ratio from
+    ``params.scan`` (what the compactor exists to recover).  The
+    foreground p99 ratio is host wall-clock and stays ungated — the
+    bench asserts its own ceiling in-run (the VER1 precedent)."""
+    metrics = []
+    for row in doc.get("rows", []):
+        if len(row) >= 5 and row[0] == "compacted":
+            metrics.append(
+                Metric("frag_index[compacted]", float(row[2]), "lower", "io")
+            )
+            metrics.append(
+                Metric(
+                    "est_seeks_per_mb[compacted]", float(row[3]), "lower", "io"
+                )
+            )
+    params = doc.get("params", {})
+    frag = params.get("frag")
+    if isinstance(frag, Mapping) and "drop" in frag:
+        metrics.append(
+            Metric("frag_drop", float(frag["drop"]), "higher", "io")
+        )
+    scan = params.get("scan")
+    if isinstance(scan, Mapping) and "compacted_ratio" in scan:
+        metrics.append(
+            Metric(
+                "compacted_scan_ratio", float(scan["compacted_ratio"]),
+                "higher", "throughput",
+            )
+        )
+    return metrics
+
+
 #: The benches the gate knows how to compare, with their extractors.
 GATED_BENCHES: dict[str, Callable[[Mapping], list[Metric]]] = {
     "AGE1": _extract_age1,
+    "AGE2": _extract_age2,
     "DATAPATH": _extract_datapath,
     "E4": _extract_e4,
     "SRV1": _extract_srv1,

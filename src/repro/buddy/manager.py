@@ -156,57 +156,67 @@ class BuddyManager:
     # Allocation
     # ------------------------------------------------------------------
 
-    def allocate(self, n_pages: int) -> SegmentRef:
+    def allocate(
+        self, n_pages: int, *, avoid_space: int | None = None
+    ) -> SegmentRef:
         """Allocate ``n_pages`` contiguous pages from some space.
 
         Raises :class:`OutOfSpace` when no space can satisfy the request,
         and :class:`SegmentTooLarge` above the maximum segment size (the
         large object manager splits such objects across segments).
+        ``avoid_space`` excludes one space from consideration — the
+        compactor's evacuation pass steers relocations away from the
+        space it is emptying.
         """
         self._confine("BuddyManager.allocate")
         if n_pages > self.max_segment_pages:
             raise SegmentTooLarge(n_pages, self.max_segment_pages)
         with self.obs.tracer.span("buddy.alloc", pages=n_pages) as span:
             self.stats.allocations += 1
-            ref = self._try_allocate(n_pages, exact=True)
+            ref = self._try_allocate(n_pages, exact=True, avoid=avoid_space)
             if ref is None:
                 raise OutOfSpace(n_pages)
             span.set(first_page=ref.first_page)
             self.obs.metrics.histogram("buddy.alloc.pages").observe(ref.n_pages)
             return ref
 
-    def allocate_up_to(self, n_pages: int) -> SegmentRef:
+    def allocate_up_to(
+        self, n_pages: int, *, avoid_space: int | None = None
+    ) -> SegmentRef:
         """Allocate the largest contiguous run available, at most ``n_pages``."""
         self._confine("BuddyManager.allocate_up_to")
         want = min(n_pages, self.max_segment_pages)
         with self.obs.tracer.span("buddy.alloc", pages=want, up_to=True) as span:
             self.stats.allocations += 1
-            ref = self._try_allocate(want, exact=True)
+            ref = self._try_allocate(want, exact=True, avoid=avoid_space)
             if ref is None:
-                ref = self._try_allocate(want, exact=False)
+                ref = self._try_allocate(want, exact=False, avoid=avoid_space)
             if ref is None:
                 raise OutOfSpace(n_pages)
             span.set(first_page=ref.first_page, granted=ref.n_pages)
             self.obs.metrics.histogram("buddy.alloc.pages").observe(ref.n_pages)
             return ref
 
-    def _space_order(self, *, exact: bool) -> list[int]:
+    def _space_order(self, *, exact: bool, avoid: int | None = None) -> list[int]:
         """Spaces to probe, in order.
 
         Exact requests go first-fit (keeps related data clustered in low
         spaces); best-effort requests try the space the superdirectory
-        believes has the largest free segment first.
+        believes has the largest free segment first.  ``avoid`` drops
+        one space from the candidates entirely.
         """
-        indices = list(range(self.volume.n_spaces))
+        indices = [i for i in range(self.volume.n_spaces) if i != avoid]
         if not exact and self.use_superdirectory:
             with self.superdirectory_latch:
                 guesses = list(self._super)
             indices.sort(key=lambda i: guesses[i], reverse=True)
         return indices
 
-    def _try_allocate(self, n_pages: int, *, exact: bool) -> SegmentRef | None:
+    def _try_allocate(
+        self, n_pages: int, *, exact: bool, avoid: int | None = None
+    ) -> SegmentRef | None:
         needed_type = ceil_log2(n_pages) if exact else 0
-        for index in self._space_order(exact=exact):
+        for index in self._space_order(exact=exact, avoid=avoid):
             if self.use_superdirectory:
                 with self.superdirectory_latch:
                     guess = self._super[index]
@@ -276,6 +286,26 @@ class BuddyManager:
         return sum(
             self.load_space(i).free_pages() for i in range(self.volume.n_spaces)
         )
+
+    def space_of(self, page: PageId) -> int:
+        """The index of the buddy space a physical page belongs to."""
+        return self.volume.space_of_physical(page).index
+
+    def free_summary(self) -> list[tuple[int, int]]:
+        """Per-space ``(free_pages, max_free_segment_pages)``.
+
+        The compaction planner uses this to order victim spaces: a space
+        whose free pages dwarf its largest allocatable segment is the
+        one whose free space most needs coalescing.  Reads every
+        directory (through the buffer pool), like :meth:`free_pages`.
+        """
+        out: list[tuple[int, int]] = []
+        for index in range(self.volume.n_spaces):
+            space = self.load_space(index)
+            max_type = space.max_free_type()
+            largest = (1 << max_type) if space.free_pages() else 0
+            out.append((space.free_pages(), largest))
+        return out
 
     def verify(self) -> None:
         """Verify every space's directory (used by tests)."""

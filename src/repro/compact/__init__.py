@@ -1,0 +1,37 @@
+"""Heat-guided online compaction (the ROADMAP's anti-aging half).
+
+The measurement layer (:mod:`repro.obs.health`) sees fragmentation;
+this package puts the performance back: a cost model picks the objects
+whose relocation saves the most foreground I/O
+(:mod:`repro.compact.policy`), a relocation engine rewrites them into
+contiguous, T-threshold-legal segments with crash-safe swap-then-free
+ordering (:mod:`repro.compact.engine`), and a per-shard background
+daemon paces the work under foreground load
+(:mod:`repro.compact.daemon`).
+"""
+
+from repro.compact.daemon import Compactor
+from repro.compact.engine import (
+    CompactionReport,
+    MoveResult,
+    compact_pass,
+    relocate_object,
+)
+from repro.compact.policy import (
+    BackpressureGuard,
+    RateLimiter,
+    Victim,
+    plan_victims,
+)
+
+__all__ = [
+    "BackpressureGuard",
+    "CompactionReport",
+    "Compactor",
+    "MoveResult",
+    "RateLimiter",
+    "Victim",
+    "compact_pass",
+    "plan_victims",
+    "relocate_object",
+]

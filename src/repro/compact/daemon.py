@@ -1,0 +1,259 @@
+"""The background compactor: per-shard, paced, backpressure-aware.
+
+:class:`Compactor` mirrors the :class:`~repro.obs.health.HealthMonitor`
+shape — it targets either one unserved database (``db=``, steps run
+inline) or a list of shards (``shards=``; every substrate-touching step
+is submitted to the shard's own worker, EOS008), ticks on an interval
+from a daemon thread, and caches per-shard progress for the COMPACTION
+section of :func:`repro.server.expo.status_snapshot`.
+
+Each tick runs one :func:`~repro.compact.engine.compact_pass` per
+target, bounded by the pages/sec budget (enforced *between* worker
+submissions, so foreground operations interleave freely) and skipped
+entirely while the attached :class:`~repro.compact.policy
+.BackpressureGuard` reports the server overloaded.  One-shot callers
+(``servectl compact`` via the COMPACT opcode) use :meth:`run_once`,
+which shares the tick lock so a background tick and an operator command
+never compact the same shard concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.compact.engine import compact_pass
+from repro.compact.policy import BackpressureGuard, RateLimiter
+
+#: Default seconds between background compaction ticks.
+DEFAULT_INTERVAL_S = 30.0
+
+#: Default pages/sec budget (read + written) for background passes.
+DEFAULT_BUDGET_PAGES_PER_S = 256.0
+
+#: Default volume frag-index goal: ticks stop early once reached.
+DEFAULT_TARGET_FRAG = 0.25
+
+
+class Compactor:
+    """Rate-limited background compaction over one database or shards."""
+
+    def __init__(
+        self,
+        db=None,
+        *,
+        shards=None,
+        monitor=None,
+        server=None,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        budget_pages_per_s: float = DEFAULT_BUDGET_PAGES_PER_S,
+        target_frag: float | None = DEFAULT_TARGET_FRAG,
+        max_objects: int | None = None,
+        guard: BackpressureGuard | None = None,
+        registry=None,
+    ) -> None:
+        if (db is None) == (shards is None):
+            raise ValueError("pass exactly one of db= or shards=")
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.db = db
+        self.shards = list(shards) if shards is not None else None
+        #: Optional HealthMonitor supplying the heat the cost model reads.
+        self.monitor = monitor
+        self.interval_s = interval_s
+        self.budget_pages_per_s = budget_pages_per_s
+        self.target_frag = target_frag
+        self.max_objects = max_objects
+        self.guard = guard if guard is not None else BackpressureGuard(server)
+        self.registry = registry
+        self.runs = 0
+        self.paused_ticks = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._tick_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        #: shard index (or -1 for an unserved db) -> cumulative totals.
+        self._totals: dict[int, dict] = {}
+        self._last_docs: list[dict] = []
+        self._last_ts = 0.0
+
+    # -- targets -------------------------------------------------------------
+
+    def _targets(self):
+        if self.db is not None:
+            return [(None, self.db)]
+        return [(shard, shard.db) for shard in self.shards]
+
+    @property
+    def heat(self):
+        return self.monitor.heat if self.monitor is not None else None
+
+    # -- one tick ------------------------------------------------------------
+
+    def run_once(
+        self,
+        *,
+        target_frag: float | None = None,
+        max_pages: int | None = None,
+        paced: bool = False,
+    ) -> list[dict]:
+        """Compact every live target once; returns per-shard progress docs.
+
+        ``paced=False`` (the one-shot operator path) runs unthrottled;
+        the background loop passes ``paced=True`` to spend at most one
+        interval's worth of the page budget per tick.  Serialized
+        against concurrent ticks by the tick lock.
+        """
+        target = self.target_frag if target_frag is None else target_frag
+        with self._tick_lock:
+            docs: list[dict] = []
+            for shard, db in self._targets():
+                doc: dict = {"ts": round(time.time(), 3)}
+                key = -1
+                if shard is not None:
+                    key = shard.index
+                    doc["shard"] = shard.index
+                    if not shard.alive:
+                        doc["error"] = "shard dead"
+                        docs.append(doc)
+                        continue
+                limiter = None
+                tick_pages = max_pages
+                if paced and self.budget_pages_per_s > 0:
+                    limiter = RateLimiter(self.budget_pages_per_s)
+                    tick_budget = int(self.budget_pages_per_s * self.interval_s)
+                    if tick_pages is None or tick_pages > tick_budget:
+                        tick_pages = tick_budget
+                submit = None
+                if shard is not None:
+                    submit = _shard_submit(shard)
+                try:
+                    report = compact_pass(
+                        db,
+                        submit=submit,
+                        heat=self.heat,
+                        target_frag=target,
+                        max_pages=tick_pages,
+                        limiter=limiter,
+                        guard=self.guard,
+                        max_objects=self.max_objects,
+                        obs=db.obs,
+                    )
+                    doc.update(report.to_doc())
+                    self._account(key, report)
+                except Exception as exc:  # one sick target must not stop the tick
+                    doc["error"] = f"{exc.__class__.__name__}: {exc}"
+                docs.append(doc)
+            self.runs += 1
+            self._publish()
+            with self._state_lock:
+                self._last_docs = docs
+                self._last_ts = time.time()
+            return list(docs)
+
+    def _account(self, key: int, report) -> None:
+        with self._state_lock:
+            totals = self._totals.setdefault(
+                key,
+                {
+                    "runs": 0,
+                    "pages_moved": 0,
+                    "objects_moved": 0,
+                    "objects_skipped": 0,
+                    "frag_index": 0.0,
+                    "frag_delta": 0.0,
+                },
+            )
+            totals["runs"] += 1
+            totals["pages_moved"] += report.pages_moved
+            totals["objects_moved"] += report.objects_moved
+            totals["objects_skipped"] += report.objects_skipped
+            totals["frag_index"] = round(report.frag_after, 4)
+            totals["frag_delta"] = round(
+                totals["frag_delta"] + report.frag_delta, 4
+            )
+
+    def _publish(self) -> None:
+        registry = self.registry
+        if registry is None:
+            return
+        with self._state_lock:
+            totals = {k: dict(v) for k, v in self._totals.items()}
+        registry.counter("compaction.ticks").inc()
+        registry.gauge("compaction.pages_moved_total").set(
+            sum(t["pages_moved"] for t in totals.values())
+        )
+        registry.gauge("compaction.objects_moved_total").set(
+            sum(t["objects_moved"] for t in totals.values())
+        )
+
+    # -- exposition ----------------------------------------------------------
+
+    def status_doc(self) -> dict:
+        """The COMPACTION section for ``status_snapshot``."""
+        with self._state_lock:
+            per_shard = [
+                {"shard": key, **totals}
+                for key, totals in sorted(self._totals.items())
+                if key >= 0
+            ]
+            single = self._totals.get(-1)
+            doc = {
+                "running": self._thread is not None,
+                "interval_s": self.interval_s,
+                "budget_pages_per_s": self.budget_pages_per_s,
+                "target_frag": self.target_frag,
+                "runs": self.runs,
+                "paused_ticks": self.paused_ticks,
+                "backpressure_pauses": self.guard.pauses,
+                "ts": round(self._last_ts, 3),
+                "last": list(self._last_docs),
+            }
+            if per_shard:
+                doc["per_shard"] = per_shard
+            if single is not None:
+                doc["totals"] = dict(single)
+            return doc
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            if self.guard.overloaded() is not None:
+                self.paused_ticks += 1
+                continue
+            self.run_once(paced=True)
+
+    def start(self) -> "Compactor":
+        """Start the background tick thread (idempotent); returns self."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="eos-compact", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the tick thread (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(30.0)
+            self._thread = None
+
+    def __enter__(self) -> "Compactor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+def _shard_submit(shard):
+    """A ``submit(fn, *args)`` that rides the shard's worker (EOS008)."""
+
+    def submit(fn, *args, **kwargs):
+        return shard.submit(fn, *args, **kwargs).result()
+
+    return submit

@@ -216,6 +216,53 @@ def _page_phase(
     return l, n, r, page_reshuffles
 
 
+def plan_segmentation(
+    total_bytes: int,
+    *,
+    page_size: int,
+    threshold: int = 1,
+    max_segment_pages: int,
+) -> list[int]:
+    """Byte counts per segment for a wholesale rewrite of an object.
+
+    The compactor rewrites an object front to back into maximum-size
+    segments plus a remainder.  The remainder must obey the same
+    T-threshold legality rule the reshuffle planner enforces for edits:
+    no segment may end up *unsafe* (0 < pages < T).  When the natural
+    tail would be unsafe, pages are borrowed from the previous full
+    segment so both finish at or above T — the wholesale analogue of
+    step 3.3's top-up.
+
+    Byte counts are exact: every segment but the last is page-aligned,
+    so the executor allocates ``ceil(bytes / page_size)`` pages per
+    segment with no spare pages to trim.
+    """
+    if total_bytes < 0:
+        raise ValueError(f"negative object size: {total_bytes}")
+    if total_bytes == 0:
+        return []
+    ps = page_size
+    max_bytes = max_segment_pages * ps
+    counts: list[int] = []
+    remaining = total_bytes
+    while remaining > max_bytes:
+        counts.append(max_bytes)
+        remaining -= max_bytes
+    counts.append(remaining)
+    tail_pages = pages_of(counts[-1], ps)
+    if len(counts) > 1 and 0 < tail_pages < threshold:
+        # Borrow whole pages off the previous segment's tail so the last
+        # segment reaches T.  The donor stays safe: it held
+        # max_segment_pages and T is far below the maximum by
+        # construction (the planner's 3.1.c bound).
+        borrow = min(threshold - tail_pages, pages_of(counts[-2], ps) - threshold)
+        if borrow > 0:
+            counts[-2] -= borrow * ps
+            counts[-1] += borrow * ps
+    assert sum(counts) == total_bytes, "segmentation must conserve bytes"
+    return counts
+
+
 def _byte_phase(l: int, n: int, r: int, ps: int) -> tuple[int, int, int]:
     """Section 4.3.1 step 3: eliminate partial pages, balance free space."""
     n_m = last_page_bytes(n, ps)

@@ -23,7 +23,7 @@ single vectored transfers.
 from __future__ import annotations
 
 from repro.buddy.manager import BuddyManager, SegmentRef
-from repro.errors import LargeObjectError
+from repro.errors import LargeObjectError, OutOfSpace
 from repro.obs.tracer import NULL_OBS, Observability
 from repro.storage.disk import DiskVolume
 from repro.storage.page import PageId
@@ -147,7 +147,12 @@ class SegmentIO:
 
 
 def allocate_and_write(
-    segio: SegmentIO, buddy: BuddyManager, data
+    segio: SegmentIO,
+    buddy: BuddyManager,
+    data,
+    *,
+    avoid_space: int | None = None,
+    cleanup_on_fail: bool = False,
 ) -> list[tuple[SegmentRef, int]]:
     """Allocate exact-size segments for ``data`` and write them.
 
@@ -161,6 +166,13 @@ def allocate_and_write(
     into single vectored multi-page transfers (one seek per contiguous
     run, the paper's cost model), with the input sliced as memoryviews —
     no intermediate copies.
+
+    ``cleanup_on_fail`` frees the already-allocated segments when the
+    volume runs out of space mid-write, for callers with no enclosing
+    transaction or version unit to roll the allocations back (the
+    compactor).  Transactional callers must leave it off — their
+    rollback frees the same pages, and freeing twice corrupts the buddy
+    directory.
     """
     out: list[tuple[SegmentRef, int]] = []
     ps = segio.page_size
@@ -179,7 +191,16 @@ def allocate_and_write(
     while position < len(view):
         remaining = len(view) - position
         want = min(ceil_div(remaining, ps), buddy.max_segment_pages)
-        ref = buddy.allocate_up_to(want)
+        try:
+            if avoid_space is not None:
+                ref = buddy.allocate_up_to(want, avoid_space=avoid_space)
+            else:
+                ref = buddy.allocate_up_to(want)
+        except OutOfSpace:
+            if cleanup_on_fail:
+                for done, _ in out:
+                    buddy.free(done.first_page, done.n_pages)
+            raise
         take = min(remaining, ref.n_pages * ps)
         if ref.n_pages > ceil_div(take, ps):
             # Trim immediately: these segments never carry spare pages.

@@ -76,6 +76,12 @@ class ObjectLayout:
     #: ``1 - distinct_pages / total_page_refs`` across the version
     #: chain; None on an unversioned database.
     cow_sharing: float | None = None
+    #: Buddy space holding the object's first extent (-1 when empty);
+    #: the compaction planner's coldest-space ordering key.
+    home_space: int = -1
+    #: Every buddy space the object's extents touch (extents never span
+    #: space boundaries); the evacuation pass selects victims by it.
+    spaces: tuple[int, ...] = ()
 
     def to_doc(self) -> dict:
         """A JSON-ready document for one object's layout."""
@@ -87,6 +93,7 @@ class ObjectLayout:
             "leaf_pages": self.leaf_pages,
             "contiguity": round(self.contiguity, 4),
             "est_seeks_per_mb": round(self.est_seeks_per_mb, 3),
+            "home_space": self.home_space,
         }
         if self.cow_sharing is not None:
             doc["cow_sharing"] = round(self.cow_sharing, 4)
@@ -271,6 +278,8 @@ def _object_layout(db, obj, *, cow_sharing: bool) -> ObjectLayout:
         contiguity=contiguity,
         est_seeks_per_mb=est_seeks,
         cow_sharing=sharing,
+        home_space=db.buddy.space_of(runs[0][0]) if runs else -1,
+        spaces=tuple(sorted({db.buddy.space_of(first) for first, _ in runs})),
     )
 
 
@@ -396,6 +405,31 @@ class HeatTracker:
                 )
         rows.sort(key=lambda r: (-r["heat"], r["oid"]))
         return rows[:k]
+
+    def read_heat(self, oid: int) -> float:
+        """The object's current (decayed) read temperature; 0.0 if untracked."""
+        now = self._clock()
+        with self._lock:
+            entry = self._table.get(oid)
+            if entry is None:
+                return 0.0
+            self._decay(entry, now)
+            return entry[0]
+
+    def snapshot(self) -> dict[int, tuple[float, float]]:
+        """All tracked temperatures as ``oid -> (read, write)``, decayed.
+
+        The compaction planner scores a whole victim list against one
+        consistent heat picture, so it takes a snapshot instead of
+        calling :meth:`read_heat` per object.
+        """
+        now = self._clock()
+        with self._lock:
+            out = {}
+            for oid, entry in self._table.items():
+                self._decay(entry, now)
+                out[oid] = (entry[0], entry[1])
+            return out
 
     def __len__(self) -> int:
         with self._lock:

@@ -360,6 +360,28 @@ class EOSClient:
         """Every object on the server as ``(oid, size)``."""
         return protocol.unpack_listing(self.call(Opcode.LIST))
 
+    def compact(
+        self,
+        *,
+        target_frag: float | None = None,
+        max_pages: int | None = None,
+    ) -> list[dict]:
+        """Run one compaction pass on every live shard (COMPACT opcode).
+
+        Blocks until the pass finishes; returns the per-shard progress
+        documents (objects/pages moved, frag before/after, stop reason).
+        ``target_frag`` stops each shard early once its volume frag
+        index reaches the goal; ``max_pages`` caps pages written per
+        shard.  Long passes can exceed the client timeout — cap the
+        work with ``max_pages`` or raise ``timeout`` for aged volumes.
+        """
+        return json.loads(
+            self.call(
+                Opcode.COMPACT,
+                protocol.pack_compact_req(target_frag, max_pages),
+            ).decode("utf-8")
+        )
+
     # ------------------------------------------------------------------
     # ObjectOps conformance
     # ------------------------------------------------------------------

@@ -110,6 +110,11 @@ def status_snapshot(db, server=None, *, include_space: bool = True) -> dict:
         # The HEALTH section: the monitor's cached last tick (never a
         # fresh walk — a scrape must stay cheap) plus the heat top-k.
         doc["health"] = monitor.status_doc()
+    compactor = getattr(server, "compactor", None)
+    if compactor is not None:
+        # The COMPACTION section: cached per-shard totals and the last
+        # tick's progress docs — again no fresh walk on the scrape path.
+        doc["compaction"] = compactor.status_doc()
     if db is not None:
         doc["metrics"] = db.obs.metrics.snapshot()
         try:
@@ -192,6 +197,27 @@ def gauges_from_status(status: dict) -> dict[str, float]:
         for row in health.get("heat", ()):
             out['object_heat{oid="%d",kind="read"}' % row["oid"]] = row["read"]
             out['object_heat{oid="%d",kind="write"}' % row["oid"]] = row["write"]
+    compaction = status.get("compaction")
+    if compaction:
+        out["compaction.ticks"] = compaction["runs"]
+        out["compaction.paused_ticks"] = compaction["paused_ticks"]
+        out["compaction.backpressure_pauses"] = compaction[
+            "backpressure_pauses"
+        ]
+        rows = list(compaction.get("per_shard", ()))
+        totals = compaction.get("totals")
+        if totals is not None:
+            rows.append({"shard": None, **totals})
+        for row in rows:
+            shard = row["shard"]
+            tag = '{shard="%d"}' % shard if shard is not None else ""
+            out[f"compaction.runs{tag}"] = row["runs"]
+            out[f"compaction.pages_moved{tag}"] = row["pages_moved"]
+            out[f"compaction.objects_moved{tag}"] = row["objects_moved"]
+            out[f"compaction.frag_index{tag}"] = row["frag_index"]
+            # Cumulative frag-index improvement across this target's
+            # passes (the frag-delta series).
+            out[f"compaction.frag_delta{tag}"] = row["frag_delta"]
     if server and "shards" in server:
         out["server.shards"] = server["shards"]
     for sdoc in status.get("shards", ()):

@@ -56,6 +56,8 @@ STAT       u64 oid [+ u64 version]                u64 size + u32 ×5
 VERSIONS   u64 oid                                u16 count + count ×
                                                   (u32 version, u64
                                                   size, f64 commit ts)
+COMPACT    f64 target_frag (0 = none),            UTF-8 JSON per-shard
+           u64 max_pages (0 = none)               compaction progress
 LIST       (empty)                                u32 count + count ×
                                                   (u64 oid, u64 size)
 METRICS    (empty)                                UTF-8 JSON status
@@ -141,6 +143,7 @@ class Opcode(enum.IntEnum):
     METRICS = 11
     FLIGHT = 12
     VERSIONS = 13
+    COMPACT = 14
 
 
 #: Opcodes answered before admission control (see the module docstring).
@@ -149,7 +152,14 @@ EXPOSITION_OPCODES = frozenset({Opcode.METRICS, Opcode.FLIGHT})
 
 #: Opcodes that mutate the database (admission control's write queue).
 WRITE_OPCODES = frozenset(
-    {Opcode.CREATE, Opcode.APPEND, Opcode.WRITE, Opcode.INSERT, Opcode.DELETE}
+    {
+        Opcode.CREATE,
+        Opcode.APPEND,
+        Opcode.WRITE,
+        Opcode.INSERT,
+        Opcode.DELETE,
+        Opcode.COMPACT,
+    }
 )
 
 
@@ -572,6 +582,38 @@ def unpack_versions(payload: bytes) -> list[VersionInfo]:
     return out
 
 
+_COMPACT_REQ = struct.Struct("<dQ")
+
+
+def pack_compact_req(
+    target_frag: float | None = None, max_pages: int | None = None
+) -> bytes:
+    """The COMPACT request payload: f64 target_frag + u64 max_pages.
+
+    Zero means "unset" for both fields (a target_frag of exactly 0.0 is
+    indistinguishable from none — harmless, since compaction to a zero
+    frag index stops only when the victim list is exhausted anyway).
+    """
+    return _COMPACT_REQ.pack(
+        target_frag if target_frag is not None else 0.0,
+        max_pages if max_pages is not None else 0,
+    )
+
+
+def unpack_compact_req(payload: bytes) -> tuple[float | None, int | None]:
+    """Decode a COMPACT request into ``(target_frag, max_pages)``."""
+    if len(payload) != _COMPACT_REQ.size:
+        raise ProtocolError(
+            f"expected a {_COMPACT_REQ.size}-byte compact payload, "
+            f"got {len(payload)}"
+        )
+    target_frag, max_pages = _COMPACT_REQ.unpack(payload)
+    return (
+        target_frag if target_frag > 0.0 else None,
+        max_pages if max_pages > 0 else None,
+    )
+
+
 def pack_listing(entries: list[tuple[int, int]]) -> bytes:
     """The LIST response payload: u32 count + (u64 oid, u64 size) each."""
     out = bytearray(struct.pack("<I", len(entries)))
@@ -628,4 +670,6 @@ __all__ = [
     "unpack_stat_req",
     "pack_versions",
     "unpack_versions",
+    "pack_compact_req",
+    "unpack_compact_req",
 ]

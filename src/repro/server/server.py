@@ -230,6 +230,12 @@ class EOSServer:
         #: its per-object heat counters and status_snapshot/Prometheus
         #: expose its HEALTH section.
         self.health = None
+        #: Optional background compactor (:mod:`repro.compact`).
+        #: servectl attaches one under ``serve --compact``; COMPACT
+        #: requests reuse it (sharing its tick lock) and status_snapshot
+        #: exposes its COMPACTION section.  Without one, each COMPACT
+        #: request builds a transient compactor over the live shards.
+        self.compactor = None
         self.started_at = 0.0
         self.inflight = 0
         self.write_queued = 0
@@ -718,6 +724,36 @@ class EOSServer:
             merged = [entry for part in parts for entry in part]
             merged.sort()
             return protocol.pack_listing(merged)
+        if opcode is Opcode.COMPACT:
+            # Coordinator fan-out like LIST, but driven by the compactor:
+            # run_once() itself submits every substrate-touching step to
+            # the owning shard's worker (EOS008), so here it only needs
+            # to get off the event loop.  An attached background
+            # compactor is reused — its tick lock serializes the
+            # operator's one-shot pass against background ticks.
+            target_frag, max_pages = protocol.unpack_compact_req(payload)
+            compactor = self.compactor
+            if compactor is None:
+                from repro.compact import Compactor
+
+                # target_frag=None: a one-shot with no --target-frag
+                # compacts until the victim list is exhausted, not to
+                # the background daemon's default goal.  The compactor
+                # is kept (not started) so status_snapshot and /metrics
+                # expose the pass's progress afterwards.
+                compactor = Compactor(
+                    shards=shards.shards, monitor=self.health, server=self,
+                    target_frag=None,
+                )
+                self.compactor = compactor
+            loop = asyncio.get_running_loop()
+            docs = await loop.run_in_executor(
+                None,
+                lambda: compactor.run_once(
+                    target_frag=target_frag, max_pages=max_pages
+                ),
+            )
+            return json.dumps(docs, separators=(",", ":")).encode("utf-8")
 
         # Everything below is a single-object op: route by the oid's
         # shard tag, lock on the owning shard's table (keyed by the wire

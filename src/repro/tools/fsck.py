@@ -26,7 +26,18 @@ Cross-checks four independent sources of truth:
    reachable from no live version (and no latest tree) is a leak;
 6. the *storage-health collector* (:mod:`repro.obs.health`): its free
    totals and utilization are re-derived from fsck's own segment walk —
-   a disagreement means dashboards show numbers the ledger disowns.
+   a disagreement means dashboards show numbers the ledger disowns;
+7. the *per-object layout metrics* the online compactor
+   (:mod:`repro.compact`) plans victims from and claims credit
+   against: each object's extent list is re-derived from fsck's own
+   tree walk and cross-checked against the buddy allocation map (every
+   extent fully allocated, inside one buddy space), the collector's
+   extent/run/home-space numbers, and — on a versioned database — the
+   version manager's page-sharing ledger (the collector's
+   ``cow_sharing`` must match the sharing fsck computes from the
+   per-version page sets it claimed itself).  After a compaction pass
+   this is the check that the relocated layout being reported is the
+   layout actually on disk.
 
 CLI::
 
@@ -64,6 +75,7 @@ class FsckReport:
     nonmonotonic_chains: list[int] = field(default_factory=list)
     stale_catalog_roots: list[int] = field(default_factory=list)
     health_disagreements: list[str] = field(default_factory=list)
+    layout_disagreements: list[str] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -79,6 +91,7 @@ class FsckReport:
             or self.nonmonotonic_chains
             or self.stale_catalog_roots
             or self.health_disagreements
+            or self.layout_disagreements
         )
 
     def summary(self) -> str:
@@ -130,6 +143,11 @@ class FsckReport:
             lines.extend(
                 f"  health collector disagreement: {d}"
                 for d in self.health_disagreements[:10]
+            )
+        if self.layout_disagreements:
+            lines.extend(
+                f"  object layout disagreement: {d}"
+                for d in self.layout_disagreements[:10]
             )
         lines.extend(f"  error: {e}" for e in self.errors)
         return "\n".join(lines)
@@ -197,6 +215,11 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
                     claim_oid[p] = oid
 
     versioned = db.versions is not None
+    # fsck's own record of each object's leaf extents (in scan order) and,
+    # on a versioned database, each version's full page set — the raw
+    # material for the compaction-layout cross-check below.
+    leaf_extents: dict[int, list[tuple[int, int]]] = {}
+    version_pages: dict[int, list[set[int]]] = {}
     for oid, obj in sorted(db._objects.items()):
         try:
             obj.verify()
@@ -209,19 +232,29 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
         report.objects_checked += 1
         share = oid if versioned else None
         claim(obj.root_page, 1, f"root of oid {oid}", share)
+        extents = leaf_extents.setdefault(oid, [])
+        latest_pages = {obj.root_page}
 
-        def walk(node: Node, oid=oid, share=share) -> None:
+        def walk(node: Node, oid=oid, share=share,
+                 extents=extents, latest_pages=latest_pages) -> None:
             for entry in node.entries:
                 if node.level == 0:
                     claim(entry.child, entry.pages, f"segment of oid {oid}", share)
+                    extents.append((entry.child, entry.pages))
+                    latest_pages.update(
+                        range(entry.child, entry.child + entry.pages)
+                    )
                 else:
                     claim(entry.child, 1, f"index of oid {oid}", share)
+                    latest_pages.add(entry.child)
                     walk(db.pager.read(entry.child))
 
         walk(obj.tree.read_root())
+        if versioned:
+            version_pages[oid] = [latest_pages]
 
     if versioned:
-        _check_version_chains(db, report, allocated, claim)
+        _check_version_chains(db, report, allocated, claim, version_pages)
 
     report.pages_claimed = len(claims)
     if expect_no_leaks:
@@ -235,6 +268,11 @@ def fsck(db: EOSDatabase, *, expect_no_leaks: bool = True) -> FsckReport:
     # health`` report, so a drift between the two would mean operators
     # see numbers fsck cannot vouch for.
     _check_health_agreement(db, report, space_free)
+
+    # 5. The per-object layout metrics the compactor plans from must
+    # describe the extents fsck just walked — the post-compaction
+    # cross-check that "frag improved" claims match the disk.
+    _check_layout_agreement(db, report, allocated, leaf_extents, version_pages)
     return report
 
 
@@ -281,8 +319,93 @@ def _check_health_agreement(
             )
 
 
+def _check_layout_agreement(
+    db: EOSDatabase,
+    report: FsckReport,
+    allocated: set[int],
+    leaf_extents: dict[int, list[tuple[int, int]]],
+    version_pages: dict[int, list[set[int]]],
+) -> None:
+    """Cross-check the layout metrics the online compactor relies on.
+
+    :func:`repro.compact.policy.plan_victims` scores objects from the
+    health collector's per-object layouts, and a compaction pass's
+    ``frag_delta`` is computed from the same collector — so after a
+    relocation these numbers *are* the claim that pages moved where the
+    report says.  fsck re-derives them from its own tree walk
+    (``leaf_extents``): every extent must sit fully inside allocated
+    buddy segments and inside a single buddy space (extents never span
+    space boundaries — the invariant contiguous relocation depends on),
+    and the collector's extent/run/home-space numbers must match the
+    walk.  On a versioned database the collector's ``cow_sharing`` is
+    recomputed from the per-version page sets fsck claimed itself,
+    catching a sharing ledger that diverged from the trees (a CoW
+    relocation that freed pages an old snapshot still reaches would
+    surface here as well as in the page ledger).
+    """
+    from repro.obs.health import collect_volume_health
+
+    try:
+        health = collect_volume_health(db, max_objects=None)
+    except ReproError as exc:
+        if not report.errors:
+            report.health_disagreements.append(f"collector failed: {exc}")
+        return
+    for layout in health.objects:
+        extents = leaf_extents.get(layout.oid)
+        if extents is None:
+            # verify() already failed (reported above) or the collector
+            # sampled an object the catalog walk never saw.
+            continue
+        runs: list[tuple[int, int]] = []
+        for first, pages in extents:
+            if any(p not in allocated for p in range(first, first + pages)):
+                report.layout_disagreements.append(
+                    f"oid {layout.oid}: extent @ {first} x{pages} not in "
+                    f"the buddy allocation map"
+                )
+            if pages and db.buddy.space_of(first) != db.buddy.space_of(
+                first + pages - 1
+            ):
+                report.layout_disagreements.append(
+                    f"oid {layout.oid}: extent @ {first} x{pages} spans "
+                    f"buddy spaces"
+                )
+            if runs and runs[-1][0] + runs[-1][1] == first:
+                runs[-1] = (runs[-1][0], runs[-1][1] + pages)
+            else:
+                runs.append((first, pages))
+        if layout.extents != len(extents) or layout.runs != len(runs):
+            report.layout_disagreements.append(
+                f"oid {layout.oid}: collector reports {layout.extents} "
+                f"extents / {layout.runs} runs vs fsck "
+                f"{len(extents)} / {len(runs)}"
+            )
+        home = db.buddy.space_of(runs[0][0]) if runs else -1
+        if layout.home_space != home:
+            report.layout_disagreements.append(
+                f"oid {layout.oid}: collector home space "
+                f"{layout.home_space} vs fsck {home}"
+            )
+        if layout.cow_sharing is not None:
+            sets = version_pages.get(layout.oid, [])
+            total = sum(len(s) for s in sets)
+            union = len(set().union(*sets)) if sets else 0
+            sharing = 1.0 - union / total if total else 0.0
+            if abs(layout.cow_sharing - sharing) > 1e-9:
+                report.layout_disagreements.append(
+                    f"oid {layout.oid}: collector cow_sharing "
+                    f"{layout.cow_sharing:.4f} vs fsck page sets "
+                    f"{sharing:.4f}"
+                )
+
+
 def _check_version_chains(
-    db: EOSDatabase, report: FsckReport, allocated: set[int], claim
+    db: EOSDatabase,
+    report: FsckReport,
+    allocated: set[int],
+    claim,
+    version_pages: dict[int, list[set[int]]],
 ) -> None:
     """Validate every version chain and ledger its retained trees.
 
@@ -311,7 +434,8 @@ def _check_version_chains(
             if record is chain[-1]:
                 continue  # the latest tree was walked by the object pass
             try:
-                _walk_version(db, oid, record, claim)
+                pages = _walk_version(db, oid, record, claim)
+                version_pages.setdefault(oid, []).append(pages)
             except (ReproError, AssertionError, ValueError) as exc:
                 report.dangling_version_roots.append((oid, record.version))
                 report.errors.append(
@@ -319,9 +443,14 @@ def _check_version_chains(
                 )
 
 
-def _walk_version(db: EOSDatabase, oid: int, record, claim) -> None:
-    """Claim every page reachable from one retained version's root."""
+def _walk_version(db: EOSDatabase, oid: int, record, claim) -> set[int]:
+    """Claim every page reachable from one retained version's root.
+
+    Returns the full page set (root, index pages, full leaf runs) —
+    the same accounting the version manager's sharing ledger uses.
+    """
     claim(record.root_page, 1, f"root of oid {oid} v{record.version}", oid)
+    pages = {record.root_page}
 
     def walk(node: Node) -> None:
         for entry in node.entries:
@@ -330,11 +459,14 @@ def _walk_version(db: EOSDatabase, oid: int, record, claim) -> None:
                     entry.child, entry.pages,
                     f"segment of oid {oid} v{record.version}", oid,
                 )
+                pages.update(range(entry.child, entry.child + entry.pages))
             else:
                 claim(entry.child, 1, f"index of oid {oid} v{record.version}", oid)
+                pages.add(entry.child)
                 walk(db.pager.read(entry.child))
 
     walk(db.pager.read(record.root_page))
+    return pages
 
 
 def _check_file_catalog(db: EOSDatabase, report: FsckReport) -> None:

@@ -91,19 +91,42 @@ def dump_object(tree: LargeObjectTree, *, max_entries: int = 32) -> str:
     return "\n".join(lines)
 
 
-def dump_objects(health: VolumeHealth) -> str:
-    """The per-object layout table (extents, contiguity, est. seeks/MB)."""
+#: ``--sort`` keys for the layout table: column label -> sort key.
+_OBJECT_SORTS = {
+    "seeks": lambda layout: -layout.est_seeks_per_mb,
+    "extents": lambda layout: (-layout.runs, -layout.extents),
+}
+
+
+def dump_objects(
+    health: VolumeHealth, *, sort: str | None = None, heat=None
+) -> str:
+    """The per-object layout table (extents, contiguity, est. seeks/MB).
+
+    ``sort`` orders rows worst-first by ``seeks`` (est. seeks/MB),
+    ``extents`` (disk runs), or ``heat`` (read temperature; needs a
+    ``heat`` mapping ``oid -> (read, write)`` such as
+    :meth:`~repro.obs.health.HeatTracker.snapshot` returns — offline
+    images have no heat, so every row shows 0).
+    """
+    temps = heat if heat is not None else {}
+    rows = list(health.objects)
+    if sort == "heat":
+        rows.sort(key=lambda layout: -temps.get(layout.oid, (0.0, 0.0))[0])
+    elif sort is not None:
+        rows.sort(key=_OBJECT_SORTS[sort])
     lines = [
         f"{'oid':>6}  {'size':>10}  {'extents':>7}  {'runs':>5}  "
-        f"{'contig':>6}  {'seeks/MB':>8}  {'cow':>5}"
+        f"{'contig':>6}  {'seeks/MB':>8}  {'heat':>6}  {'cow':>5}"
     ]
-    for layout in health.objects:
+    for layout in rows:
         cow = "-" if layout.cow_sharing is None else f"{layout.cow_sharing:.2f}"
+        read_temp = temps.get(layout.oid, (0.0, 0.0))[0]
         lines.append(
             f"{layout.oid:>6}  {human_bytes(layout.size_bytes):>10}  "
             f"{layout.extents:>7}  {layout.runs:>5}  "
             f"{layout.contiguity:>6.2f}  {layout.est_seeks_per_mb:>8.1f}  "
-            f"{cow:>5}"
+            f"{read_temp:>6.2f}  {cow:>5}"
         )
     if health.objects_total > len(health.objects):
         lines.append(
@@ -112,7 +135,43 @@ def dump_objects(health: VolumeHealth) -> str:
     return "\n".join(lines)
 
 
-def dump_volume(db: EOSDatabase, *, objects: bool = False) -> str:
+def dump_candidates(db, health: VolumeHealth, *, heat=None) -> str:
+    """The compaction-candidates view: the cost model's ranked victims.
+
+    Runs the same :func:`~repro.compact.policy.plan_victims` the online
+    compactor runs, so the offline report answers "what would
+    ``servectl compact`` move, and in what order" without moving
+    anything.
+    """
+    from repro.compact.policy import plan_victims
+
+    victims = plan_victims(
+        health, max_segment_pages=db.buddy.max_segment_pages, heat=heat
+    )
+    if not victims:
+        return "compaction candidates: none (no object saves enough seeks)"
+    lines = [
+        f"compaction candidates ({len(victims)}), best payback first:",
+        f"{'oid':>6}  {'score':>7}  {'saves/MB':>8}  {'heat':>6}  "
+        f"{'space':>5}  {'pages':>6}  {'runs':>5}",
+    ]
+    for victim in victims:
+        lines.append(
+            f"{victim.oid:>6}  {victim.score:>7.2f}  "
+            f"{victim.seeks_saved_per_mb:>8.2f}  {victim.read_heat:>6.2f}  "
+            f"{victim.home_space:>5}  {victim.leaf_pages:>6}  "
+            f"{victim.runs:>5}"
+        )
+    return "\n".join(lines)
+
+
+def dump_volume(
+    db: EOSDatabase,
+    *,
+    objects: bool = False,
+    sort: str | None = None,
+    candidates: bool = False,
+) -> str:
     """Summarise a database: layout, free-space health, catalogued objects.
 
     The space and layout numbers come from one
@@ -144,7 +203,9 @@ def dump_volume(db: EOSDatabase, *, objects: bool = False) -> str:
         )
     if objects and health.objects:
         lines.append("object layout:")
-        lines.append(dump_objects(health))
+        lines.append(dump_objects(health, sort=sort))
+    if candidates:
+        lines.append(dump_candidates(db, health))
     return "\n".join(lines)
 
 
@@ -157,6 +218,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--objects", action="store_true",
                         help="include the per-object layout table "
                              "(extents, contiguity, est. seeks/MB)")
+    parser.add_argument("--sort", choices=("seeks", "heat", "extents"),
+                        default=None,
+                        help="order the --objects table worst-first by this "
+                             "column (heat is always 0 on a saved image)")
+    parser.add_argument("--candidates", action="store_true",
+                        help="append the compaction-candidates view: what "
+                             "the online compactor's cost model would move, "
+                             "in order")
     args = parser.parse_args(argv)
     db = EOSDatabase.open_file(args.image)
     if args.space is not None:
@@ -164,7 +233,10 @@ def main(argv: list[str] | None = None) -> int:
     elif args.root is not None:
         print(dump_object(db.open_root(args.root).tree))
     else:
-        print(dump_volume(db, objects=args.objects))
+        print(dump_volume(
+            db, objects=args.objects, sort=args.sort,
+            candidates=args.candidates,
+        ))
     return 0
 
 

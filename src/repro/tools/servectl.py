@@ -139,6 +139,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         server.health = monitor
         monitor.start()
+    compactor = None
+    if args.compact:
+        from repro.compact import Compactor
+
+        # Every substrate-touching step the compactor takes is submitted
+        # to the owning shard's worker (EOS008); pacing and the
+        # backpressure guard run on the compactor's own thread.
+        targets = (
+            dict(shards=shardset.shards) if shardset is not None else dict(db=db)
+        )
+        compactor = Compactor(
+            monitor=monitor,
+            server=server,
+            interval_s=args.compact_interval,
+            budget_pages_per_s=args.compact_budget,
+            target_frag=args.compact_target,
+            registry=server.obs.metrics,
+            **targets,
+        )
+        server.compactor = compactor
+        compactor.start()
 
     def dump_flight() -> None:
         path = server.dump_flight("sigusr1")
@@ -162,6 +183,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if monitor is not None:
             print(f"storage-health samples every {monitor.interval_s:g}s "
                   f"-> {monitor.jsonl_path}", flush=True)
+        if compactor is not None:
+            print(f"online compaction every {compactor.interval_s:g}s "
+                  f"(budget {compactor.budget_pages_per_s:g} pages/s, "
+                  f"target frag {compactor.target_frag})", flush=True)
         await server.serve_forever()
 
     if args.metrics_port is not None:
@@ -173,6 +198,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("interrupted; shutting down")
     finally:
+        if compactor is not None:
+            compactor.stop()
         if monitor is not None:
             monitor.stop()
         if sidecar is not None:
@@ -243,6 +270,29 @@ def cmd_versions(args: argparse.Namespace) -> int:
         print(f"{v.version}\t{v.size_bytes}\t{now - v.commit_ts:.1f}s ago")
     print(f"({len(chain)} live versions)", file=sys.stderr)
     return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Run one compaction pass on every shard; print per-shard progress."""
+    with EOSClient(args.host, args.port, timeout=args.timeout) as client:
+        docs = client.compact(
+            target_frag=args.target_frag, max_pages=args.max_pages
+        )
+    failed = False
+    for doc in docs:
+        shard = doc.get("shard")
+        label = f"shard {shard}" if shard is not None else "db"
+        if "error" in doc:
+            print(f"{label}: ERROR {doc['error']}", file=sys.stderr)
+            failed = True
+            continue
+        print(
+            f"{label}: moved {doc['objects_moved']} objects "
+            f"({doc['pages_moved']} pages), skipped {doc['objects_skipped']}, "
+            f"frag {doc['frag_before']:.4f} -> {doc['frag_after']:.4f}, "
+            f"stopped: {doc['stopped']}"
+        )
+    return 1 if failed else 0
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -611,6 +661,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "append its samples to DIR/health.jsonl")
     p.add_argument("--health-interval", type=float, default=5.0,
                    help="seconds between health samples (default 5)")
+    p.add_argument("--compact", action="store_true",
+                   help="run the rate-limited background compactor "
+                        "(heat-guided victim selection; pauses under "
+                        "foreground load)")
+    p.add_argument("--compact-budget", type=float, default=256.0,
+                   help="background compaction budget in pages/sec "
+                        "(read + written; default 256, 0 = unthrottled)")
+    p.add_argument("--compact-interval", type=float, default=30.0,
+                   help="seconds between background compaction ticks "
+                        "(default 30)")
+    p.add_argument("--compact-target", type=float, default=0.25,
+                   help="stop a tick early once the volume frag index "
+                        "reaches this (default 0.25)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("ping", help="round-trip a frame")
@@ -645,6 +708,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list", help="list objects as oid<TAB>size")
     _add_endpoint(p)
     p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser(
+        "compact",
+        help="one-shot online compaction pass on every shard",
+    )
+    _add_endpoint(p)
+    p.add_argument("--target-frag", type=float, default=None,
+                   help="stop each shard once its volume frag index "
+                        "reaches this (default: compact every victim)")
+    p.add_argument("--max-pages", type=int, default=None,
+                   help="cap on pages written per shard")
+    p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser("metrics", help="print the live status document (JSON)")
     _add_endpoint(p)

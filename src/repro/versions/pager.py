@@ -189,15 +189,15 @@ class DeferredFreeBuddy:
     def max_segment_pages(self) -> int:
         return self.base.max_segment_pages
 
-    def allocate(self, n_pages: int):
+    def allocate(self, n_pages: int, **kwargs):
         """Allocate a segment and remember its pages as unit-local."""
-        ref = self.base.allocate(n_pages)
+        ref = self.base.allocate(n_pages, **kwargs)
         self._unit_pages.update(range(ref.first_page, ref.end))
         return ref
 
-    def allocate_up_to(self, n_pages: int):
+    def allocate_up_to(self, n_pages: int, **kwargs):
         """Best-effort allocate; pages are remembered as unit-local."""
-        ref = self.base.allocate_up_to(n_pages)
+        ref = self.base.allocate_up_to(n_pages, **kwargs)
         self._unit_pages.update(range(ref.first_page, ref.end))
         return ref
 

@@ -1,0 +1,7 @@
+# lint-as: compact/daemon.py
+"""EOS008 negative: the compactor rides the shard's own worker."""
+
+
+def frag_hint(shards, key):
+    shard = shards.shard_for(key)
+    return shard.submit(lambda: shard.db.buddy.free_pages).result()

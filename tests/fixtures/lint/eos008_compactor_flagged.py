@@ -1,0 +1,7 @@
+# lint-as: compact/daemon.py
+"""EOS008 positive: a compactor touches shard substrate off-worker."""
+
+
+def frag_hint(shards, key):
+    shard = shards.shard_for(key)
+    return shard.db.buddy.free_pages

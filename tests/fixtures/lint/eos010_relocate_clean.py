@@ -1,0 +1,13 @@
+# lint-as: compact/engine.py
+"""EOS010 negative: relocation branches on the versioning mode."""
+
+
+def relocate(db, oid, entries):
+    if db.versions is None:
+        obj = db.get_object(oid)
+        obj.tree.replace_leaf_range(0, obj.size(), entries)
+    else:
+        db.versions.mutate(
+            oid,
+            lambda obj: obj.tree.replace_leaf_range(0, obj.size(), entries),
+        )

@@ -1,0 +1,7 @@
+# lint-as: compact/engine.py
+"""EOS010 positive: leaf-range relocation outside a version unit."""
+
+
+def relocate(db, oid, entries):
+    obj = db.get_object(oid)
+    obj.tree.replace_leaf_range(0, obj.size(), entries)

@@ -388,6 +388,27 @@ class TestFixtureCorpus:
         path = FIXTURES / f"{code.lower()}_clean.py"
         assert self.fixture_findings(path) == []
 
+    # Compaction-specific fixtures: a compactor that touches shard
+    # substrate off-worker (EOS008) or relocates leaf extents without
+    # versions.mutate (EOS010) must be caught by the same rules that
+    # police the shipped compact/ modules.
+    COMPACT_FIXTURES = [
+        ("eos008_compactor", "EOS008"),
+        ("eos010_relocate", "EOS010"),
+    ]
+
+    @pytest.mark.parametrize("stem,code", COMPACT_FIXTURES)
+    def test_compact_flagged_fixture_fires_exactly_its_rule(
+        self, stem, code
+    ):
+        path = FIXTURES / f"{stem}_flagged.py"
+        assert codes(self.fixture_findings(path)) == [code]
+
+    @pytest.mark.parametrize("stem", [s for s, _ in COMPACT_FIXTURES])
+    def test_compact_clean_fixture_is_silent(self, stem):
+        path = FIXTURES / f"{stem}_clean.py"
+        assert self.fixture_findings(path) == []
+
 
 class TestSeededBugsInShippedSource:
     """Mutating real shipped code must wake the rules up."""

@@ -273,6 +273,12 @@ def _write_trio(directory, *, copies=1.0, mbps=1000.0, seeks=100, rps=3000):
                        "scan": {"mixed": {"fresh_mb_s": 2.0,
                                           "aged_mb_s": 2.0 * mbps / 1000.0 * 0.85,
                                           "ratio": mbps / 1000.0 * 0.85}}})
+    _bench_doc(directory, "AGE2",
+               [["aged", 0.63, 0.90, seeks * 0.7, mbps / 1000.0 * 0.8],
+                ["compacted", 0.44, 0.40, seeks * 0.5, mbps / 1000.0]],
+               params={"frag": {"aged": 0.90, "compacted": 0.40,
+                                "drop": 0.55},
+                       "scan": {"compacted_ratio": mbps / 1000.0 * 0.98}})
 
 
 class TestRegressGate:

@@ -155,5 +155,5 @@ class TestPayloadCodecs:
     def test_write_opcodes_cover_all_mutations(self):
         assert protocol.WRITE_OPCODES == {
             Opcode.CREATE, Opcode.APPEND, Opcode.WRITE,
-            Opcode.INSERT, Opcode.DELETE,
+            Opcode.INSERT, Opcode.DELETE, Opcode.COMPACT,
         }
